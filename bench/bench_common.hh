@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches: the
+ * standard workload suite and sweep settings.  Every bench accepts
+ * key=value overrides (e.g. `insts=200000 seeds=2 quick=1`).
+ */
+
+#ifndef IRAW_BENCH_BENCH_COMMON_HH
+#define IRAW_BENCH_BENCH_COMMON_HH
+
+#include <iostream>
+
+#include "common/cli.hh"
+#include "sim/experiment.hh"
+#include "sim/workload_suite.hh"
+
+namespace iraw {
+namespace bench {
+
+/** Suite/size settings shared by the simulation-driven benches. */
+struct BenchSettings
+{
+    std::vector<sim::SuiteEntry> suite;
+    uint64_t warmup = 40000;
+};
+
+inline BenchSettings
+settingsFromArgs(const OptionMap &opts)
+{
+    BenchSettings s;
+    uint64_t insts =
+        static_cast<uint64_t>(opts.getInt("insts", 60000));
+    auto seeds = static_cast<uint32_t>(opts.getInt("seeds", 1));
+    s.warmup = static_cast<uint64_t>(opts.getInt("warmup", 40000));
+    if (opts.getBool("quick", false)) {
+        s.suite = sim::quickSuite(insts);
+    } else {
+        s.suite = sim::defaultSuite(insts, seeds);
+    }
+    return s;
+}
+
+/** Run one machine over the suite (with the bench warmup). */
+inline sim::MachineAtVcc
+runMachine(const sim::Simulator &simulator, const BenchSettings &s,
+           circuit::MilliVolts vcc, mechanism::IrawMode mode)
+{
+    sim::SweepConfig cfg;
+    cfg.suite = s.suite;
+    cfg.voltages = {vcc};
+    sim::VccSweep sweep(simulator);
+    // runMachine uses the suite only; warmup is carried per entry
+    // via SimConfig's default -- override by rebuilding configs.
+    sim::MachineAtVcc m;
+    m.vcc = vcc;
+    for (const auto &entry : cfg.suite) {
+        sim::SimConfig sc;
+        sc.workload = entry.workload;
+        sc.seed = entry.seed;
+        sc.instructions = entry.instructions;
+        sc.warmupInstructions = s.warmup;
+        sc.vcc = vcc;
+        sc.mode = mode;
+        sim::SimResult r = simulator.run(sc);
+        m.irawEnabled = r.settings.enabled;
+        m.stabilizationCycles = r.settings.stabilizationCycles;
+        m.cycleTimeAu = r.cycleTimeAu;
+        m.instructions += r.pipeline.committedInsts;
+        m.cycles += r.pipeline.cycles;
+        m.execTimeAu += r.execTimeAu;
+        m.rfIrawStalls += r.pipeline.rfIrawStallCycles;
+        m.iqGateStalls += r.pipeline.iqGateStallCycles;
+        m.dl0IrawStalls +=
+            r.pipeline.dl0ReplayStallCycles + r.dl0GuardStalls;
+        m.otherIrawStalls += r.otherGuardStalls;
+        m.rfIrawDelayedInsts += r.pipeline.rfIrawDelayedInsts;
+    }
+    m.ipc = m.cycles
+                ? static_cast<double>(m.instructions) / m.cycles
+                : 0.0;
+    return m;
+}
+
+inline void
+warnUnusedOptions(const OptionMap &opts)
+{
+    for (const auto &key : opts.unusedKeys())
+        std::cerr << "warning: unused option '" << key << "'\n";
+}
+
+} // namespace bench
+} // namespace iraw
+
+#endif // IRAW_BENCH_BENCH_COMMON_HH

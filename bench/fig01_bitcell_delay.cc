@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduces Figure 1: delay of a clock phase (12 FO4), bitcell
+ * write/read delay, and both with wordline activation, versus Vcc
+ * (normalized to the 12-FO4 phase at 700 mV).
+ *
+ * Paper anchors reproduced here: write+WL crosses the phase at
+ * ~600 mV; write alone near 525-550 mV; write-limited frequency is
+ * 77% of logic at 550 mV and 24% at 450 mV; read stays below the
+ * phase everywhere.
+ */
+
+#include <iostream>
+
+#include "circuit/cycle_time.hh"
+#include "common/cli.hh"
+#include "common/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace iraw;
+    using namespace iraw::circuit;
+    OptionMap opts = OptionMap::parse(argc, argv);
+    (void)opts;
+
+    LogicDelayModel logic;
+    BitcellModel cell(logic);
+    SramTimingModel sram(logic, cell);
+    CycleTimeModel model(logic, sram);
+
+    TextTable table(
+        "Figure 1: delay vs Vcc (a.u., 12 FO4 @ 700mV = 1)");
+    table.setHeader({"Vcc(mV)", "12FO4", "write", "read",
+                     "write+WL", "read+WL", "f_write/f_logic"});
+    for (MilliVolts v : standardSweep()) {
+        table.addRow({
+            TextTable::num(v, 0),
+            TextTable::num(logic.phaseDelay(v), 3),
+            TextTable::num(cell.writeDelay(v), 3),
+            TextTable::num(cell.readDelay(v), 3),
+            TextTable::num(sram.writePathDelay(v), 3),
+            TextTable::num(sram.readPathDelay(v), 3),
+            TextTable::num(model.writeLimitedFrequencyFraction(v),
+                           3),
+        });
+    }
+    table.addNote("paper: write+WL crosses 12 FO4 at ~600 mV; "
+                  "write-limited frequency 0.77 @550mV, 0.24 @450mV");
+    table.print(std::cout);
+
+    // Crossover report.
+    double crossWl = 0, crossRaw = 0;
+    for (MilliVolts v = 700; v >= 400; v -= 1) {
+        if (crossWl == 0 &&
+            sram.writePathDelay(v) >= logic.phaseDelay(v))
+            crossWl = v;
+        if (crossRaw == 0 &&
+            cell.writeDelay(v) >= logic.phaseDelay(v))
+            crossRaw = v;
+    }
+    std::cout << "write+wordline becomes critical below " << crossWl
+              << " mV (paper: ~600 mV)\n"
+              << "bitcell write alone becomes critical below "
+              << crossRaw << " mV (paper: ~525 mV)\n";
+    return 0;
+}

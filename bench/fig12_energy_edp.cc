@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Reproduces Figure 12: energy, delay and energy-delay product of
+ * the IRAW machine relative to the baseline at each Vcc level, plus
+ * the Sec. 5.3 worked example at 450 mV (absolute leakage/dynamic
+ * split).
+ *
+ * Paper anchors: relative EDP 0.61 @500 mV, 0.41 @450 mV,
+ * 0.33 @400 mV; IRAW energy ~1% worse at 700-575 mV.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace iraw;
+    using namespace iraw::bench;
+    OptionMap opts = OptionMap::parse(argc, argv);
+    BenchSettings settings = settingsFromArgs(opts);
+    warnUnusedOptions(opts);
+
+    sim::Simulator simulator;
+
+    // Energy calibration on the baseline machine at 600 mV.
+    auto ref = runMachine(simulator, settings, 600,
+                          mechanism::IrawMode::ForcedOff);
+    circuit::EnergyModel energy(
+        ref.execTimeAu / static_cast<double>(ref.instructions));
+
+    TextTable table("Figure 12: IRAW energy, delay and EDP relative "
+                    "to the baseline at each Vcc");
+    table.setHeader({"Vcc(mV)", "rel delay", "rel energy", "rel EDP",
+                     "leak share base", "leak share iraw"});
+    circuit::EnergyBreakdown ex450Base, ex450Iraw;
+    uint64_t ex450Insts = 0;
+    for (circuit::MilliVolts v : circuit::standardSweep()) {
+        auto base = runMachine(simulator, settings, v,
+                               mechanism::IrawMode::ForcedOff);
+        auto iraw = runMachine(simulator, settings, v,
+                               mechanism::IrawMode::Auto);
+        auto eBase = energy.taskEnergy(v, base.instructions,
+                                       base.execTimeAu, 0.0);
+        auto eIraw = energy.taskEnergy(v, iraw.instructions,
+                                       iraw.execTimeAu, 0.01);
+        if (v == 450) {
+            ex450Base = eBase;
+            ex450Iraw = eIraw;
+            ex450Insts = base.instructions;
+        }
+        double relD = iraw.execTimeAu / base.execTimeAu;
+        double relE = eIraw.total() / eBase.total();
+        table.addRow({
+            TextTable::num(v, 0),
+            TextTable::num(relD, 3),
+            TextTable::num(relE, 3),
+            TextTable::num(relD * relE, 3),
+            TextTable::pct(eBase.leakage / eBase.total(), 1),
+            TextTable::pct(eIraw.leakage / eIraw.total(), 1),
+        });
+    }
+    table.addNote("paper anchors: EDP 0.61 @500mV, 0.41 @450mV, "
+                  "0.33 @400mV; ~1% energy overhead at high Vcc");
+    table.print(std::cout);
+
+    // Sec. 5.3 worked example at 450 mV, rescaled to the paper's
+    // "5 J unconstrained" framing: we print the measured split.
+    double scale =
+        5.0 / (energy.dynamicEnergyPerInst(450) * ex450Insts /
+                   (1 - 0.248) /
+               1.0); // informational scaling only
+    (void)scale;
+    TextTable ex("Sec. 5.3 worked example at 450 mV "
+                 "(energy split, a.u.)");
+    ex.setHeader({"machine", "dynamic", "leakage", "total",
+                  "leak %"});
+    ex.addRow({"baseline", TextTable::num(ex450Base.dynamic, 0),
+               TextTable::num(ex450Base.leakage, 0),
+               TextTable::num(ex450Base.total(), 0),
+               TextTable::pct(ex450Base.leakage / ex450Base.total(),
+                              1)});
+    ex.addRow({"IRAW", TextTable::num(ex450Iraw.dynamic, 0),
+               TextTable::num(ex450Iraw.leakage, 0),
+               TextTable::num(ex450Iraw.total(), 0),
+               TextTable::pct(ex450Iraw.leakage / ex450Iraw.total(),
+                              1)});
+    ex.addNote("paper: baseline 8.50J (4.74J leakage) vs IRAW 6.40J "
+               "(2.64J leakage) for the same task -- the win is "
+               "pure leakage-time");
+    ex.print(std::cout);
+    return 0;
+}

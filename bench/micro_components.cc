@@ -1,0 +1,103 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot
+ * components: scoreboard shifting, cache accesses, the trace
+ * generator, the STable probe and full pipeline throughput.
+ * These guard the tool's usability (a slow simulator cannot sweep
+ * 13 voltages x 2 machines x 9 workloads interactively).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/pipeline.hh"
+#include "iraw/stable.hh"
+#include "memory/cache.hh"
+#include "trace/generator.hh"
+#include "trace/workload.hh"
+
+namespace {
+
+using namespace iraw;
+
+void
+BM_ScoreboardTick(benchmark::State &state)
+{
+    core::Scoreboard sb(8, 1);
+    sb.setStabilizationCycles(1);
+    sb.setProducer(3, 3);
+    for (auto _ : state) {
+        sb.tick();
+        benchmark::DoNotOptimize(sb.isReady(3));
+    }
+}
+BENCHMARK(BM_ScoreboardTick);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    memory::CacheParams p{"bench", 24 * 1024, 6, 64};
+    memory::Cache cache(p);
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        if (!cache.access(addr, false))
+            cache.fill(addr);
+        addr = (addr + 64) % (1 << 18);
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_TraceGenerator(benchmark::State &state)
+{
+    trace::SyntheticTraceGenerator gen(
+        trace::profileByName("spec2006int"), 1);
+    for (auto _ : state) {
+        auto op = gen.next();
+        benchmark::DoNotOptimize(op);
+    }
+}
+BENCHMARK(BM_TraceGenerator);
+
+void
+BM_StableProbe(benchmark::State &state)
+{
+    mechanism::StoreTable table(4, 64, 64);
+    table.setActiveEntries(4);
+    uint64_t cycle = 0;
+    for (auto _ : state) {
+        ++cycle;
+        table.noteStore(0x1000 + (cycle % 64) * 4, 4, cycle);
+        benchmark::DoNotOptimize(
+            table.probe(0x1000, 4, cycle, 1));
+    }
+}
+BENCHMARK(BM_StableProbe);
+
+void
+BM_PipelineThroughput(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        core::CoreConfig cfg;
+        memory::MemoryConfig mc;
+        trace::SyntheticTraceGenerator gen(
+            trace::profileByName("multimedia"), 1);
+        memory::MemoryHierarchy mem(mc);
+        mem.setDramLatencyCycles(100);
+        core::Pipeline pipe(cfg, mem, gen);
+        mechanism::IrawSettings s;
+        s.enabled = true;
+        s.stabilizationCycles = 1;
+        pipe.applySettings(s);
+        state.ResumeTiming();
+        const auto &stats = pipe.run(20000);
+        benchmark::DoNotOptimize(stats.cycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * 20000);
+}
+BENCHMARK(BM_PipelineThroughput)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * DVFS operating-point explorer: sweep Vcc for a workload and find
+ * the best energy / EDP / performance operating points for the IRAW
+ * machine — the use case the paper motivates (mobile platforms
+ * scaling Vcc with workload and battery state, Sec. 1).
+ *
+ * Usage:
+ *   dvfs_energy_sweep [workload=multimedia] [insts=50000]
+ *                     [perf_floor=0.5]   # min fraction of peak perf
+ */
+
+#include <iostream>
+
+#include "circuit/energy.hh"
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "sim/simulation.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace iraw;
+    OptionMap opts = OptionMap::parse(argc, argv);
+    std::string workload =
+        opts.getString("workload", "multimedia");
+    auto insts = static_cast<uint64_t>(opts.getInt("insts", 50000));
+    double perfFloor = opts.getDouble("perf_floor", 0.5);
+
+    sim::Simulator simulator;
+
+    struct Point
+    {
+        double vcc;
+        double perf;
+        double energy;
+        double edp;
+    };
+    std::vector<Point> points;
+
+    // Calibrate energy on the 600 mV baseline run.
+    sim::SimConfig ref;
+    ref.workload = workload;
+    ref.instructions = insts;
+    ref.vcc = 600;
+    ref.mode = mechanism::IrawMode::ForcedOff;
+    sim::SimResult refRun = simulator.run(ref);
+    circuit::EnergyModel energy(refRun.execTimeAu /
+                                refRun.pipeline.committedInsts);
+
+    TextTable table("IRAW-core DVFS sweep, workload " + workload);
+    table.setHeader({"Vcc(mV)", "N", "perf (inst/au)", "energy",
+                     "EDP"});
+    for (circuit::MilliVolts v : circuit::standardSweep()) {
+        sim::SimConfig cfg = ref;
+        cfg.vcc = v;
+        cfg.mode = mechanism::IrawMode::Auto;
+        sim::SimResult r = simulator.run(cfg);
+        auto e = energy.taskEnergy(v, r.pipeline.committedInsts,
+                                   r.execTimeAu,
+                                   r.settings.enabled ? 0.01 : 0.0);
+        Point pt{v, r.performance(), e.total(),
+                 circuit::EnergyModel::edp(e, r.execTimeAu)};
+        points.push_back(pt);
+        table.addRow({
+            TextTable::num(v, 0),
+            std::to_string(r.settings.stabilizationCycles),
+            TextTable::num(pt.perf, 4),
+            TextTable::num(pt.energy, 0),
+            TextTable::num(pt.edp, 0),
+        });
+    }
+    table.print(std::cout);
+
+    double peak = 0;
+    for (const auto &pt : points)
+        peak = std::max(peak, pt.perf);
+    const Point *bestEnergy = nullptr;
+    const Point *bestEdp = nullptr;
+    for (const auto &pt : points) {
+        if (pt.perf < perfFloor * peak)
+            continue;
+        if (!bestEnergy || pt.energy < bestEnergy->energy)
+            bestEnergy = &pt;
+        if (!bestEdp || pt.edp < bestEdp->edp)
+            bestEdp = &pt;
+    }
+    std::cout << "subject to >= " << TextTable::pct(perfFloor, 0)
+              << " of peak performance:\n";
+    if (bestEnergy)
+        std::cout << "  minimum-energy point: "
+                  << TextTable::num(bestEnergy->vcc, 0) << " mV\n";
+    if (bestEdp)
+        std::cout << "  minimum-EDP point:    "
+                  << TextTable::num(bestEdp->vcc, 0) << " mV\n";
+    std::cout << "(the IRAW mechanism is what keeps the low-Vcc "
+                 "points on this frontier usable)\n";
+    return 0;
+}

@@ -1,0 +1,93 @@
+#include "circuit/cycle_time.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace iraw {
+namespace circuit {
+
+CycleTimeModel::CycleTimeModel(const LogicDelayModel &logic,
+                               const SramTimingModel &sram,
+                               const Params &p)
+    : _logic(logic), _sram(sram), _params(p)
+{
+    fatalIf(p.minUsefulGain < 1.0,
+            "CycleTimeModel: minUsefulGain must be >= 1");
+}
+
+double
+CycleTimeModel::logicCycleTime(MilliVolts vcc) const
+{
+    return _logic.cycleDelay(vcc);
+}
+
+double
+CycleTimeModel::baselineCycleTime(MilliVolts vcc) const
+{
+    double phase = _logic.phaseDelay(vcc);
+    return phase + std::max(phase, _sram.writePathDelay(vcc));
+}
+
+double
+CycleTimeModel::irawCycleTime(MilliVolts vcc) const
+{
+    double phase = _logic.phaseDelay(vcc);
+    return phase +
+           std::max(phase, _sram.interruptedWritePathDelay(vcc));
+}
+
+double
+CycleTimeModel::frequencyGain(MilliVolts vcc) const
+{
+    return baselineCycleTime(vcc) / irawCycleTime(vcc);
+}
+
+bool
+CycleTimeModel::irawEnabled(MilliVolts vcc) const
+{
+    return frequencyGain(vcc) >= _params.minUsefulGain;
+}
+
+uint32_t
+CycleTimeModel::stabilizationCycles(MilliVolts vcc) const
+{
+    if (!irawEnabled(vcc))
+        return 0;
+    double stab = _sram.stabilizationDelay(vcc);
+    double cycle = irawCycleTime(vcc);
+    panicIf(cycle <= 0.0, "CycleTimeModel: non-positive cycle time");
+    auto n = static_cast<uint32_t>(std::ceil(stab / cycle - 1e-9));
+    return std::max(1u, n);
+}
+
+OperatingPoint
+CycleTimeModel::solve(MilliVolts vcc) const
+{
+    OperatingPoint op;
+    op.vcc = vcc;
+    op.logicCycleTime = logicCycleTime(vcc);
+    op.baselineCycleTime = baselineCycleTime(vcc);
+    op.irawEnabled = irawEnabled(vcc);
+    // When IRAW is off the core runs at the baseline (write-limited)
+    // cycle time; the IRAW hardware is dormant.
+    op.irawCycleTime =
+        op.irawEnabled ? irawCycleTime(vcc) : op.baselineCycleTime;
+    op.frequencyGain = op.baselineCycleTime / op.irawCycleTime;
+    op.stabilizationCycles = stabilizationCycles(vcc);
+    return op;
+}
+
+double
+CycleTimeModel::writeLimitedFrequencyFraction(MilliVolts vcc) const
+{
+    // Phase-level view used by Figure 1's discussion: the frequency
+    // the write path allows, as a fraction of what logic allows.
+    double phase = _logic.phaseDelay(vcc);
+    double write = _sram.writePathDelay(vcc);
+    return std::min(1.0, phase / write);
+}
+
+} // namespace circuit
+} // namespace iraw

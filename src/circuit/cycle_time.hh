@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Cycle-time solver: how fast can the core clock at each Vcc?
+ *
+ * A cycle is two phases.  The first phase decodes the address and sets
+ * up bitlines (always logic-limited); the second holds wordline
+ * activation plus the bitcell write:
+ *
+ *   T_base(V) = phase(V) + max(phase(V), wl(V) + write(V))
+ *   T_iraw(V) = phase(V) + max(phase(V), wl(V) + kappa * write(V))
+ *
+ * IRAW interrupts the write after the kappa fraction, so the second
+ * phase is (almost) logic-limited again.  The interrupted cell then
+ * needs lambda*write(V) to stabilize, which costs
+ * N(V) = ceil(stabilization / T_iraw) cycles of read protection —
+ * the number the whole microarchitectural mechanism is built around.
+ */
+
+#ifndef IRAW_CIRCUIT_CYCLE_TIME_HH
+#define IRAW_CIRCUIT_CYCLE_TIME_HH
+
+#include <cstdint>
+
+#include "circuit/bitcell.hh"
+#include "circuit/logic_delay.hh"
+#include "circuit/sram_timing.hh"
+#include "circuit/voltage.hh"
+
+namespace iraw {
+namespace circuit {
+
+/** Complete per-Vcc operating point. */
+struct OperatingPoint
+{
+    MilliVolts vcc = 0.0;
+    double logicCycleTime = 0.0;    //!< 24 FO4 lower bound (a.u.)
+    double baselineCycleTime = 0.0; //!< write-delay limited (a.u.)
+    double irawCycleTime = 0.0;     //!< with interrupted writes (a.u.)
+    double frequencyGain = 1.0;     //!< f_iraw / f_base
+    uint32_t stabilizationCycles = 0; //!< N; 0 when IRAW is off
+    bool irawEnabled = false;
+};
+
+/** Solves cycle times and stabilization cycles for any Vcc. */
+class CycleTimeModel
+{
+  public:
+    struct Params
+    {
+        /**
+         * Minimum frequency gain for IRAW to be worth its stalls.  The
+         * paper keeps IRAW off at 600 mV where the gain would be ~1%,
+         * "largely offset by the stalls" (Sec. 5.2).
+         */
+        double minUsefulGain = 1.02;
+    };
+
+    CycleTimeModel(const LogicDelayModel &logic,
+                   const SramTimingModel &sram)
+        : CycleTimeModel(logic, sram, Params{})
+    {}
+    CycleTimeModel(const LogicDelayModel &logic,
+                   const SramTimingModel &sram, const Params &p);
+
+    /** Logic-limited cycle time (24 FO4), a.u. */
+    double logicCycleTime(MilliVolts vcc) const;
+
+    /** Baseline cycle time: writes complete within the cycle. */
+    double baselineCycleTime(MilliVolts vcc) const;
+
+    /** IRAW cycle time: writes interrupted at the kappa point. */
+    double irawCycleTime(MilliVolts vcc) const;
+
+    /** f_iraw / f_base at @p vcc (>= 1). */
+    double frequencyGain(MilliVolts vcc) const;
+
+    /**
+     * Number of cycles a freshly written entry must be protected from
+     * reads under IRAW operation at @p vcc.  Zero when IRAW is not
+     * enabled at this voltage.
+     */
+    uint32_t stabilizationCycles(MilliVolts vcc) const;
+
+    /** True iff IRAW pays off at @p vcc (gain above threshold). */
+    bool irawEnabled(MilliVolts vcc) const;
+
+    /** All of the above in one struct. */
+    OperatingPoint solve(MilliVolts vcc) const;
+
+    /**
+     * Phase-level frequency fraction forced by write delay (the
+     * Figure 1 discussion: 0.77 at 550 mV, 0.24 at 450 mV).
+     */
+    double writeLimitedFrequencyFraction(MilliVolts vcc) const;
+
+    const SramTimingModel &sram() const { return _sram; }
+    const LogicDelayModel &logic() const { return _logic; }
+
+  private:
+    const LogicDelayModel &_logic;
+    const SramTimingModel &_sram;
+    Params _params;
+};
+
+} // namespace circuit
+} // namespace iraw
+
+#endif // IRAW_CIRCUIT_CYCLE_TIME_HH

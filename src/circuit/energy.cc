@@ -1,0 +1,60 @@
+#include "circuit/energy.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace iraw {
+namespace circuit {
+
+EnergyModel::EnergyModel(double refTimePerInst, const Params &p)
+    : _params(p)
+{
+    fatalIf(refTimePerInst <= 0.0,
+            "EnergyModel: reference time per instruction must be > 0");
+    fatalIf(p.leakFractionAtRef <= 0.0 || p.leakFractionAtRef >= 1.0,
+            "EnergyModel: leakage fraction must be in (0, 1)");
+    fatalIf(p.leakGrowthPer25mV <= 0.0,
+            "EnergyModel: leakage growth factor must be > 0");
+
+    // leak = f * total  =>  leak = f/(1-f) * dynamic.  Per
+    // instruction: P_leak * refTimePerInst = f/(1-f) * dynPerInst.
+    double leakPerInst = p.leakFractionAtRef /
+                         (1.0 - p.leakFractionAtRef) *
+                         p.dynPerInstAtRef;
+    _leakPowerAtRef = leakPerInst / refTimePerInst;
+}
+
+double
+EnergyModel::dynamicEnergyPerInst(MilliVolts vcc) const
+{
+    double ratio = vcc / _params.refVcc;
+    return _params.dynPerInstAtRef * ratio * ratio;
+}
+
+double
+EnergyModel::leakagePower(MilliVolts vcc) const
+{
+    double steps = (_params.refVcc - vcc) / 25.0;
+    return _leakPowerAtRef *
+           std::pow(_params.leakGrowthPer25mV, steps);
+}
+
+EnergyBreakdown
+EnergyModel::taskEnergy(MilliVolts vcc, uint64_t instructions,
+                        double execTime,
+                        double dynOverheadFraction) const
+{
+    fatalIf(execTime < 0.0, "EnergyModel: negative execution time");
+    fatalIf(dynOverheadFraction < 0.0,
+            "EnergyModel: negative dynamic overhead");
+    EnergyBreakdown e;
+    e.dynamic = dynamicEnergyPerInst(vcc) *
+                static_cast<double>(instructions) *
+                (1.0 + dynOverheadFraction);
+    e.leakage = leakagePower(vcc) * execTime;
+    return e;
+}
+
+} // namespace circuit
+} // namespace iraw

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Core energy model: dynamic + leakage energy for a task, and EDP.
+ *
+ * Calibration follows the paper's stated assumptions (Sec. 5.1/5.3):
+ *  - dynamic energy per instruction scales quadratically with Vcc;
+ *  - leakage is 10% of total energy at 600 mV (for the baseline
+ *    machine running at its 600 mV operating point);
+ *  - leakage power grows ~10% per 25 mV of Vcc *decrease* (lower Vth
+ *    scaling dominates the V reduction in this near-threshold range,
+ *    per Hanson et al. [8]);
+ *  - the IRAW hardware adds a small dynamic-energy overhead (computed
+ *    pessimistically with a 20x activity factor by OverheadModel).
+ */
+
+#ifndef IRAW_CIRCUIT_ENERGY_HH
+#define IRAW_CIRCUIT_ENERGY_HH
+
+#include <cstdint>
+
+#include "circuit/voltage.hh"
+
+namespace iraw {
+namespace circuit {
+
+/** Energy accounting for one simulated task at one operating point. */
+struct EnergyBreakdown
+{
+    double dynamic = 0.0; //!< switching energy (a.u.)
+    double leakage = 0.0; //!< static energy (a.u.)
+    double total() const { return dynamic + leakage; }
+};
+
+/** Calibrated dynamic/leakage energy model. */
+class EnergyModel
+{
+  public:
+    struct Params
+    {
+        MilliVolts refVcc = 600.0;      //!< calibration voltage
+        double leakFractionAtRef = 0.10; //!< leakage share at refVcc
+        double leakGrowthPer25mV = 1.10; //!< leak power x1.1 per -25 mV
+        /** Dynamic energy per instruction at refVcc (a.u.). */
+        double dynPerInstAtRef = 1.0;
+    };
+
+    /**
+     * @param refTimePerInst execution time per instruction (a.u.) of
+     *        the calibration run: the baseline machine at refVcc.
+     *        Fixes the absolute leakage power so that leakage is
+     *        leakFractionAtRef of total energy at the reference point.
+     */
+    explicit EnergyModel(double refTimePerInst)
+        : EnergyModel(refTimePerInst, Params{})
+    {}
+    EnergyModel(double refTimePerInst, const Params &p);
+
+    /** Dynamic energy per instruction at @p vcc (a.u.). */
+    double dynamicEnergyPerInst(MilliVolts vcc) const;
+
+    /** Leakage power (a.u. energy per a.u. time) at @p vcc. */
+    double leakagePower(MilliVolts vcc) const;
+
+    /**
+     * Energy to run @p instructions in @p execTime at @p vcc.
+     * @param dynOverheadFraction extra dynamic energy fraction from
+     *        always-on auxiliary hardware (IRAW's latches); 0 for the
+     *        baseline machine.
+     */
+    EnergyBreakdown taskEnergy(MilliVolts vcc, uint64_t instructions,
+                               double execTime,
+                               double dynOverheadFraction = 0.0) const;
+
+    /** Energy-delay product. */
+    static double
+    edp(const EnergyBreakdown &e, double execTime)
+    {
+        return e.total() * execTime;
+    }
+
+    const Params &params() const { return _params; }
+
+  private:
+    Params _params;
+    double _leakPowerAtRef = 0.0;
+};
+
+} // namespace circuit
+} // namespace iraw
+
+#endif // IRAW_CIRCUIT_ENERGY_HH

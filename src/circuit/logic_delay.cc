@@ -1,0 +1,45 @@
+#include "circuit/logic_delay.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace iraw {
+namespace circuit {
+
+LogicDelayModel::LogicDelayModel(const Params &p)
+    : _params(p)
+{
+    fatalIf(p.alpha < 1.0 || p.alpha > 2.0,
+            "LogicDelayModel: alpha %.2f outside [1, 2]", p.alpha);
+    fatalIf(p.vth <= 0.0 || p.vth >= kMinVcc,
+            "LogicDelayModel: Vth %.0f mV must be in (0, %.0f)",
+            p.vth, kMinVcc);
+    fatalIf(p.fo4PerPhase <= 0.0,
+            "LogicDelayModel: fo4PerPhase must be positive");
+    _norm = raw(kMaxVcc);
+}
+
+double
+LogicDelayModel::raw(MilliVolts vcc) const
+{
+    panicIf(vcc <= _params.vth,
+            "LogicDelayModel: Vcc %.0f mV at or below Vth %.0f mV",
+            vcc, _params.vth);
+    return vcc / std::pow(vcc - _params.vth, _params.alpha);
+}
+
+double
+LogicDelayModel::fo4Delay(MilliVolts vcc) const
+{
+    return raw(vcc) / _norm / _params.fo4PerPhase;
+}
+
+double
+LogicDelayModel::phaseDelay(MilliVolts vcc) const
+{
+    return raw(vcc) / _norm;
+}
+
+} // namespace circuit
+} // namespace iraw

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Logic (combinational) delay versus Vcc.
+ *
+ * A clock phase is modelled as a chain of 12 FO4 inverters (the paper's
+ * Figure 1 reference line) whose delay follows the alpha-power law
+ *
+ *     d(V)  proportional to  V / (V - Vth)^alpha
+ *
+ * normalized so the 12-FO4 phase delay at 700 mV equals 1.0 "arbitrary
+ * units" -- exactly the normalization of the paper's Figure 1.  The
+ * full cycle is two phases (24 FO4, Figure 11's normalization).
+ */
+
+#ifndef IRAW_CIRCUIT_LOGIC_DELAY_HH
+#define IRAW_CIRCUIT_LOGIC_DELAY_HH
+
+#include "circuit/voltage.hh"
+
+namespace iraw {
+namespace circuit {
+
+/** Alpha-power-law delay model for FO4 inverter chains. */
+class LogicDelayModel
+{
+  public:
+    /** Parameters for 45 nm with scaled Vth per Hanson et al. [8]. */
+    struct Params
+    {
+        double alpha = 1.5;        //!< velocity-saturation exponent
+        MilliVolts vth = 220.0;    //!< threshold voltage (mV)
+        double fo4PerPhase = 12.0; //!< FO4 depth of one clock phase
+    };
+
+    LogicDelayModel() : LogicDelayModel(Params{}) {}
+    explicit LogicDelayModel(const Params &p);
+
+    /** Delay of a single FO4 inverter, in phase-normalized a.u. */
+    double fo4Delay(MilliVolts vcc) const;
+
+    /** Delay of one clock phase (12 FO4); 1.0 at 700 mV. */
+    double phaseDelay(MilliVolts vcc) const;
+
+    /** Delay of a full logic-limited cycle (two phases / 24 FO4). */
+    double cycleDelay(MilliVolts vcc) const
+    {
+        return 2.0 * phaseDelay(vcc);
+    }
+
+    /** Delay of an arbitrary @p depth -FO4 chain. */
+    double chainDelay(MilliVolts vcc, double depth) const
+    {
+        return depth * fo4Delay(vcc);
+    }
+
+    const Params &params() const { return _params; }
+
+  private:
+    /** Raw (unnormalized) alpha-power delay. */
+    double raw(MilliVolts vcc) const;
+
+    Params _params;
+    double _norm = 1.0; //!< raw(700 mV), the normalization constant
+};
+
+} // namespace circuit
+} // namespace iraw
+
+#endif // IRAW_CIRCUIT_LOGIC_DELAY_HH

@@ -1,0 +1,67 @@
+#include "circuit/overhead.hh"
+
+#include "common/logging.hh"
+
+namespace iraw {
+namespace circuit {
+
+OverheadModel::OverheadModel(CoreInventory inventory, const Params &p)
+    : _inventory(inventory), _params(p)
+{
+    fatalIf(inventory.totalBitEquivalents() == 0,
+            "OverheadModel: empty core inventory");
+    fatalIf(p.activityFactor <= 0.0,
+            "OverheadModel: activity factor must be > 0");
+}
+
+void
+OverheadModel::add(const OverheadItem &item)
+{
+    _items.push_back(item);
+}
+
+uint64_t
+OverheadModel::totalLatchBits() const
+{
+    uint64_t total = 0;
+    for (const auto &item : _items)
+        total += item.latchBits;
+    return total;
+}
+
+uint64_t
+OverheadModel::totalGateEquivalents() const
+{
+    uint64_t total = 0;
+    for (const auto &item : _items)
+        total += item.gateEquivalents;
+    return total;
+}
+
+double
+OverheadModel::areaFraction() const
+{
+    double extra =
+        static_cast<double>(totalLatchBits()) *
+            _params.latchAreaPerSramBit +
+        static_cast<double>(totalGateEquivalents()) *
+            _params.gateAreaPerSramBit;
+    return extra /
+           static_cast<double>(_inventory.totalBitEquivalents());
+}
+
+double
+OverheadModel::powerFraction() const
+{
+    // Pessimistic accounting per the paper: each extra bit/gate is
+    // charged activityFactor times the average per-bit dynamic power
+    // of the core.
+    double extra = _params.activityFactor *
+                   static_cast<double>(totalLatchBits() +
+                                       totalGateEquivalents());
+    return extra /
+           static_cast<double>(_inventory.totalBitEquivalents());
+}
+
+} // namespace circuit
+} // namespace iraw

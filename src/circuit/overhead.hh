@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Area and power overhead accounting for the IRAW-avoidance hardware
+ * (paper Sec. 5.1/5.3): extra scoreboard bits, the STable latches,
+ * port-stall counters and the IQ occupancy comparator, all built from
+ * latch-size bits and charged a pessimistic 20x activity factor.
+ */
+
+#ifndef IRAW_CIRCUIT_OVERHEAD_HH
+#define IRAW_CIRCUIT_OVERHEAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iraw {
+namespace circuit {
+
+/** One contributor to the IRAW hardware overhead. */
+struct OverheadItem
+{
+    std::string name;
+    uint64_t latchBits = 0; //!< storage bits implemented as latches
+    uint64_t gateEquivalents = 0; //!< random logic, in NAND2 equivalents
+};
+
+/** Inventory of the baseline core the overhead is measured against. */
+struct CoreInventory
+{
+    /** Total SRAM storage bits (caches + TLBs + RF + IQ + BP + ...). */
+    uint64_t sramBits = 0;
+    /** Random-logic area expressed in SRAM-bit equivalents. */
+    uint64_t logicBitEquivalents = 0;
+
+    uint64_t totalBitEquivalents() const
+    {
+        return sramBits + logicBitEquivalents;
+    }
+};
+
+/** Computes relative area and power overheads of the IRAW hardware. */
+class OverheadModel
+{
+  public:
+    struct Params
+    {
+        /** Area of one latch bit relative to one SRAM bit [16, 23]. */
+        double latchAreaPerSramBit = 2.0;
+        /** Area of one NAND2 gate relative to one SRAM bit. */
+        double gateAreaPerSramBit = 1.5;
+        /** Pessimistic activity multiplier for the extra hardware. */
+        double activityFactor = 20.0;
+    };
+
+    explicit OverheadModel(CoreInventory inventory)
+        : OverheadModel(inventory, Params{})
+    {}
+    OverheadModel(CoreInventory inventory, const Params &p);
+
+    /** Register one overhead contributor. */
+    void add(const OverheadItem &item);
+
+    /** Extra area as a fraction of total core area. */
+    double areaFraction() const;
+
+    /** Extra dynamic power as a fraction of core dynamic power. */
+    double powerFraction() const;
+
+    uint64_t totalLatchBits() const;
+    uint64_t totalGateEquivalents() const;
+    const std::vector<OverheadItem> &items() const { return _items; }
+    const CoreInventory &inventory() const { return _inventory; }
+
+  private:
+    CoreInventory _inventory;
+    Params _params;
+    std::vector<OverheadItem> _items;
+};
+
+} // namespace circuit
+} // namespace iraw
+
+#endif // IRAW_CIRCUIT_OVERHEAD_HH

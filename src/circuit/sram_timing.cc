@@ -1,0 +1,56 @@
+#include "circuit/sram_timing.hh"
+
+#include <cmath>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace iraw {
+namespace circuit {
+
+SramTimingModel::SramTimingModel(const LogicDelayModel &logic,
+                                 const BitcellModel &bitcell,
+                                 const SramGeometry &geom)
+    : _logic(logic), _bitcell(bitcell), _geom(geom)
+{
+    fatalIf(geom.entries == 0 || geom.bitsPerEntry == 0,
+            "SramTimingModel %s: empty geometry", geom.name.c_str());
+    fatalIf(geom.bitsPerWordline == 0 ||
+                geom.bitsPerWordline > geom.bitsPerEntry,
+            "SramTimingModel %s: bad wordline partition",
+            geom.name.c_str());
+
+    // The reference array (1,024 x 32, 8-bit wordline segments) pays
+    // 3 FO4 of wordline driver delay; wider segments pay log2-more
+    // (heavier RC load per driver stage).
+    double widthFactor =
+        std::log2(static_cast<double>(geom.bitsPerWordline)) / 3.0;
+    _wlFo4 = 3.0 * std::max(0.5, widthFactor);
+}
+
+double
+SramTimingModel::wordlineDelay(MilliVolts vcc) const
+{
+    return _logic.chainDelay(vcc, _wlFo4);
+}
+
+double
+SramTimingModel::writePathDelay(MilliVolts vcc) const
+{
+    return wordlineDelay(vcc) + _bitcell.writeDelay(vcc);
+}
+
+double
+SramTimingModel::interruptedWritePathDelay(MilliVolts vcc) const
+{
+    return wordlineDelay(vcc) + _bitcell.interruptedWriteDelay(vcc);
+}
+
+double
+SramTimingModel::readPathDelay(MilliVolts vcc) const
+{
+    return wordlineDelay(vcc) + _bitcell.readDelay(vcc);
+}
+
+} // namespace circuit
+} // namespace iraw

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * SRAM array timing: wordline activation plus bitcell access, for an
+ * array geometry like the paper's reference experiment (1,024 entries,
+ * 32 bits/entry, wordlines partitioned into 8-bit groups).
+ */
+
+#ifndef IRAW_CIRCUIT_SRAM_TIMING_HH
+#define IRAW_CIRCUIT_SRAM_TIMING_HH
+
+#include <cstdint>
+#include <string>
+
+#include "circuit/bitcell.hh"
+#include "circuit/logic_delay.hh"
+#include "circuit/voltage.hh"
+
+namespace iraw {
+namespace circuit {
+
+/** Physical organization of one SRAM array. */
+struct SramGeometry
+{
+    std::string name = "array";
+    uint32_t entries = 1024;      //!< number of addressable rows
+    uint32_t bitsPerEntry = 32;   //!< data bits per row
+    uint32_t bitsPerWordline = 8; //!< wordline segment width
+    uint32_t readPorts = 1;
+    uint32_t writePorts = 1;
+
+    /** Total storage bits in this array. */
+    uint64_t totalBits() const
+    {
+        return static_cast<uint64_t>(entries) * bitsPerEntry;
+    }
+};
+
+/**
+ * Timing model for an SRAM array built from 8-T bitcells.
+ *
+ * Wordline activation delay scales with logic delay (it is a buffered
+ * RC wire) and grows weakly with the wordline segment width; the
+ * paper's reference array (8-bit segments) pays ~3 FO4.
+ */
+class SramTimingModel
+{
+  public:
+    SramTimingModel(const LogicDelayModel &logic,
+                    const BitcellModel &bitcell,
+                    const SramGeometry &geom = SramGeometry{});
+
+    /** Wordline activation delay (a.u.). */
+    double wordlineDelay(MilliVolts vcc) const;
+
+    /** Full write path: wordline activation + complete bitcell write. */
+    double writePathDelay(MilliVolts vcc) const;
+
+    /**
+     * Interrupted write path (IRAW operation): wordline activation +
+     * the kappa fraction of the bitcell write.
+     */
+    double interruptedWritePathDelay(MilliVolts vcc) const;
+
+    /** Read path: wordline activation + bitline development. */
+    double readPathDelay(MilliVolts vcc) const;
+
+    /** Stabilization time after an interrupted write (a.u.). */
+    double stabilizationDelay(MilliVolts vcc) const
+    {
+        return _bitcell.stabilizationDelay(vcc);
+    }
+
+    const SramGeometry &geometry() const { return _geom; }
+
+  private:
+    const LogicDelayModel &_logic;
+    const BitcellModel &_bitcell;
+    SramGeometry _geom;
+    double _wlFo4 = 3.0; //!< wordline driver depth in FO4 equivalents
+};
+
+} // namespace circuit
+} // namespace iraw
+
+#endif // IRAW_CIRCUIT_SRAM_TIMING_HH

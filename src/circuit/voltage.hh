@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Supply-voltage domain types and the paper's standard Vcc sweep.
+ *
+ * All circuit models in this library are parameterized by Vcc in
+ * millivolts over the paper's evaluation range [400 mV, 700 mV].
+ */
+
+#ifndef IRAW_CIRCUIT_VOLTAGE_HH
+#define IRAW_CIRCUIT_VOLTAGE_HH
+
+#include <vector>
+
+namespace iraw {
+namespace circuit {
+
+/** Supply voltage in millivolts. */
+using MilliVolts = double;
+
+/** Lowest Vcc the calibrated models cover. */
+constexpr MilliVolts kMinVcc = 400.0;
+/** Highest Vcc the calibrated models cover (nominal). */
+constexpr MilliVolts kMaxVcc = 700.0;
+/** Grid step used by the paper's figures. */
+constexpr MilliVolts kVccStep = 25.0;
+
+/**
+ * The paper's standard sweep: 700, 675, ..., 400 mV (descending, the
+ * order every figure uses on its x axis).
+ */
+inline std::vector<MilliVolts>
+standardSweep()
+{
+    std::vector<MilliVolts> sweep;
+    for (MilliVolts v = kMaxVcc; v >= kMinVcc - 0.5; v -= kVccStep)
+        sweep.push_back(v);
+    return sweep;
+}
+
+/** True iff @p vcc lies inside the calibrated model range. */
+inline bool
+inModelRange(MilliVolts vcc)
+{
+    return vcc >= kMinVcc && vcc <= kMaxVcc;
+}
+
+} // namespace circuit
+} // namespace iraw
+
+#endif // IRAW_CIRCUIT_VOLTAGE_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the memory and core models.
+ */
+
+#ifndef IRAW_COMMON_BITUTILS_HH
+#define IRAW_COMMON_BITUTILS_HH
+
+#include <cstdint>
+
+namespace iraw {
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); v must be non-zero. */
+constexpr unsigned
+floorLog2(uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/** ceil(log2(v)); v must be non-zero. */
+constexpr unsigned
+ceilLog2(uint64_t v)
+{
+    return isPowerOf2(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** Extract bits [first, last] (inclusive, last >= first) of @p v. */
+constexpr uint64_t
+bits(uint64_t v, unsigned last, unsigned first)
+{
+    uint64_t width = last - first + 1;
+    uint64_t mask =
+        width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+    return (v >> first) & mask;
+}
+
+/** Round @p v down to a multiple of @p align (power of two). */
+constexpr uint64_t
+alignDown(uint64_t v, uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Round @p v up to a multiple of @p align (power of two). */
+constexpr uint64_t
+alignUp(uint64_t v, uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Integer division rounding up; b must be positive. */
+constexpr uint64_t
+divCeil(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace iraw
+
+#endif // IRAW_COMMON_BITUTILS_HH

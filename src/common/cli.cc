@@ -1,0 +1,99 @@
+#include "common/cli.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace iraw {
+
+OptionMap
+OptionMap::parse(int argc, const char *const *argv)
+{
+    OptionMap opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto eq = arg.find('=');
+        if (eq == std::string::npos) {
+            opts._values[arg] = "1";
+        } else {
+            std::string key = arg.substr(0, eq);
+            fatalIf(key.empty(), "empty option key in '%s'", arg.c_str());
+            opts._values[key] = arg.substr(eq + 1);
+        }
+    }
+    return opts;
+}
+
+bool
+OptionMap::has(const std::string &key) const
+{
+    _queried[key] = true;
+    return _values.count(key) > 0;
+}
+
+std::string
+OptionMap::getString(const std::string &key, const std::string &def) const
+{
+    _queried[key] = true;
+    auto it = _values.find(key);
+    return it == _values.end() ? def : it->second;
+}
+
+int64_t
+OptionMap::getInt(const std::string &key, int64_t def) const
+{
+    _queried[key] = true;
+    auto it = _values.find(key);
+    if (it == _values.end())
+        return def;
+    char *end = nullptr;
+    int64_t v = std::strtoll(it->second.c_str(), &end, 0);
+    fatalIf(end == it->second.c_str() || *end != '\0',
+            "option %s: '%s' is not an integer", key.c_str(),
+            it->second.c_str());
+    return v;
+}
+
+double
+OptionMap::getDouble(const std::string &key, double def) const
+{
+    _queried[key] = true;
+    auto it = _values.find(key);
+    if (it == _values.end())
+        return def;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    fatalIf(end == it->second.c_str() || *end != '\0',
+            "option %s: '%s' is not a number", key.c_str(),
+            it->second.c_str());
+    return v;
+}
+
+bool
+OptionMap::getBool(const std::string &key, bool def) const
+{
+    _queried[key] = true;
+    auto it = _values.find(key);
+    if (it == _values.end())
+        return def;
+    const std::string &v = it->second;
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    fatal("option %s: '%s' is not a boolean", key.c_str(), v.c_str());
+}
+
+std::vector<std::string>
+OptionMap::unusedKeys() const
+{
+    std::vector<std::string> unused;
+    for (const auto &[key, value] : _values) {
+        (void)value;
+        if (!_queried.count(key))
+            unused.push_back(key);
+    }
+    return unused;
+}
+
+} // namespace iraw

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Tiny key=value command-line option parser used by the examples and
+ * benchmark harness binaries (e.g. `quickstart vcc=500 insts=200000`).
+ */
+
+#ifndef IRAW_COMMON_CLI_HH
+#define IRAW_COMMON_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace iraw {
+
+/** Parsed key=value arguments with typed, defaulted accessors. */
+class OptionMap
+{
+  public:
+    OptionMap() = default;
+
+    /**
+     * Parse argv-style arguments.  Each argument must be "key=value";
+     * a bare "key" is treated as "key=1" (boolean flag).
+     */
+    static OptionMap parse(int argc, const char *const *argv);
+
+    bool has(const std::string &key) const;
+
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+    int64_t getInt(const std::string &key, int64_t def) const;
+    double getDouble(const std::string &key, double def) const;
+    bool getBool(const std::string &key, bool def) const;
+
+    /** Keys that were provided but never queried; for typo detection. */
+    std::vector<std::string> unusedKeys() const;
+
+  private:
+    std::map<std::string, std::string> _values;
+    mutable std::map<std::string, bool> _queried;
+};
+
+} // namespace iraw
+
+#endif // IRAW_COMMON_CLI_HH

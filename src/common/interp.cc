@@ -1,0 +1,116 @@
+#include "common/interp.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace iraw {
+
+MonotoneCubic::MonotoneCubic(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys))
+{
+    fatalIf(xs_.size() != ys_.size(),
+            "MonotoneCubic: %zu abscissae but %zu ordinates",
+            xs_.size(), ys_.size());
+    fatalIf(xs_.size() < 2, "MonotoneCubic: need at least 2 points");
+    for (size_t i = 1; i < xs_.size(); ++i) {
+        fatalIf(xs_[i] <= xs_[i - 1],
+                "MonotoneCubic: abscissae must be strictly increasing");
+    }
+
+    const size_t n = xs_.size();
+    std::vector<double> d(n - 1); // secant slopes
+    for (size_t i = 0; i + 1 < n; ++i)
+        d[i] = (ys_[i + 1] - ys_[i]) / (xs_[i + 1] - xs_[i]);
+
+    slopes_.assign(n, 0.0);
+    slopes_[0] = d[0];
+    slopes_[n - 1] = d[n - 2];
+    for (size_t i = 1; i + 1 < n; ++i) {
+        if (d[i - 1] * d[i] <= 0.0) {
+            slopes_[i] = 0.0; // local extremum: flat tangent
+        } else {
+            // Harmonic-mean style average keeps the interpolant
+            // monotone (Fritsch-Carlson condition).
+            double w1 = 2.0 * (xs_[i + 1] - xs_[i]) +
+                        (xs_[i] - xs_[i - 1]);
+            double w2 = (xs_[i + 1] - xs_[i]) +
+                        2.0 * (xs_[i] - xs_[i - 1]);
+            slopes_[i] = (w1 + w2) / (w1 / d[i - 1] + w2 / d[i]);
+        }
+    }
+
+    // Clamp boundary tangents (Fritsch-Carlson limiter).
+    for (size_t i = 0; i + 1 < n; ++i) {
+        if (d[i] == 0.0) {
+            slopes_[i] = 0.0;
+            slopes_[i + 1] = 0.0;
+            continue;
+        }
+        double a = slopes_[i] / d[i];
+        double b = slopes_[i + 1] / d[i];
+        double s = a * a + b * b;
+        if (s > 9.0) {
+            double t = 3.0 / std::sqrt(s);
+            slopes_[i] = t * a * d[i];
+            slopes_[i + 1] = t * b * d[i];
+        }
+    }
+}
+
+size_t
+MonotoneCubic::findInterval(double x) const
+{
+    // Index i such that xs_[i] <= x < xs_[i+1] (clamped to valid range).
+    auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+    if (it == xs_.begin())
+        return 0;
+    size_t i = static_cast<size_t>(it - xs_.begin()) - 1;
+    return std::min(i, xs_.size() - 2);
+}
+
+double
+MonotoneCubic::eval(double x) const
+{
+    panicIf(!valid(), "MonotoneCubic::eval() on empty interpolant");
+    if (x <= xs_.front())
+        return ys_.front() + slopes_.front() * (x - xs_.front());
+    if (x >= xs_.back())
+        return ys_.back() + slopes_.back() * (x - xs_.back());
+
+    size_t i = findInterval(x);
+    double h = xs_[i + 1] - xs_[i];
+    double t = (x - xs_[i]) / h;
+    double t2 = t * t;
+    double t3 = t2 * t;
+    double h00 = 2 * t3 - 3 * t2 + 1;
+    double h10 = t3 - 2 * t2 + t;
+    double h01 = -2 * t3 + 3 * t2;
+    double h11 = t3 - t2;
+    return h00 * ys_[i] + h10 * h * slopes_[i] +
+           h01 * ys_[i + 1] + h11 * h * slopes_[i + 1];
+}
+
+double
+MonotoneCubic::derivative(double x) const
+{
+    panicIf(!valid(), "MonotoneCubic::derivative() on empty interpolant");
+    if (x <= xs_.front())
+        return slopes_.front();
+    if (x >= xs_.back())
+        return slopes_.back();
+
+    size_t i = findInterval(x);
+    double h = xs_[i + 1] - xs_[i];
+    double t = (x - xs_[i]) / h;
+    double t2 = t * t;
+    double dh00 = (6 * t2 - 6 * t) / h;
+    double dh10 = 3 * t2 - 4 * t + 1;
+    double dh01 = (-6 * t2 + 6 * t) / h;
+    double dh11 = 3 * t2 - 2 * t;
+    return dh00 * ys_[i] + dh10 * slopes_[i] +
+           dh01 * ys_[i + 1] + dh11 * slopes_[i + 1];
+}
+
+} // namespace iraw

@@ -1,0 +1,17 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+
+namespace iraw {
+namespace detail {
+
+void
+emitMessage(const char *prefix, const std::string &msg)
+{
+    std::fputs(prefix, stderr);
+    std::fputs(msg.c_str(), stderr);
+    std::fputc('\n', stderr);
+}
+
+} // namespace detail
+} // namespace iraw

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the spirit of gem5's
+ * base/logging.hh.
+ *
+ * panic()  -- an internal invariant was violated (a bug in this library);
+ *             aborts so a debugger/core dump can capture the state.
+ * fatal()  -- the simulation cannot continue because of a user error
+ *             (bad configuration, malformed trace, ...); exits cleanly.
+ * warn()   -- something is modelled approximately; execution continues.
+ * inform() -- plain status output.
+ */
+
+#ifndef IRAW_COMMON_LOGGING_HH
+#define IRAW_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace iraw {
+
+/** Exception thrown by fatal() so callers and tests can intercept it. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Exception thrown by panic(); indicates a library bug. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+namespace detail {
+
+void emitMessage(const char *prefix, const std::string &msg);
+
+template <typename... Args>
+std::string
+formatMessage(const char *fmt, Args &&...args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        return std::string(fmt);
+    } else {
+        int len = std::snprintf(nullptr, 0, fmt, args...);
+        if (len < 0)
+            return std::string(fmt);
+        std::string out(static_cast<size_t>(len) + 1, '\0');
+        std::snprintf(out.data(), out.size(), fmt, args...);
+        out.resize(static_cast<size_t>(len));
+        return out;
+    }
+}
+
+} // namespace detail
+
+/** Report an internal invariant violation and throw PanicError. */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args &&...args)
+{
+    std::string msg =
+        detail::formatMessage(fmt, std::forward<Args>(args)...);
+    detail::emitMessage("panic: ", msg);
+    throw PanicError(msg);
+}
+
+/** Report an unrecoverable user error and throw FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args &&...args)
+{
+    std::string msg =
+        detail::formatMessage(fmt, std::forward<Args>(args)...);
+    detail::emitMessage("fatal: ", msg);
+    throw FatalError(msg);
+}
+
+/** Report a non-fatal modelling concern. */
+template <typename... Args>
+void
+warn(const char *fmt, Args &&...args)
+{
+    detail::emitMessage(
+        "warn: ", detail::formatMessage(fmt, std::forward<Args>(args)...));
+}
+
+/** Report plain status. */
+template <typename... Args>
+void
+inform(const char *fmt, Args &&...args)
+{
+    detail::emitMessage(
+        "info: ", detail::formatMessage(fmt, std::forward<Args>(args)...));
+}
+
+/**
+ * panic_if(cond, ...) triggers panic() when the condition holds.
+ * Spelled as a function (not a macro) per the style guide's preference
+ * for inline functions over preprocessor magic.
+ */
+template <typename... Args>
+void
+panicIf(bool cond, const char *fmt, Args &&...args)
+{
+    if (cond)
+        panic(fmt, std::forward<Args>(args)...);
+}
+
+template <typename... Args>
+void
+fatalIf(bool cond, const char *fmt, Args &&...args)
+{
+    if (cond)
+        fatal(fmt, std::forward<Args>(args)...);
+}
+
+} // namespace iraw
+
+#endif // IRAW_COMMON_LOGGING_HH

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for synthetic workloads.
+ *
+ * The trace generator must be bit-reproducible across platforms and
+ * standard-library versions, so we carry our own PCG32 implementation
+ * (O'Neill, PCG family, pcg32_oneseq) plus the distributions the
+ * workload models need. std::mt19937 with std:: distributions is not
+ * reproducible across libstdc++/libc++, hence this module.
+ */
+
+#ifndef IRAW_COMMON_RNG_HH
+#define IRAW_COMMON_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace iraw {
+
+/** Minimal PCG32 engine (pcg_oneseq_64_xsh_rr_32). */
+class Pcg32
+{
+  public:
+    using result_type = uint32_t;
+
+    explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL,
+                   uint64_t stream = 0xda3e39cb94b95bdbULL)
+    {
+        reseed(seed, stream);
+    }
+
+    /** Re-initialize the engine; identical (seed, stream) pairs yield
+     *  identical sequences. */
+    void
+    reseed(uint64_t seed, uint64_t stream = 0xda3e39cb94b95bdbULL)
+    {
+        _state = 0;
+        _inc = (stream << 1) | 1u;
+        next();
+        _state += seed;
+        next();
+    }
+
+    /** Next raw 32-bit value. */
+    uint32_t
+    next()
+    {
+        uint64_t old = _state;
+        _state = old * 6364136223846793005ULL + _inc;
+        auto xorshifted =
+            static_cast<uint32_t>(((old >> 18) ^ old) >> 27);
+        auto rot = static_cast<uint32_t>(old >> 59);
+        return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+    }
+
+    static constexpr uint32_t min() { return 0; }
+    static constexpr uint32_t max() { return 0xffffffffu; }
+
+    /** Unbiased integer in [0, bound) via Lemire-style rejection. */
+    uint32_t
+    below(uint32_t bound)
+    {
+        panicIf(bound == 0, "Pcg32::below() requires bound > 0");
+        // Classic PCG bounded trick: reject the low remainder zone.
+        uint32_t threshold = (-bound) % bound;
+        for (;;) {
+            uint32_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Integer in the inclusive range [lo, hi]. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        panicIf(hi < lo, "Pcg32::range() requires lo <= hi");
+        uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+        if (span == 0) // full 64-bit span is not needed here
+            panic("Pcg32::range() span overflow");
+        if (span <= 0xffffffffull)
+            return lo + below(static_cast<uint32_t>(span));
+        // Compose two draws for wide spans.
+        uint64_t r = (static_cast<uint64_t>(next()) << 32) | next();
+        return lo + static_cast<int64_t>(r % span);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return next() * (1.0 / 4294967296.0);
+    }
+
+    /** Bernoulli draw. */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniform() < p;
+    }
+
+    /**
+     * Geometric draw: number of failures before the first success,
+     * success probability p.  Mean is (1-p)/p.
+     */
+    uint32_t
+    geometric(double p)
+    {
+        panicIf(p <= 0.0 || p > 1.0,
+                "Pcg32::geometric() requires p in (0, 1]");
+        uint32_t k = 0;
+        while (!chance(p) && k < 100000)
+            ++k;
+        return k;
+    }
+
+    uint64_t state() const { return _state; }
+
+  private:
+    uint64_t _state = 0;
+    uint64_t _inc = 0;
+};
+
+/**
+ * Sampler for a fixed discrete distribution given by non-negative
+ * weights.  Used for instruction-mix draws.
+ */
+class DiscreteSampler
+{
+  public:
+    DiscreteSampler() = default;
+
+    explicit DiscreteSampler(const std::vector<double> &weights)
+    {
+        reset(weights);
+    }
+
+    /** Replace the weight table; weights need not be normalized. */
+    void
+    reset(const std::vector<double> &weights)
+    {
+        fatalIf(weights.empty(), "DiscreteSampler needs >= 1 weight");
+        _cdf.clear();
+        double total = 0.0;
+        for (double w : weights) {
+            fatalIf(w < 0.0, "DiscreteSampler weights must be >= 0");
+            total += w;
+            _cdf.push_back(total);
+        }
+        fatalIf(total <= 0.0, "DiscreteSampler weights sum to zero");
+        for (double &c : _cdf)
+            c /= total;
+        _cdf.back() = 1.0; // guard against rounding
+    }
+
+    /** Draw an index according to the weights. */
+    size_t
+    sample(Pcg32 &rng) const
+    {
+        double u = rng.uniform();
+        size_t lo = 0, hi = _cdf.size() - 1;
+        while (lo < hi) {
+            size_t mid = (lo + hi) / 2;
+            if (_cdf[mid] <= u)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
+
+    size_t size() const { return _cdf.size(); }
+
+  private:
+    std::vector<double> _cdf;
+};
+
+} // namespace iraw
+
+#endif // IRAW_COMMON_RNG_HH

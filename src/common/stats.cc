@@ -1,0 +1,134 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace iraw {
+namespace stats {
+
+Histogram::Histogram(std::string name, int64_t min, int64_t max,
+                     int64_t bucketSize)
+    : _name(std::move(name)), _min(min), _bucketSize(bucketSize)
+{
+    fatalIf(max < min, "Histogram %s: max < min", _name.c_str());
+    fatalIf(bucketSize <= 0, "Histogram %s: bucketSize <= 0",
+            _name.c_str());
+    size_t n =
+        static_cast<size_t>((max - min) / bucketSize) + 1;
+    _buckets.assign(n, 0);
+}
+
+void
+Histogram::sample(int64_t v, uint64_t weight)
+{
+    _count += weight;
+    _sum += static_cast<double>(v) * weight;
+    if (v < _min) {
+        _underflow += weight;
+        return;
+    }
+    size_t idx = static_cast<size_t>((v - _min) / _bucketSize);
+    if (idx >= _buckets.size()) {
+        _overflow += weight;
+        return;
+    }
+    _buckets[idx] += weight;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : _buckets)
+        b = 0;
+    _underflow = 0;
+    _overflow = 0;
+    _count = 0;
+    _sum = 0.0;
+}
+
+double
+Histogram::cdfAt(int64_t v) const
+{
+    if (_count == 0)
+        return 0.0;
+    uint64_t acc = _underflow;
+    for (size_t i = 0; i < _buckets.size(); ++i) {
+        if (bucketLow(i) > v)
+            break;
+        // A bucket counts if its entire range lies at or below v.
+        if (bucketLow(i) + _bucketSize - 1 <= v)
+            acc += _buckets[i];
+    }
+    return static_cast<double>(acc) / static_cast<double>(_count);
+}
+
+Scalar &
+Group::addScalar(const std::string &name, const std::string &desc)
+{
+    _scalars.push_back(std::make_unique<Scalar>(name, desc));
+    return *_scalars.back();
+}
+
+Average &
+Group::addAverage(const std::string &name, const std::string &desc)
+{
+    _averages.push_back(std::make_unique<Average>(name, desc));
+    return *_averages.back();
+}
+
+Histogram &
+Group::addHistogram(const std::string &name, int64_t min, int64_t max,
+                    int64_t bucketSize)
+{
+    _histograms.push_back(
+        std::make_unique<Histogram>(name, min, max, bucketSize));
+    return *_histograms.back();
+}
+
+void
+Group::addFormula(const std::string &name, std::function<double()> fn,
+                  const std::string &desc)
+{
+    _formulas.push_back(
+        std::make_unique<Formula>(name, std::move(fn), desc));
+}
+
+void
+Group::resetAll()
+{
+    for (auto &s : _scalars)
+        s->reset();
+    for (auto &a : _averages)
+        a->reset();
+    for (auto &h : _histograms)
+        h->reset();
+}
+
+void
+Group::dump(std::ostream &os) const
+{
+    auto emit = [&](const std::string &stat, double value,
+                    const std::string &desc) {
+        os << _name << '.' << std::left << std::setw(36) << stat
+           << ' ' << std::right << std::setw(16) << value;
+        if (!desc.empty())
+            os << "  # " << desc;
+        os << '\n';
+    };
+
+    for (const auto &s : _scalars)
+        emit(s->name(), static_cast<double>(s->value()), s->desc());
+    for (const auto &a : _averages)
+        emit(a->name() + ".mean", a->mean(), "");
+    for (const auto &h : _histograms) {
+        emit(h->name() + ".samples",
+             static_cast<double>(h->count()), "");
+        emit(h->name() + ".mean", h->mean(), "");
+    }
+    for (const auto &f : _formulas)
+        emit(f->name(), f->value(), f->desc());
+}
+
+} // namespace stats
+} // namespace iraw

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's Stats:
+ * named scalar counters, averages, histograms and derived formulas,
+ * grouped per simulated object and dumpable as text.
+ */
+
+#ifndef IRAW_COMMON_STATS_HH
+#define IRAW_COMMON_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace iraw {
+namespace stats {
+
+/** A named 64-bit event counter. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+    explicit Scalar(std::string name, std::string desc = "")
+        : _name(std::move(name)), _desc(std::move(desc))
+    {}
+
+    Scalar &operator++() { ++_value; return *this; }
+    Scalar &operator+=(uint64_t v) { _value += v; return *this; }
+    void set(uint64_t v) { _value = v; }
+    void reset() { _value = 0; }
+
+    uint64_t value() const { return _value; }
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+  private:
+    std::string _name;
+    std::string _desc;
+    uint64_t _value = 0;
+};
+
+/** A running mean over double-valued samples. */
+class Average
+{
+  public:
+    Average() = default;
+    explicit Average(std::string name, std::string desc = "")
+        : _name(std::move(name)), _desc(std::move(desc))
+    {}
+
+    void
+    sample(double v)
+    {
+        _sum += v;
+        ++_count;
+        if (_count == 1 || v < _min)
+            _min = v;
+        if (_count == 1 || v > _max)
+            _max = v;
+    }
+
+    void
+    reset()
+    {
+        _sum = 0.0;
+        _count = 0;
+        _min = 0.0;
+        _max = 0.0;
+    }
+
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double sum() const { return _sum; }
+    uint64_t count() const { return _count; }
+    double minValue() const { return _min; }
+    double maxValue() const { return _max; }
+    const std::string &name() const { return _name; }
+
+  private:
+    std::string _name;
+    std::string _desc;
+    double _sum = 0.0;
+    uint64_t _count = 0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/** A fixed-bucket histogram over integer samples. */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    /**
+     * @param name counter name
+     * @param min lowest representable sample (inclusive)
+     * @param max highest representable sample (inclusive); samples
+     *            outside [min, max] accumulate in the overflow buckets
+     * @param bucketSize width of each bucket
+     */
+    Histogram(std::string name, int64_t min, int64_t max,
+              int64_t bucketSize = 1);
+
+    void sample(int64_t v, uint64_t weight = 1);
+    void reset();
+
+    uint64_t count() const { return _count; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    uint64_t bucketCount(size_t idx) const { return _buckets.at(idx); }
+    size_t numBuckets() const { return _buckets.size(); }
+    int64_t bucketLow(size_t idx) const
+    {
+        return _min + static_cast<int64_t>(idx) * _bucketSize;
+    }
+    uint64_t underflows() const { return _underflow; }
+    uint64_t overflows() const { return _overflow; }
+    const std::string &name() const { return _name; }
+
+    /** Fraction of samples at or below @p v (overflow counts as above). */
+    double cdfAt(int64_t v) const;
+
+  private:
+    std::string _name;
+    int64_t _min = 0;
+    int64_t _bucketSize = 1;
+    std::vector<uint64_t> _buckets;
+    uint64_t _underflow = 0;
+    uint64_t _overflow = 0;
+    uint64_t _count = 0;
+    double _sum = 0.0;
+};
+
+/** A named value computed on demand from other statistics. */
+class Formula
+{
+  public:
+    Formula() = default;
+    Formula(std::string name, std::function<double()> fn,
+            std::string desc = "")
+        : _name(std::move(name)), _desc(std::move(desc)),
+          _fn(std::move(fn))
+    {}
+
+    double value() const { return _fn ? _fn() : 0.0; }
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+  private:
+    std::string _name;
+    std::string _desc;
+    std::function<double()> _fn;
+};
+
+/**
+ * A registry of statistics owned by one simulated object.  Objects
+ * register their counters once; dump() walks them in registration
+ * order.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name) : _name(std::move(name)) {}
+
+    Scalar &addScalar(const std::string &name, const std::string &desc);
+    Average &addAverage(const std::string &name, const std::string &desc);
+    Histogram &addHistogram(const std::string &name, int64_t min,
+                            int64_t max, int64_t bucketSize = 1);
+    void addFormula(const std::string &name, std::function<double()> fn,
+                    const std::string &desc);
+
+    /** Zero every registered statistic (formulas recompute anyway). */
+    void resetAll();
+
+    /** Write "group.stat value # desc" lines, gem5 stats.txt style. */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return _name; }
+
+  private:
+    std::string _name;
+    // Deques would avoid pointer invalidation too, but lists keep the
+    // contract obvious: addresses handed out by add*() stay valid.
+    std::vector<std::unique_ptr<Scalar>> _scalars;
+    std::vector<std::unique_ptr<Average>> _averages;
+    std::vector<std::unique_ptr<Histogram>> _histograms;
+    std::vector<std::unique_ptr<Formula>> _formulas;
+};
+
+} // namespace stats
+} // namespace iraw
+
+#endif // IRAW_COMMON_STATS_HH

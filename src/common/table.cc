@@ -1,0 +1,89 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace iraw {
+
+void
+TextTable::setHeader(std::vector<std::string> columns)
+{
+    fatalIf(columns.empty(), "TextTable header must not be empty");
+    _header = std::move(columns);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    fatalIf(_header.empty(), "TextTable: set header before adding rows");
+    fatalIf(cells.size() != _header.size(),
+            "TextTable %s: row has %zu cells, header has %zu",
+            _title.c_str(), cells.size(), _header.size());
+    _rows.push_back(std::move(cells));
+}
+
+void
+TextTable::addNote(std::string note)
+{
+    _notes.push_back(std::move(note));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(_header.size(), 0);
+    for (size_t c = 0; c < _header.size(); ++c)
+        widths[c] = _header[c].size();
+    for (const auto &row : _rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto rule = [&](char fill) {
+        os << '+';
+        for (size_t c = 0; c < widths.size(); ++c) {
+            os << std::string(widths[c] + 2, fill) << '+';
+        }
+        os << '\n';
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        os << '|';
+        for (size_t c = 0; c < widths.size(); ++c) {
+            os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+               << cells[c] << " |";
+        }
+        os << '\n';
+    };
+
+    os << "== " << _title << " ==\n";
+    rule('-');
+    line(_header);
+    rule('=');
+    for (const auto &row : _rows)
+        line(row);
+    rule('-');
+    for (const auto &note : _notes)
+        os << "  note: " << note << '\n';
+    os << '\n';
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision,
+                  fraction * 100.0);
+    return buf;
+}
+
+} // namespace iraw

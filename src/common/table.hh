@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Plain-text table formatting for benchmark output.  Every figure/table
+ * bench prints its series through this class so the output style is
+ * uniform and machine-greppable.
+ */
+
+#ifndef IRAW_COMMON_TABLE_HH
+#define IRAW_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace iraw {
+
+/** Column-aligned text table with a title and optional footnotes. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title) : _title(std::move(title)) {}
+
+    /** Define the header row; call once before adding rows. */
+    void setHeader(std::vector<std::string> columns);
+
+    /** Append a data row (must match the header width). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a footnote printed below the table. */
+    void addNote(std::string note);
+
+    /** Render with box-drawing separators. */
+    void print(std::ostream &os) const;
+
+    size_t numRows() const { return _rows.size(); }
+    size_t numColumns() const { return _header.size(); }
+    const std::vector<std::string> &row(size_t i) const
+    {
+        return _rows.at(i);
+    }
+
+    /** Format a double with @p precision decimal places. */
+    static std::string num(double v, int precision = 3);
+    /** Format a percentage ("12.34%"). */
+    static std::string pct(double fraction, int precision = 2);
+
+  private:
+    std::string _title;
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+    std::vector<std::string> _notes;
+};
+
+} // namespace iraw
+
+#endif // IRAW_COMMON_TABLE_HH

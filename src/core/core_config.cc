@@ -1,0 +1,62 @@
+#include "core/core_config.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+#include "isa/registers.hh"
+
+namespace iraw {
+namespace core {
+
+void
+CoreConfig::validate() const
+{
+    fatalIf(fetchWidth == 0 || fetchWidth > 8,
+            "CoreConfig: fetchWidth outside [1, 8]");
+    fatalIf(issueWidth == 0 || issueWidth > 8,
+            "CoreConfig: issueWidth outside [1, 8]");
+    fatalIf(!isPowerOf2(iqEntries) || iqEntries < 4,
+            "CoreConfig: iqEntries must be a power of two >= 4");
+    fatalIf(scoreboardBits < 4 || scoreboardBits > 24,
+            "CoreConfig: scoreboardBits outside [4, 24]");
+    fatalIf(bypassLevels == 0 || bypassLevels > 4,
+            "CoreConfig: bypassLevels outside [1, 4]");
+    fatalIf(bypassLevels + maxStabilizationCycles + 1 >=
+                scoreboardBits,
+            "CoreConfig: scoreboard too narrow for bypass %u + "
+            "maxN %u (need >= %u bits)",
+            bypassLevels, maxStabilizationCycles,
+            bypassLevels + maxStabilizationCycles + 2);
+    fatalIf(commitStoresPerCycle == 0,
+            "CoreConfig: commitStoresPerCycle must be >= 1");
+    fatalIf(issueWidth + fetchWidth * maxStabilizationCycles >
+                iqEntries,
+            "CoreConfig: IQ too small for the occupancy threshold at "
+            "maxN");
+    fatalIf(intAluUnits == 0 || memPorts == 0 || fpUnits == 0,
+            "CoreConfig: every unit pool needs >= 1 unit");
+    fatalIf(branchMispredictPenalty == 0,
+            "CoreConfig: mispredict penalty must be >= 1");
+}
+
+uint64_t
+CoreConfig::scoreboardBitsTotal() const
+{
+    return static_cast<uint64_t>(isa::kNumLogicalRegs) *
+           scoreboardBits;
+}
+
+uint64_t
+CoreConfig::registerFileBits() const
+{
+    return static_cast<uint64_t>(isa::kNumLogicalRegs) * 64;
+}
+
+uint64_t
+CoreConfig::iqBits() const
+{
+    // Decoded micro-op storage: ~80 bits per entry.
+    return static_cast<uint64_t>(iqEntries) * 80;
+}
+
+} // namespace core
+} // namespace iraw

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Static configuration of the modelled 2-wide in-order core
+ * (Intel Silverthorne class, paper Sec. 3.1/4.2).
+ */
+
+#ifndef IRAW_CORE_CORE_CONFIG_HH
+#define IRAW_CORE_CORE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/op_class.hh"
+
+namespace iraw {
+namespace core {
+
+/** Core parameters. */
+struct CoreConfig
+{
+    uint32_t fetchWidth = 2;  //!< AI: IQ allocations per cycle
+    uint32_t issueWidth = 2;  //!< ICI: oldest entries considered
+    uint32_t iqEntries = 32;  //!< instruction queue capacity
+
+    uint32_t scoreboardBits = 8; //!< B: shift-register width
+    uint32_t bypassLevels = 1;   //!< bypass network depth
+
+    uint32_t commitStoresPerCycle = 1; //!< STable write rate
+
+    /**
+     * Largest stabilization cycle count the hardware is sized for
+     * (scoreboard pattern capacity and STable entries); the paper's
+     * flexibility requirement for other nodes/Vcc ranges.
+     */
+    uint32_t maxStabilizationCycles = 4;
+
+    uint32_t branchMispredictPenalty = 11; //!< frontend refill cycles
+
+    /** Extra pipe cycles a missing load pays after fill delivery. */
+    uint32_t loadMissForwardDelay = 2;
+
+    isa::LatencyTable latencies;
+
+    std::string predictorKind = "hybrid";
+    uint32_t predictorEntries = 4096;
+    uint32_t predictorHistoryBits = 12;
+    uint32_t rsbDepth = 8;
+
+    /**
+     * Paper Sec. 4.5 determinism mode: stall RSB reads that land in a
+     * stabilization window instead of risking a corrupt prediction
+     * (needed for lock-step multi-core testing).
+     */
+    bool determinismMode = false;
+
+    /**
+     * Inject the potential BP/RSB corruption (flip predictions read
+     * inside a stabilization window with probability 1/2).  Off by
+     * default; used by the corruption-analysis bench.
+     */
+    bool injectPredictionCorruption = false;
+
+    /**
+     * Seed for the corruption-injection draws.  Two physical cores
+     * have independent analog behaviour, so lock-step testing
+     * experiments give each core a different seed (Sec. 4.5 /
+     * Table 1 "hard to test").
+     */
+    uint64_t corruptionSeed = 0xf00d;
+
+    /** Functional units. */
+    uint32_t intAluUnits = 2;
+    uint32_t memPorts = 1;
+    uint32_t fpUnits = 1;
+
+    /** Sanity-check the configuration; throws FatalError if broken. */
+    void validate() const;
+
+    /** Scoreboard/RF/IQ storage bits for overhead accounting. */
+    uint64_t scoreboardBitsTotal() const;
+    uint64_t registerFileBits() const;
+    uint64_t iqBits() const;
+};
+
+} // namespace core
+} // namespace iraw
+
+#endif // IRAW_CORE_CORE_CONFIG_HH

@@ -1,0 +1,49 @@
+#include "core/instruction_queue.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace iraw {
+namespace core {
+
+InstructionQueue::InstructionQueue(uint32_t size) : _size(size)
+{
+    fatalIf(!isPowerOf2(size),
+            "InstructionQueue: size must be a power of two");
+}
+
+void
+InstructionQueue::allocate(IqEntry entry)
+{
+    panicIf(full(), "InstructionQueue: allocate() on a full queue");
+    _entries.push_back(std::move(entry));
+    _tail = (_tail + 1) & (2 * _size - 1);
+    ++_allocations;
+}
+
+void
+InstructionQueue::popFront()
+{
+    panicIf(empty(), "InstructionQueue: popFront() on empty queue");
+    _entries.pop_front();
+    _head = (_head + 1) & (2 * _size - 1);
+}
+
+void
+InstructionQueue::popBack()
+{
+    panicIf(empty(), "InstructionQueue: popBack() on empty queue");
+    _entries.pop_back();
+    _tail = (_tail + 2 * _size - 1) & (2 * _size - 1);
+}
+
+void
+InstructionQueue::clear()
+{
+    _entries.clear();
+    _head = 0;
+    _tail = 0;
+}
+
+} // namespace core
+} // namespace iraw

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The instruction queue: a circular buffer filled in program order at
+ * AI entries/cycle whose ICI oldest entries are considered for issue
+ * (paper Sec. 4.2).  Head/tail are (log2(size)+1)-bit counters so the
+ * Figure 9 occupancy hardware can be cross-checked against the
+ * software occupancy.
+ */
+
+#ifndef IRAW_CORE_INSTRUCTION_QUEUE_HH
+#define IRAW_CORE_INSTRUCTION_QUEUE_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "isa/microop.hh"
+#include "memory/iraw_guard.hh"
+
+namespace iraw {
+namespace core {
+
+/** One IQ entry: a decoded micro-op plus pipeline bookkeeping. */
+struct IqEntry
+{
+    isa::MicroOp op;
+    memory::Cycle allocCycle = 0;
+    memory::Cycle fetchCycle = 0;
+    bool predictedTaken = false;
+    bool mispredicted = false;
+    bool isDrainNop = false; //!< injected for IQ draining (Sec. 4.2)
+    /** Fetched down a mispredicted path; squashed at resolution.
+     *  Wrong-path allocations keep the IQ occupancy realistic while
+     *  a mispredicted branch is in flight (they are IQ writes in the
+     *  real machine too). */
+    bool isWrongPath = false;
+    bool irawDelayCounted = false;
+};
+
+/** Circular in-order instruction queue. */
+class InstructionQueue
+{
+  public:
+    explicit InstructionQueue(uint32_t size);
+
+    bool full() const { return _entries.size() >= _size; }
+    bool empty() const { return _entries.empty(); }
+    uint32_t occupancy() const
+    {
+        return static_cast<uint32_t>(_entries.size());
+    }
+
+    /** Allocate at the tail; the queue must not be full. */
+    void allocate(IqEntry entry);
+
+    /** i-th oldest entry (0 == head). */
+    const IqEntry &at(uint32_t i) const { return _entries.at(i); }
+    IqEntry &at(uint32_t i) { return _entries.at(i); }
+
+    /** Remove the oldest entry. */
+    void popFront();
+
+    /** Squash the youngest entry (branch-mispredict recovery). */
+    void popBack();
+
+    /** Drop everything (flush). */
+    void clear();
+
+    /** Hardware pointer values (mod 2*size) for the Figure 9 gate. */
+    uint32_t headPointer() const { return _head; }
+    uint32_t tailPointer() const { return _tail; }
+
+    uint32_t size() const { return _size; }
+    uint64_t allocations() const { return _allocations; }
+
+  private:
+    uint32_t _size;
+    std::deque<IqEntry> _entries;
+    uint32_t _head = 0;
+    uint32_t _tail = 0;
+    uint64_t _allocations = 0;
+};
+
+} // namespace core
+} // namespace iraw
+
+#endif // IRAW_CORE_INSTRUCTION_QUEUE_HH

@@ -1,0 +1,533 @@
+#include "core/pipeline.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace iraw {
+namespace core {
+
+using isa::MicroOp;
+using isa::OpClass;
+using memory::Cycle;
+
+PipelineStats
+PipelineStats::minus(const PipelineStats &earlier) const
+{
+    PipelineStats d = *this;
+    auto sub = [](uint64_t &a, uint64_t b) {
+        panicIf(a < b, "PipelineStats::minus: counter went backward");
+        a -= b;
+    };
+    sub(d.cycles, earlier.cycles);
+    sub(d.committedInsts, earlier.committedInsts);
+    sub(d.drainNops, earlier.drainNops);
+    sub(d.rawStallCycles, earlier.rawStallCycles);
+    sub(d.rfIrawStallCycles, earlier.rfIrawStallCycles);
+    sub(d.wawStallCycles, earlier.wawStallCycles);
+    sub(d.structuralStallCycles, earlier.structuralStallCycles);
+    sub(d.iqGateStallCycles, earlier.iqGateStallCycles);
+    sub(d.dl0ReplayStallCycles, earlier.dl0ReplayStallCycles);
+    sub(d.iqEmptyCycles, earlier.iqEmptyCycles);
+    sub(d.rfIrawDelayedInsts, earlier.rfIrawDelayedInsts);
+    sub(d.fetchLineAccesses, earlier.fetchLineAccesses);
+    sub(d.icacheStallCycles, earlier.icacheStallCycles);
+    sub(d.mispredicts, earlier.mispredicts);
+    sub(d.branches, earlier.branches);
+    sub(d.rsbMispredicts, earlier.rsbMispredicts);
+    sub(d.rsbDeterminismStalls, earlier.rsbDeterminismStalls);
+    sub(d.bpConflictReads, earlier.bpConflictReads);
+    sub(d.rsbConflictPops, earlier.rsbConflictPops);
+    sub(d.injectedCorruptions, earlier.injectedCorruptions);
+    sub(d.stableFullMatches, earlier.stableFullMatches);
+    sub(d.stableSetMatches, earlier.stableSetMatches);
+    sub(d.stableReplayedStores, earlier.stableReplayedStores);
+    sub(d.loads, earlier.loads);
+    sub(d.stores, earlier.stores);
+    sub(d.loadMisses, earlier.loadMisses);
+    return d;
+}
+
+Pipeline::Pipeline(const CoreConfig &cfg,
+                   memory::MemoryHierarchy &hierarchy,
+                   trace::TraceSource &source)
+    : _cfg(cfg), _mem(hierarchy), _trace(source),
+      _scoreboard(cfg.scoreboardBits, cfg.bypassLevels),
+      _iq(cfg.iqEntries), _units(cfg),
+      _gate(cfg.iqEntries, cfg.issueWidth, cfg.fetchWidth),
+      _stable(cfg.commitStoresPerCycle * cfg.maxStabilizationCycles,
+              hierarchy.config().dl0.lineBytes,
+              hierarchy.config().dl0.numSets()),
+      _bp(predictor::makePredictor(cfg.predictorKind,
+                                   cfg.predictorEntries,
+                                   cfg.predictorHistoryBits)),
+      _rsb(cfg.rsbDepth), _rng(cfg.corruptionSeed)
+{
+    _cfg.validate();
+    _pendingWrites.assign(isa::kNumLogicalRegs, 0);
+}
+
+void
+Pipeline::applySettings(const mechanism::IrawSettings &settings)
+{
+    _n = settings.enabled ? settings.stabilizationCycles : 0;
+    fatalIf(_n > _cfg.maxStabilizationCycles,
+            "Pipeline: N=%u exceeds the hardware's sized maximum %u",
+            _n, _cfg.maxStabilizationCycles);
+    _scoreboard.setStabilizationCycles(_n);
+    _gate.setStabilizationCycles(_n);
+    _stable.setActiveEntries(_n * _cfg.commitStoresPerCycle);
+    _mem.setStabilizationCycles(_n);
+    _bpCorruption.setStabilizationCycles(_n);
+}
+
+void
+Pipeline::reset()
+{
+    _scoreboard.reset();
+    _iq.clear();
+    _units.reset();
+    _stable.flush();
+    _stable.resetStats();
+    // Predictor tables retrain from scratch (fresh silicon state).
+    _bp = predictor::makePredictor(_cfg.predictorKind,
+                                   _cfg.predictorEntries,
+                                   _cfg.predictorHistoryBits);
+    _rsb.flush();
+    _rng.reseed(_cfg.corruptionSeed);
+    _bpCorruption.reset();
+    _stats = PipelineStats{};
+    _cycle = 0;
+    _writeEvents.clear();
+    _pendingWrites.assign(isa::kNumLogicalRegs, 0);
+    _nextOp.reset();
+    _traceDone = false;
+    _fetchHalted = false;
+    _fetchBlockedUntil = 0;
+    _currentFetchLine = ~0ULL;
+    _nopsInjected = 0;
+    _nopSeq = 0;
+    _dl0ReplayBlockedUntil = 0;
+}
+
+bool
+Pipeline::sourcesReady(const MicroOp &op, BlockReason &reason) const
+{
+    auto check = [this, &reason](isa::RegId reg) {
+        if (_scoreboard.isReady(reg))
+            return true;
+        // Attribution: ready under conventional operation means the
+        // IRAW bubble alone blocks this consumer.
+        reason = (_n > 0 && _scoreboard.isReadyShadow(reg))
+                     ? BlockReason::RfIraw
+                     : BlockReason::Raw;
+        return false;
+    };
+    if (op.hasSrc1() && !check(op.src1))
+        return false;
+    if (op.hasSrc2() && !check(op.src2))
+        return false;
+    return true;
+}
+
+void
+Pipeline::setDestination(isa::RegId dst, uint32_t latency)
+{
+    if (latency <= _scoreboard.maxEncodableLatency()) {
+        _scoreboard.setProducer(dst, latency);
+        _writeEvents.emplace(_cycle + latency,
+                             InflightWrite{dst, false});
+    } else {
+        _scoreboard.setLongLatencyProducer(dst);
+        _writeEvents.emplace(_cycle + latency,
+                             InflightWrite{dst, true});
+    }
+    ++_pendingWrites[dst];
+}
+
+void
+Pipeline::issueMemOp(IqEntry &entry)
+{
+    const MicroOp &op = entry.op;
+    if (op.isLoad()) {
+        ++_stats.loads;
+
+        // Parallel STable probe (Sec. 4.4, Figure 10).
+        auto probe =
+            _stable.probe(op.memAddr, op.memSize, _cycle, _n);
+        if (probe.match != mechanism::StableMatch::None) {
+            if (probe.match == mechanism::StableMatch::Full)
+                ++_stats.stableFullMatches;
+            else
+                ++_stats.stableSetMatches;
+            _stats.stableReplayedStores += probe.replayStores;
+            // Stall further cache accesses while the matching stores
+            // replay (one per cycle).
+            _dl0ReplayBlockedUntil =
+                std::max(_dl0ReplayBlockedUntil,
+                         _cycle + probe.replayStores);
+        }
+
+        auto res = _mem.dataLoad(op.memAddr, _cycle);
+        uint32_t latency;
+        if (res.l0Hit) {
+            latency = _cfg.latencies.latency(OpClass::Load) +
+                      static_cast<uint32_t>(res.readyCycle - _cycle);
+        } else {
+            ++_stats.loadMisses;
+            latency = static_cast<uint32_t>(res.readyCycle - _cycle) +
+                      _cfg.loadMissForwardDelay;
+        }
+        setDestination(op.dst, std::max(1u, latency));
+    } else {
+        ++_stats.stores;
+        _mem.dataStore(op.memAddr, _cycle);
+        // The store writes DL0 at commit; the STable tracks it for
+        // the stabilization window.
+        _stable.noteStore(op.memAddr, op.memSize, _cycle);
+    }
+}
+
+void
+Pipeline::executeControlOp(const IqEntry &entry)
+{
+    const MicroOp &op = entry.op;
+    Cycle execCycle = _cycle + 1;
+    (void)op;
+
+    if (entry.mispredicted) {
+        ++_stats.mispredicts;
+        // Squash the wrong-path allocations behind this branch (tail
+        // pointer reset in the real machine).
+        while (!_iq.empty() &&
+               _iq.at(_iq.occupancy() - 1).isWrongPath)
+            _iq.popBack();
+        // Redirect: the frontend refills after resolution.
+        _fetchHalted = false;
+        _fetchBlockedUntil =
+            std::max(_fetchBlockedUntil,
+                     execCycle + _cfg.branchMispredictPenalty);
+        _currentFetchLine = ~0ULL;
+    }
+}
+
+Pipeline::BlockReason
+Pipeline::tryIssue(IqEntry &entry, bool &issued)
+{
+    issued = false;
+    const MicroOp &op = entry.op;
+
+    // Entries cannot issue in their allocation cycle.
+    if (entry.allocCycle >= _cycle)
+        return BlockReason::Structural;
+
+    BlockReason reason = BlockReason::None;
+    if (!sourcesReady(op, reason))
+        return reason;
+
+    // WAW: a previous in-flight writer of the destination.
+    if (op.hasDst() && _pendingWrites[op.dst] > 0)
+        return BlockReason::Waw;
+
+    if (!_units.canIssue(op.opClass, _cycle))
+        return BlockReason::Structural;
+
+    // STable replay recovery blocks the memory port (Sec. 4.4).
+    if (isMemOp(op.opClass) && _cycle <= _dl0ReplayBlockedUntil)
+        return BlockReason::Dl0Replay;
+
+    // Issue.
+    _units.issue(op.opClass, _cycle);
+    switch (op.opClass) {
+      case OpClass::Load:
+      case OpClass::Store:
+        issueMemOp(entry);
+        break;
+      case OpClass::Branch:
+      case OpClass::Call:
+      case OpClass::Return:
+        executeControlOp(entry);
+        break;
+      case OpClass::Nop:
+        break;
+      default:
+        setDestination(op.dst,
+                       _cfg.latencies.latency(op.opClass));
+        break;
+    }
+
+    if (entry.isDrainNop)
+        ++_stats.drainNops;
+    else
+        ++_stats.committedInsts;
+    issued = true;
+    return BlockReason::None;
+}
+
+void
+Pipeline::issueStage()
+{
+    if (_iq.empty()) {
+        ++_stats.iqEmptyCycles;
+        return;
+    }
+
+    // Eq. (1): the IQ occupancy gate.
+    if (!_gate.issueAllowed(_iq.occupancy())) {
+        ++_stats.iqGateStallCycles;
+        return;
+    }
+
+    for (uint32_t slot = 0; slot < _cfg.issueWidth; ++slot) {
+        if (_iq.empty())
+            break;
+        if (_instBudget != 0 &&
+            _stats.committedInsts >= _instBudget)
+            break;
+        // Re-check the gate: issuing drains occupancy below the
+        // threshold within the cycle is allowed (the ICI oldest were
+        // already known stable), so only the entry count matters.
+        IqEntry &entry = _iq.at(0);
+        bool issued = false;
+        BlockReason reason = tryIssue(entry, issued);
+        if (!issued) {
+            // Attribute the blocking reason of the oldest entry only
+            // on the first slot (one reason per stall cycle).
+            if (slot == 0) {
+                switch (reason) {
+                  case BlockReason::Raw:
+                    ++_stats.rawStallCycles;
+                    break;
+                  case BlockReason::RfIraw:
+                    ++_stats.rfIrawStallCycles;
+                    // Count each delayed instruction at most once
+                    // (the paper's 13.2% statistic).
+                    if (!entry.isDrainNop && !entry.irawDelayCounted) {
+                        ++_stats.rfIrawDelayedInsts;
+                        entry.irawDelayCounted = true;
+                    }
+                    break;
+                  case BlockReason::Waw:
+                    ++_stats.wawStallCycles;
+                    break;
+                  case BlockReason::Dl0Replay:
+                    ++_stats.dl0ReplayStallCycles;
+                    break;
+                  case BlockReason::Structural:
+                  default:
+                    ++_stats.structuralStallCycles;
+                    break;
+                }
+            }
+            break; // strict in-order issue
+        }
+        _iq.popFront();
+    }
+}
+
+void
+Pipeline::fetchStage()
+{
+    if (_fetchHalted) {
+        // A mispredicted branch is in flight: the real frontend keeps
+        // fetching down the wrong path, so the IQ keeps filling with
+        // entries that will be squashed at resolution.  Modelling
+        // this matters for the Eq. (1) occupancy gate.
+        for (uint32_t slot = 0;
+             slot < _cfg.fetchWidth && !_iq.full(); ++slot) {
+            IqEntry wp;
+            wp.op = isa::makeNop(0, 0);
+            wp.allocCycle = _cycle;
+            wp.fetchCycle = _cycle;
+            wp.isWrongPath = true;
+            _iq.allocate(wp);
+        }
+        return;
+    }
+    if (_cycle < _fetchBlockedUntil)
+        return; // icache refill or redirect bubble
+
+    for (uint32_t slot = 0; slot < _cfg.fetchWidth; ++slot) {
+        if (_iq.full())
+            break;
+
+        if (!_nextOp && !_traceDone) {
+            _nextOp = _trace.next();
+            if (!_nextOp)
+                _traceDone = true;
+        }
+
+        if (_traceDone) {
+            // Drain: with the Eq. (1) gate active, inject NOOPs so
+            // the last *real* instructions can issue (Sec. 4.2).
+            // Once only NOOPs remain the queue may simply sit below
+            // the threshold; injecting more would recurse forever.
+            bool hasReal = false;
+            for (uint32_t i = 0; i < _iq.occupancy(); ++i) {
+                const IqEntry &e = _iq.at(i);
+                if (!e.isDrainNop && !e.isWrongPath) {
+                    hasReal = true;
+                    break;
+                }
+            }
+            if (_n > 0 && hasReal &&
+                !_gate.issueAllowed(_iq.occupancy())) {
+                IqEntry nop;
+                nop.op = isa::makeNop(++_nopSeq, 0);
+                nop.allocCycle = _cycle;
+                nop.fetchCycle = _cycle;
+                nop.isDrainNop = true;
+                _iq.allocate(nop);
+                ++_nopsInjected;
+                continue;
+            }
+            break;
+        }
+
+        const MicroOp &op = *_nextOp;
+
+        // Instruction memory: one IL0 access per fetched line.
+        uint64_t line = op.pc / _mem.config().il0.lineBytes;
+        if (line != _currentFetchLine) {
+            auto res = _mem.instFetch(op.pc, _cycle);
+            ++_stats.fetchLineAccesses;
+            if (res.readyCycle > _cycle) {
+                _fetchBlockedUntil = res.readyCycle;
+                _stats.icacheStallCycles +=
+                    res.readyCycle - _cycle;
+                return;
+            }
+            _currentFetchLine = line;
+        }
+
+        IqEntry entry;
+        entry.op = op;
+        entry.allocCycle = _cycle;
+        entry.fetchCycle = _cycle;
+
+        // Branch prediction.
+        if (op.isBranch()) {
+            ++_stats.branches;
+            if (op.opClass == OpClass::Branch) {
+                uint32_t idx = _bp->entryIndex(op.pc);
+                bool conflict = _bpCorruption.noteRead(idx, _cycle);
+                if (conflict)
+                    ++_stats.bpConflictReads;
+                bool pred = _bp->predict(op.pc);
+                // Train immediately with the fetch-time state (the
+                // real machine trains at execute with a checkpointed
+                // history); the update's array write lands roughly a
+                // frontend-depth later, which is what the corruption
+                // window tracks.
+                bool flipped = _bp->update(op.pc, op.taken);
+                _bpCorruption.noteUpdate(
+                    idx, _cycle + kBpUpdateDelay, flipped);
+                if (conflict && _cfg.injectPredictionCorruption &&
+                    _rng.chance(0.5)) {
+                    pred = !pred;
+                    ++_stats.injectedCorruptions;
+                }
+                entry.predictedTaken = pred;
+                entry.mispredicted = pred != op.taken;
+            } else if (op.opClass == OpClass::Call) {
+                _rsb.push(op.pc + 4, _cycle);
+                entry.predictedTaken = true;
+                entry.mispredicted = false;
+            } else { // Return
+                auto pop = _rsb.pop(_cycle, _n);
+                if (pop.inIrawWindow) {
+                    ++_stats.rsbConflictPops;
+                    if (_cfg.determinismMode) {
+                        // Sec. 4.5: stall the read until the entry
+                        // stabilizes instead of risking corruption.
+                        ++_stats.rsbDeterminismStalls;
+                        _fetchBlockedUntil = _cycle + _n;
+                    } else if (_cfg.injectPredictionCorruption &&
+                               _rng.chance(0.5)) {
+                        pop.target = ~pop.target; // corrupt value
+                        ++_stats.injectedCorruptions;
+                    }
+                }
+                entry.predictedTaken = true;
+                entry.mispredicted =
+                    !pop.valid || pop.target != op.target;
+                if (entry.mispredicted)
+                    ++_stats.rsbMispredicts;
+            }
+        }
+
+        _iq.allocate(entry);
+        _nextOp.reset();
+
+        if (entry.mispredicted) {
+            _fetchHalted = true;
+            return;
+        }
+        if (op.isBranch() && op.taken) {
+            // Correctly predicted taken control flow: fetch redirect
+            // within the same cycle (BTB hit), next line check will
+            // run against the target.
+            _currentFetchLine = ~0ULL;
+        }
+    }
+}
+
+void
+Pipeline::tick()
+{
+    ++_cycle;
+    _scoreboard.tick();
+    _units.newCycle();
+
+    // Event wakeups and write completions scheduled for this cycle.
+    auto range = _writeEvents.equal_range(_cycle);
+    for (auto it = range.first; it != range.second; ++it) {
+        const InflightWrite &w = it->second;
+        if (w.longLatency)
+            _scoreboard.completeLongLatency(w.dst);
+        panicIf(_pendingWrites[w.dst] == 0,
+                "Pipeline: write completion without pending write");
+        --_pendingWrites[w.dst];
+    }
+    _writeEvents.erase(range.first, range.second);
+
+    issueStage();
+    fetchStage();
+}
+
+const PipelineStats &
+Pipeline::run(uint64_t maxInsts)
+{
+    fatalIf(maxInsts == 0, "Pipeline: maxInsts must be >= 1");
+    _instBudget = maxInsts;
+    const uint64_t cycleCap = maxInsts * 1000 + 1000000;
+    while (_stats.committedInsts < maxInsts) {
+        if (_traceDone && !_nextOp) {
+            // Done when nothing real is left: trailing drain NOOPs
+            // below the Eq. (1) threshold never need to issue (the
+            // real machine redirects at the drain event).
+            bool onlyFiller = true;
+            for (uint32_t i = 0; i < _iq.occupancy(); ++i) {
+                const IqEntry &e = _iq.at(i);
+                if (!e.isDrainNop && !e.isWrongPath) {
+                    onlyFiller = false;
+                    break;
+                }
+            }
+            if (onlyFiller)
+                break;
+        }
+        tick();
+        fatalIf(_cycle > cycleCap,
+                "Pipeline: exceeded cycle cap (%llu cycles, %llu "
+                "insts) -- livelock?",
+                static_cast<unsigned long long>(_cycle),
+                static_cast<unsigned long long>(
+                    _stats.committedInsts));
+    }
+    _stats.cycles = _cycle;
+    return _stats;
+}
+
+} // namespace core
+} // namespace iraw

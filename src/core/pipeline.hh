@@ -1,0 +1,223 @@
+/**
+ * @file
+ * The 2-wide in-order pipeline (Silverthorne class) with every IRAW
+ * avoidance mechanism of the paper wired in:
+ *
+ *  - RF:  scoreboard ready-bit patterns delay conflicting consumers
+ *         (Sec. 4.1);
+ *  - IQ:  Eq. (1) occupancy gate + drain-NOP injection (Sec. 4.2);
+ *  - IL0/UL1/ITLB/DTLB/FB/WCB: fill-stall port guards inside
+ *         MemoryHierarchy (Sec. 4.3);
+ *  - DL0: Store Table probe / forward / replay (Sec. 4.4);
+ *  - BP/RSB: unprotected, with conflict tracking and optional
+ *         determinism stalls or corruption injection (Sec. 4.5).
+ *
+ * The pipeline is trace-driven and cycle-driven: each tick runs
+ * (in order) scoreboard shift, event wakeups, issue, fetch/allocate.
+ * Allocation runs after issue, which enforces the 1-cycle minimum
+ * between IQ write and IQ read.
+ */
+
+#ifndef IRAW_CORE_PIPELINE_HH
+#define IRAW_CORE_PIPELINE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/core_config.hh"
+#include "core/exec_units.hh"
+#include "core/instruction_queue.hh"
+#include "core/scoreboard.hh"
+#include "iraw/controller.hh"
+#include "iraw/iq_gate.hh"
+#include "iraw/stable.hh"
+#include "memory/hierarchy.hh"
+#include "predictor/branch_predictor.hh"
+#include "predictor/iraw_corruption.hh"
+#include "predictor/rsb.hh"
+#include "trace/trace_source.hh"
+
+namespace iraw {
+namespace core {
+
+/** Everything the simulation measures. */
+struct PipelineStats
+{
+    uint64_t cycles = 0;
+    uint64_t committedInsts = 0;
+    uint64_t drainNops = 0;
+
+    // Issue-stall attribution (head-of-queue blocking reason/cycle).
+    uint64_t rawStallCycles = 0;       //!< plain data dependence
+    uint64_t rfIrawStallCycles = 0;    //!< IRAW bubble in scoreboard
+    uint64_t wawStallCycles = 0;
+    uint64_t structuralStallCycles = 0;
+    uint64_t iqGateStallCycles = 0;    //!< Eq. (1) gate (IQ IRAW)
+    uint64_t dl0ReplayStallCycles = 0; //!< STable replay recovery
+    uint64_t iqEmptyCycles = 0;        //!< frontend could not supply
+
+    /** Instructions whose issue was delayed >= 1 cycle only by the
+     *  RF IRAW bubble (the paper's 13.2% statistic). */
+    uint64_t rfIrawDelayedInsts = 0;
+
+    // Frontend.
+    uint64_t fetchLineAccesses = 0;
+    uint64_t icacheStallCycles = 0;
+    uint64_t mispredicts = 0;
+    uint64_t branches = 0;
+    uint64_t rsbMispredicts = 0;
+    uint64_t rsbDeterminismStalls = 0;
+    uint64_t bpConflictReads = 0;  //!< BP reads in an IRAW window
+    uint64_t rsbConflictPops = 0;  //!< RSB pops in an IRAW window
+    uint64_t injectedCorruptions = 0;
+
+    // DL0 / STable.
+    uint64_t stableFullMatches = 0;
+    uint64_t stableSetMatches = 0;
+    uint64_t stableReplayedStores = 0;
+
+    // Loads/stores.
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t loadMisses = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(committedInsts) / cycles
+                      : 0.0;
+    }
+
+    /** Counter-wise difference (for warmup-window exclusion). */
+    PipelineStats minus(const PipelineStats &earlier) const;
+
+    /** All issue-stall cycles caused by IRAW mechanisms in the core
+     *  (RF + IQ gate + STable replay); memory-side guard stalls are
+     *  read from the hierarchy. */
+    uint64_t
+    coreIrawStallCycles() const
+    {
+        return rfIrawStallCycles + iqGateStallCycles +
+               dl0ReplayStallCycles;
+    }
+};
+
+/** The pipeline model. */
+class Pipeline
+{
+  public:
+    /**
+     * @param cfg core configuration (validated)
+     * @param hierarchy memory system (owned by the caller)
+     * @param source dynamic trace (owned by the caller)
+     */
+    Pipeline(const CoreConfig &cfg,
+             memory::MemoryHierarchy &hierarchy,
+             trace::TraceSource &source);
+
+    /**
+     * Apply an operating point (Sec. 4.1.3 reconfiguration): sets N
+     * on the scoreboard, IQ gate, STable, hierarchy guards and the
+     * prediction-block trackers.
+     */
+    void applySettings(const mechanism::IrawSettings &settings);
+
+    /** Run until @p maxInsts commit (or the trace ends). */
+    const PipelineStats &run(uint64_t maxInsts);
+
+    const PipelineStats &stats() const { return _stats; }
+    const Scoreboard &scoreboard() const { return _scoreboard; }
+    const mechanism::StoreTable &storeTable() const { return _stable; }
+    const mechanism::IqOccupancyGate &iqGate() const { return _gate; }
+    const predictor::BranchPredictor &branchPredictor() const
+    {
+        return *_bp;
+    }
+    const predictor::ReturnStackBuffer &rsb() const { return _rsb; }
+    const predictor::CorruptionTracker &bpCorruption() const
+    {
+        return _bpCorruption;
+    }
+    uint32_t stabilizationCycles() const { return _n; }
+    bool irawActive() const { return _n > 0; }
+
+    /** Reset all machine state (keeps configuration). */
+    void reset();
+
+  private:
+    struct InflightWrite
+    {
+        isa::RegId dst = isa::kInvalidReg;
+        bool longLatency = false;
+    };
+
+    /** Reason the head of the IQ could not issue this cycle. */
+    enum class BlockReason
+    {
+        None,
+        Raw,
+        RfIraw,
+        Waw,
+        Structural,
+        Dl0Replay,
+    };
+
+    /** Cycles between a branch's prediction read and the array write
+     *  of its update (frontend-to-execute distance). */
+    static constexpr memory::Cycle kBpUpdateDelay = 6;
+
+    void tick();
+    void issueStage();
+    void fetchStage();
+    BlockReason tryIssue(IqEntry &entry, bool &issued);
+    void executeControlOp(const IqEntry &entry);
+    void issueMemOp(IqEntry &entry);
+    void setDestination(isa::RegId dst, uint32_t latency);
+    bool sourcesReady(const isa::MicroOp &op,
+                      BlockReason &reason) const;
+
+    CoreConfig _cfg;
+    memory::MemoryHierarchy &_mem;
+    trace::TraceSource &_trace;
+
+    Scoreboard _scoreboard;
+    InstructionQueue _iq;
+    ExecUnits _units;
+    mechanism::IqOccupancyGate _gate;
+    mechanism::StoreTable _stable;
+    std::unique_ptr<predictor::BranchPredictor> _bp;
+    predictor::ReturnStackBuffer _rsb;
+    predictor::CorruptionTracker _bpCorruption;
+    Pcg32 _rng;
+
+    PipelineStats _stats;
+
+    memory::Cycle _cycle = 0;
+    uint32_t _n = 0; //!< active stabilization cycles
+    uint64_t _instBudget = 0; //!< run() stops exactly at this count
+
+    // Event wakeups and WAW tracking.
+    std::multimap<memory::Cycle, InflightWrite> _writeEvents;
+    std::vector<uint32_t> _pendingWrites; //!< per-register count
+
+    // Frontend state.
+    std::optional<isa::MicroOp> _nextOp;
+    bool _traceDone = false;
+    bool _fetchHalted = false; //!< mispredicted branch in flight
+    memory::Cycle _fetchBlockedUntil = 0;
+    uint64_t _currentFetchLine = ~0ULL;
+    uint64_t _nopsInjected = 0;
+    uint64_t _nopSeq = 0;
+
+    // DL0 STable replay window.
+    memory::Cycle _dl0ReplayBlockedUntil = 0;
+};
+
+} // namespace core
+} // namespace iraw
+
+#endif // IRAW_CORE_PIPELINE_HH

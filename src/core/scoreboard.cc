@@ -1,0 +1,122 @@
+#include "core/scoreboard.hh"
+
+#include "common/logging.hh"
+
+namespace iraw {
+namespace core {
+
+using mechanism::buildBaselinePattern;
+using mechanism::buildReadyPattern;
+using mechanism::patternQuiescent;
+using mechanism::patternReady;
+using mechanism::ReadyPattern;
+using mechanism::shiftPattern;
+
+Scoreboard::Scoreboard(uint32_t bits, uint32_t bypassLevels)
+    : _bits(bits), _bypassLevels(bypassLevels)
+{
+    fatalIf(bits < 4 || bits > mechanism::kMaxPatternBits,
+            "Scoreboard: width %u outside [4, %u]", bits,
+            mechanism::kMaxPatternBits);
+    fatalIf(bypassLevels + 2 >= bits,
+            "Scoreboard: %u bypass levels leave no room in %u bits",
+            bypassLevels, bits);
+    reset();
+}
+
+void
+Scoreboard::reset()
+{
+    ReadyPattern ones = buildBaselinePattern(_bits, 0);
+    _regs.assign(isa::kNumLogicalRegs, ones);
+    _shadow.assign(isa::kNumLogicalRegs, ones);
+    _longLatency.assign(isa::kNumLogicalRegs, false);
+}
+
+void
+Scoreboard::tick()
+{
+    for (size_t r = 0; r < _regs.size(); ++r) {
+        _regs[r] = shiftPattern(_regs[r], _bits);
+        _shadow[r] = shiftPattern(_shadow[r], _bits);
+    }
+}
+
+bool
+Scoreboard::isReady(isa::RegId reg) const
+{
+    panicIf(!isa::isValidReg(reg), "Scoreboard: bad register %u",
+            reg);
+    if (_longLatency[reg])
+        return false;
+    return patternReady(_regs[reg], _bits);
+}
+
+bool
+Scoreboard::isReadyShadow(isa::RegId reg) const
+{
+    panicIf(!isa::isValidReg(reg), "Scoreboard: bad register %u",
+            reg);
+    if (_longLatency[reg])
+        return false;
+    return patternReady(_shadow[reg], _bits);
+}
+
+void
+Scoreboard::setProducer(isa::RegId reg, uint32_t latency)
+{
+    panicIf(!isa::isValidReg(reg), "Scoreboard: bad register %u",
+            reg);
+    panicIf(latency > maxEncodableLatency(),
+            "Scoreboard: latency %u exceeds encodable %u; use "
+            "setLongLatencyProducer()",
+            latency, maxEncodableLatency());
+    _regs[reg] =
+        buildReadyPattern(_bits, latency, _bypassLevels, _n);
+    _shadow[reg] = buildBaselinePattern(_bits, latency);
+    _longLatency[reg] = false;
+}
+
+void
+Scoreboard::setLongLatencyProducer(isa::RegId reg)
+{
+    panicIf(!isa::isValidReg(reg), "Scoreboard: bad register %u",
+            reg);
+    _regs[reg] = 0;
+    _shadow[reg] = 0;
+    _longLatency[reg] = true;
+}
+
+void
+Scoreboard::completeLongLatency(isa::RegId reg)
+{
+    panicIf(!isa::isValidReg(reg), "Scoreboard: bad register %u",
+            reg);
+    panicIf(!_longLatency[reg],
+            "Scoreboard: completeLongLatency() without a pending "
+            "long-latency producer on r%u", reg);
+    // Value available this cycle: consumers may issue now (bypass)
+    // but not in the stabilization window that follows the RF write.
+    _regs[reg] = buildReadyPattern(_bits, 0, _bypassLevels, _n);
+    _shadow[reg] = buildBaselinePattern(_bits, 0);
+    _longLatency[reg] = false;
+}
+
+bool
+Scoreboard::quiescent(isa::RegId reg) const
+{
+    panicIf(!isa::isValidReg(reg), "Scoreboard: bad register %u",
+            reg);
+    return !_longLatency[reg] && patternQuiescent(_regs[reg], _bits);
+}
+
+ReadyPattern
+Scoreboard::rawPattern(isa::RegId reg) const
+{
+    panicIf(!isa::isValidReg(reg), "Scoreboard: bad register %u",
+            reg);
+    return _regs[reg];
+}
+
+} // namespace core
+} // namespace iraw

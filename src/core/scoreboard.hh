@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The centralized register scoreboard (paper Sec. 4.1.1, Figure 6),
+ * extended with the IRAW bits of Sec. 4.1.2 (Figure 8).
+ *
+ * One shift register per logical register.  Each cycle every shift
+ * register shifts left one position, replicating its LSB; the MSB
+ * says "a consumer of this register may issue now".
+ *
+ * The scoreboard also maintains a *shadow* copy running the
+ * conventional (IRAW-off) patterns.  The shadow changes no issue
+ * decision; it exists so the simulator can attribute a blocked issue
+ * to the IRAW bubble specifically (ready in the shadow, not ready in
+ * the real scoreboard) — the measurement behind the paper's "13.2%
+ * of instructions are delayed" and the 8-10% stall breakdown.
+ */
+
+#ifndef IRAW_CORE_SCOREBOARD_HH
+#define IRAW_CORE_SCOREBOARD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "iraw/ready_pattern.hh"
+#include "isa/registers.hh"
+
+namespace iraw {
+namespace core {
+
+/** The scoreboard. */
+class Scoreboard
+{
+  public:
+    /**
+     * @param bits          shift-register width B
+     * @param bypassLevels  bypass network depth
+     */
+    Scoreboard(uint32_t bits, uint32_t bypassLevels);
+
+    /**
+     * Reconfigure for a Vcc level (Sec. 4.1.3): number of
+     * stabilization cycles N encoded in newly set patterns.
+     * Patterns already in flight keep their old timing, exactly as
+     * the hardware would behave across a DVFS transition.
+     */
+    void setStabilizationCycles(uint32_t n) { _n = n; }
+    uint32_t stabilizationCycles() const { return _n; }
+
+    /** Shift every register one position (call once per cycle). */
+    void tick();
+
+    /** May a consumer of @p reg issue this cycle? */
+    bool isReady(isa::RegId reg) const;
+
+    /** Would it be ready if IRAW avoidance were off? (attribution) */
+    bool isReadyShadow(isa::RegId reg) const;
+
+    /**
+     * A producer of @p reg issued with execution latency
+     * @p latency <= B-1.  Initializes the Figure 8 pattern.
+     */
+    void setProducer(isa::RegId reg, uint32_t latency);
+
+    /**
+     * A producer with latency > B-1 issued (divide, load miss):
+     * the register reads not-ready until completeLongLatency().
+     */
+    void setLongLatencyProducer(isa::RegId reg);
+
+    /**
+     * Event-driven wakeup: the long-latency producer's value is
+     * available this cycle (pattern as if it were a completing
+     * single-cycle producer: bypass ones, N zeros, trailing ones).
+     */
+    void completeLongLatency(isa::RegId reg);
+
+    /** True iff no producer is in flight for @p reg. */
+    bool quiescent(isa::RegId reg) const;
+
+    /** Largest producer latency the shift registers can encode
+     *  (IRAW bits plus one trailing ready bit must still fit). */
+    uint32_t
+    maxEncodableLatency() const
+    {
+        return _bits - 1 - _bypassLevels - _n;
+    }
+
+    /** Reset all registers to quiescent (all ones). */
+    void reset();
+
+    uint32_t bits() const { return _bits; }
+    uint32_t bypassLevels() const { return _bypassLevels; }
+
+    /** Raw pattern access for tests/diagnostics. */
+    mechanism::ReadyPattern rawPattern(isa::RegId reg) const;
+
+  private:
+    uint32_t _bits;
+    uint32_t _bypassLevels;
+    uint32_t _n = 0;
+
+    std::vector<mechanism::ReadyPattern> _regs;
+    std::vector<mechanism::ReadyPattern> _shadow;
+    std::vector<bool> _longLatency; //!< awaiting event wakeup
+};
+
+} // namespace core
+} // namespace iraw
+
+#endif // IRAW_CORE_SCOREBOARD_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The IRAW Vcc controller (paper Sec. 4.1.3): on every Vcc change it
+ * recomputes the stabilization cycle count N from the circuit model
+ * and distributes the new configuration to every mechanism — the
+ * scoreboard pattern parameters, the IQ occupancy threshold, the
+ * per-block port-stall counters and the STable's active entry count.
+ */
+
+#ifndef IRAW_IRAW_CONTROLLER_HH
+#define IRAW_IRAW_CONTROLLER_HH
+
+#include <cstdint>
+
+#include "circuit/cycle_time.hh"
+
+namespace iraw {
+namespace mechanism {
+
+/** How the machine decides whether IRAW operation is active. */
+enum class IrawMode : uint8_t
+{
+    Auto = 0,  //!< enabled iff the circuit model says it pays off
+    ForcedOff, //!< always conventional writes (the paper's baseline)
+    ForcedOn,  //!< always interrupted writes (for testing/ablation)
+};
+
+/** The operating configuration the controller hands to the blocks. */
+struct IrawSettings
+{
+    circuit::MilliVolts vcc = 700.0;
+    bool enabled = false;
+    uint32_t stabilizationCycles = 0; //!< N (0 when disabled)
+    double cycleTime = 0.0;           //!< selected cycle time (a.u.)
+    double baselineCycleTime = 0.0;   //!< write-limited cycle (a.u.)
+    double frequencyGain = 1.0;       //!< vs. the baseline machine
+};
+
+/** Computes per-Vcc IRAW settings from the circuit model. */
+class IrawController
+{
+  public:
+    explicit IrawController(const circuit::CycleTimeModel &model,
+                            IrawMode mode = IrawMode::Auto)
+        : _model(model), _mode(mode)
+    {}
+
+    /** Recompute the configuration for @p vcc. */
+    IrawSettings
+    reconfigure(circuit::MilliVolts vcc) const
+    {
+        circuit::OperatingPoint op = _model.solve(vcc);
+        IrawSettings s;
+        s.vcc = vcc;
+        s.baselineCycleTime = op.baselineCycleTime;
+        switch (_mode) {
+          case IrawMode::ForcedOff:
+            s.enabled = false;
+            break;
+          case IrawMode::ForcedOn:
+            s.enabled = true;
+            break;
+          case IrawMode::Auto:
+          default:
+            s.enabled = op.irawEnabled;
+            break;
+        }
+        if (s.enabled) {
+            s.cycleTime = _model.irawCycleTime(vcc);
+            // ForcedOn below the model's own threshold still needs a
+            // correct N for the chosen cycle time.
+            s.stabilizationCycles =
+                op.stabilizationCycles > 0 ? op.stabilizationCycles
+                                           : 1;
+        } else {
+            s.cycleTime = op.baselineCycleTime;
+            s.stabilizationCycles = 0;
+        }
+        s.frequencyGain = s.baselineCycleTime / s.cycleTime;
+        return s;
+    }
+
+    IrawMode mode() const { return _mode; }
+    void setMode(IrawMode mode) { _mode = mode; }
+    const circuit::CycleTimeModel &model() const { return _model; }
+
+  private:
+    const circuit::CycleTimeModel &_model;
+    IrawMode _mode;
+};
+
+} // namespace mechanism
+} // namespace iraw
+
+#endif // IRAW_IRAW_CONTROLLER_HH

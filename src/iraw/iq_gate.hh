@@ -1,0 +1,105 @@
+/**
+ * @file
+ * IRAW-avoidance gate for the instruction queue (paper Sec. 4.2,
+ * Figure 9, Equation 1).
+ *
+ * Instructions allocate at the IQ tail (an SRAM write) and the ICI
+ * oldest entries are read every cycle.  Under interrupted writes the
+ * last AI*N allocations may still be stabilizing, so issue is allowed
+ * only when
+ *
+ *     occupancy >= ICI + AI * N.
+ *
+ * The occupancy is computed the way the hardware in Figure 9 does it:
+ * append a carry bit to the tail, subtract the head, and drop the
+ * uppermost bit (modular arithmetic over the circular buffer).
+ */
+
+#ifndef IRAW_IRAW_IQ_GATE_HH
+#define IRAW_IRAW_IQ_GATE_HH
+
+#include <cstdint>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace iraw {
+namespace mechanism {
+
+/** Occupancy-threshold issue gate for a circular instruction queue. */
+class IqOccupancyGate
+{
+  public:
+    /**
+     * @param iqSize    IQ capacity (power of two, e.g. 32)
+     * @param ici       instructions considered for issue per cycle
+     * @param ai        allocation (write) width per cycle
+     */
+    IqOccupancyGate(uint32_t iqSize, uint32_t ici, uint32_t ai)
+        : _iqSize(iqSize), _ici(ici), _ai(ai)
+    {
+        fatalIf(!isPowerOf2(iqSize),
+                "IqOccupancyGate: IQ size must be a power of two");
+        fatalIf(ici == 0 || ai == 0,
+                "IqOccupancyGate: ICI and AI must be >= 1");
+        fatalIf(ici + ai > iqSize,
+                "IqOccupancyGate: ICI + AI exceeds IQ size");
+    }
+
+    /**
+     * Reconfigure for a Vcc level: N stabilization cycles.  N = 0
+     * asserts the Figure 9 "stall issue?" override (gate disabled).
+     */
+    void
+    setStabilizationCycles(uint32_t n)
+    {
+        fatalIf(_ici + _ai * n > _iqSize,
+                "IqOccupancyGate: threshold %u exceeds IQ size %u",
+                _ici + _ai * n, _iqSize);
+        _n = n;
+        _threshold = _ici + _ai * n;
+    }
+    uint32_t stabilizationCycles() const { return _n; }
+
+    /**
+     * The Figure 9 occupancy computation.  Head and tail are
+     * maintained as (log2(IQsize)+1)-bit counters; the hardware
+     * appends a '1' to the left of the tail (adds IQsize), subtracts
+     * the head, and discards the uppermost bit of the difference,
+     * which is exactly subtraction modulo 2*IQsize.
+     */
+    uint32_t
+    occupancyFromPointers(uint32_t head, uint32_t tail) const
+    {
+        uint32_t mod = _iqSize << 1;
+        return ((tail - head) + mod) & (mod - 1);
+    }
+
+    /** Eq. (1): may the IQ issue this cycle? */
+    bool
+    issueAllowed(uint32_t occupancy) const
+    {
+        if (_n == 0)
+            return true; // stall_issue? == 0: gate disabled
+        return occupancy >= _threshold;
+    }
+
+    /** Number of drain NOOPs to inject on a pipeline-empty event. */
+    uint32_t drainNoops() const { return _ai * _n; }
+
+    uint32_t threshold() const { return _threshold; }
+    uint32_t ici() const { return _ici; }
+    uint32_t ai() const { return _ai; }
+
+  private:
+    uint32_t _iqSize;
+    uint32_t _ici;
+    uint32_t _ai;
+    uint32_t _n = 0;
+    uint32_t _threshold = 0;
+};
+
+} // namespace mechanism
+} // namespace iraw
+
+#endif // IRAW_IRAW_IQ_GATE_HH

@@ -1,0 +1,52 @@
+#include "iraw/overhead_inventory.hh"
+
+#include "common/logging.hh"
+
+namespace iraw {
+namespace mechanism {
+
+circuit::OverheadModel
+buildOverheadModel(uint64_t coreSramBits, const OverheadParams &p)
+{
+    fatalIf(coreSramBits == 0,
+            "buildOverheadModel: zero baseline SRAM bits");
+
+    circuit::CoreInventory inventory;
+    inventory.sramBits = coreSramBits;
+    inventory.logicBitEquivalents = coreSramBits;
+
+    circuit::OverheadModel model(inventory);
+
+    // Sec. 4.1: the scoreboard shift registers grow by
+    // (bypass levels + max N) bits per logical register.
+    model.add({"scoreboard-extension",
+               static_cast<uint64_t>(p.numLogicalRegs) *
+                   (p.bypassLevels + p.maxStabilizationCycles),
+               0});
+
+    // Sec. 4.2: the IQ occupancy comparator (Figure 9): an adder,
+    // a comparator and the N configuration register.
+    model.add({"iq-occupancy-gate", 4 /* N register */,
+               40 /* adder + comparator gates */});
+
+    // Sec. 4.3: one small stall counter per unfrequently written
+    // block (2-bit counter + reload value).
+    model.add({"port-stall-counters",
+               static_cast<uint64_t>(p.stalledBlocks) * 4,
+               static_cast<uint64_t>(p.stalledBlocks) * 6});
+
+    // Sec. 4.4: the latch-based STable (valid + 48b address + 64b
+    // data + 3b size per entry) plus its comparators.
+    model.add({"store-table",
+               static_cast<uint64_t>(p.stableEntries) *
+                   (1 + 48 + 64 + 3),
+               static_cast<uint64_t>(p.stableEntries) * 50});
+
+    // Sec. 4.1.3: the Vcc controller's N distribution network.
+    model.add({"vcc-controller", 8, 16});
+
+    return model;
+}
+
+} // namespace mechanism
+} // namespace iraw

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Builds the IRAW hardware overhead inventory (paper Sec. 5.1/5.3):
+ * every extra latch bit and gate the mechanism adds, measured against
+ * the baseline core's storage, for the "<0.03% area, <1% power"
+ * result.
+ */
+
+#ifndef IRAW_IRAW_OVERHEAD_INVENTORY_HH
+#define IRAW_IRAW_OVERHEAD_INVENTORY_HH
+
+#include <cstdint>
+
+#include "circuit/overhead.hh"
+
+namespace iraw {
+namespace mechanism {
+
+/** Parameters describing the sized IRAW hardware. */
+struct OverheadParams
+{
+    uint32_t numLogicalRegs = 32;
+    uint32_t bypassLevels = 1;
+    uint32_t maxStabilizationCycles = 4; //!< scoreboard/STable sizing
+    uint32_t stableEntries = 4;          //!< stores/cycle * maxN
+    uint32_t stalledBlocks = 6; //!< IL0, UL1, ITLB, DTLB, FB, WCB
+};
+
+/**
+ * Build the overhead model.
+ * @param coreSramBits    all SRAM storage bits of the baseline core
+ * @param params          the IRAW hardware sizing
+ *
+ * The baseline core's random logic is assumed to occupy as much area
+ * as its SRAM (Atom-class cores are roughly half storage by area).
+ */
+circuit::OverheadModel
+buildOverheadModel(uint64_t coreSramBits, const OverheadParams &params);
+
+} // namespace mechanism
+} // namespace iraw
+
+#endif // IRAW_IRAW_OVERHEAD_INVENTORY_HH

@@ -1,0 +1,65 @@
+#include "isa/op_class.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace iraw {
+namespace isa {
+
+const char *
+opClassName(OpClass c)
+{
+    switch (c) {
+      case OpClass::IntAlu: return "IntAlu";
+      case OpClass::IntMul: return "IntMul";
+      case OpClass::IntDiv: return "IntDiv";
+      case OpClass::FpAdd:  return "FpAdd";
+      case OpClass::FpMul:  return "FpMul";
+      case OpClass::FpDiv:  return "FpDiv";
+      case OpClass::Load:   return "Load";
+      case OpClass::Store:  return "Store";
+      case OpClass::Branch: return "Branch";
+      case OpClass::Call:   return "Call";
+      case OpClass::Return: return "Return";
+      case OpClass::Nop:    return "Nop";
+      default:              return "Invalid";
+    }
+}
+
+LatencyTable::LatencyTable()
+{
+    auto set = [this](OpClass c, uint32_t l) {
+        _latency[static_cast<size_t>(c)] = l;
+    };
+    set(OpClass::IntAlu, 1);
+    set(OpClass::IntMul, 4);
+    set(OpClass::IntDiv, 20);
+    set(OpClass::FpAdd, 3);
+    set(OpClass::FpMul, 4);
+    set(OpClass::FpDiv, 30);
+    set(OpClass::Load, 3);   // DL0 hit: AGU + access + align
+    set(OpClass::Store, 1);  // address/data capture; writes at commit
+    set(OpClass::Branch, 1);
+    set(OpClass::Call, 1);
+    set(OpClass::Return, 1);
+    set(OpClass::Nop, 1);
+}
+
+void
+LatencyTable::setLatency(OpClass c, uint32_t cycles)
+{
+    fatalIf(cycles == 0, "LatencyTable: zero-cycle latency for %s",
+            opClassName(c));
+    fatalIf(c == OpClass::NumClasses, "LatencyTable: invalid op class");
+    _latency[static_cast<size_t>(c)] = cycles;
+}
+
+uint32_t
+LatencyTable::maxLatency() const
+{
+    return *std::max_element(_latency.begin(), _latency.end());
+}
+
+} // namespace isa
+} // namespace iraw

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Architectural register identifiers.  The modelled core tracks 16
+ * integer and 16 floating-point logical registers in one flat
+ * scoreboard space (integer 0-15, FP 16-31), matching the in-order
+ * core's centralized scoreboard organization (paper Sec. 4.1.1).
+ */
+
+#ifndef IRAW_ISA_REGISTERS_HH
+#define IRAW_ISA_REGISTERS_HH
+
+#include <cstdint>
+
+namespace iraw {
+namespace isa {
+
+/** Flat logical register index. */
+using RegId = uint8_t;
+
+constexpr uint32_t kNumIntRegs = 16;
+constexpr uint32_t kNumFpRegs = 16;
+constexpr uint32_t kNumLogicalRegs = kNumIntRegs + kNumFpRegs;
+
+/** Sentinel meaning "no register". */
+constexpr RegId kInvalidReg = 0xff;
+
+constexpr bool
+isValidReg(RegId r)
+{
+    return r < kNumLogicalRegs;
+}
+
+constexpr bool
+isIntReg(RegId r)
+{
+    return r < kNumIntRegs;
+}
+
+constexpr bool
+isFpReg(RegId r)
+{
+    return r >= kNumIntRegs && r < kNumLogicalRegs;
+}
+
+/** First FP register index. */
+constexpr RegId kFirstFpReg = static_cast<RegId>(kNumIntRegs);
+
+} // namespace isa
+} // namespace iraw
+
+#endif // IRAW_ISA_REGISTERS_HH

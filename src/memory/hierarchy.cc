@@ -1,0 +1,279 @@
+#include "memory/hierarchy.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace iraw {
+namespace memory {
+
+MemoryHierarchy::MemoryHierarchy(const MemoryConfig &cfg)
+    : _cfg(cfg), _il0(cfg.il0), _dl0(cfg.dl0), _ul1(cfg.ul1),
+      _itlb(cfg.itlb), _dtlb(cfg.dtlb), _fb("fb", cfg.fbEntries),
+      _wcb("wcb", cfg.wcbEntries, cfg.wcbDrainLatency)
+{
+    fatalIf(cfg.ul1HitLatency == 0,
+            "MemoryHierarchy: UL1 hit latency must be >= 1");
+    fatalIf(cfg.il0.lineBytes != cfg.ul1.lineBytes ||
+                cfg.dl0.lineBytes != cfg.ul1.lineBytes,
+            "MemoryHierarchy: all levels must share one line size");
+}
+
+void
+MemoryHierarchy::setStabilizationCycles(uint32_t n)
+{
+    _il0Guard.setStabilizationCycles(n);
+    _dl0Guard.setStabilizationCycles(n);
+    _ul1Guard.setStabilizationCycles(n);
+    _itlbGuard.setStabilizationCycles(n);
+    _dtlbGuard.setStabilizationCycles(n);
+    _fbGuard.setStabilizationCycles(n);
+}
+
+void
+MemoryHierarchy::setDramLatencyCycles(uint32_t cycles)
+{
+    fatalIf(cycles == 0, "MemoryHierarchy: DRAM latency must be >= 1");
+    _dramCycles = cycles;
+}
+
+void
+MemoryHierarchy::retireFills(Cycle cycle)
+{
+    if (_pending.empty())
+        return;
+    auto it = _pending.begin();
+    while (it != _pending.end()) {
+        if (it->fillCycle <= cycle) {
+            Cache &l0 = it->toIl0 ? _il0 : _dl0;
+            IrawPortGuard &guard =
+                it->toIl0 ? _il0Guard : _dl0Guard;
+            Victim victim = l0.fill(it->lineAddr, it->dirty);
+            guard.noteWrite(it->fillCycle);
+            if (victim.valid && victim.dirty)
+                _wcb.push(victim.lineAddr, it->fillCycle);
+            it = _pending.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    _fb.retire(cycle);
+}
+
+Cycle
+MemoryHierarchy::serviceMiss(Cache &l0, IrawPortGuard &l0Guard,
+                             uint64_t lineAddr, Cycle cycle,
+                             bool dirtyFill, MemAccessResult &res)
+{
+    (void)l0Guard;
+
+    // Victim still draining in the WCB/EB?  Forward from there and
+    // reinstall; the WCB is an SRAM block, so its IRAW guard applies.
+    if (_wcb.contains(lineAddr)) {
+        Cycle when = cycle;
+        Cycle granted = _fbGuard.resolve(when); // WCB shares FB guard
+        res.irawStallCycles += granted - when;
+        when = granted + _cfg.wcbForwardLatency;
+        res.wcbForward = true;
+        _pending.push_back({lineAddr, when, &l0 == &_il0, true});
+        return when;
+    }
+
+    // Merge into an in-flight fill of the same line.
+    if (_fb.contains(lineAddr)) {
+        res.fbMerge = true;
+        _fb.noteMerge();
+        return std::max(cycle, _fb.readyCycle(lineAddr));
+    }
+
+    // Need a fresh FB entry; a full FB stalls the request.
+    Cycle when = cycle;
+    if (_fb.full(when)) {
+        when = std::max(when, _fb.earliestReady());
+        retireFills(when);
+    }
+
+    // The FB itself is written on allocation: IRAW guard.
+    Cycle granted = _fbGuard.resolve(when);
+    res.irawStallCycles += granted - when;
+    when = granted;
+
+    // UL1 lookup; a stabilizing UL1 fill stalls this access.
+    Cycle ul1When = _ul1Guard.resolve(when);
+    res.irawStallCycles += ul1When - when;
+    when = ul1When;
+
+    Cycle fillReady;
+    if (_ul1.access(lineAddr, false)) {
+        res.ul1Hit = true;
+        fillReady = when + _cfg.ul1HitLatency;
+    } else {
+        res.ul1Hit = false;
+        fillReady = when + _cfg.ul1HitLatency + _dramCycles;
+        Victim v = _ul1.fill(lineAddr, false);
+        _ul1Guard.noteWrite(fillReady);
+        if (v.valid && v.dirty)
+            _wcb.push(v.lineAddr, fillReady);
+    }
+
+    _fb.allocate(lineAddr, fillReady);
+    // The FB's heavy SRAM write is the line data arriving from the
+    // next level; the allocation itself only sets a few state bits.
+    _fbGuard.noteWrite(fillReady);
+    _pending.push_back(
+        {lineAddr, fillReady, &l0 == &_il0, dirtyFill});
+    return fillReady;
+}
+
+MemAccessResult
+MemoryHierarchy::instFetch(uint64_t pc, Cycle cycle)
+{
+    retireFills(cycle);
+    MemAccessResult res;
+    Cycle when = cycle;
+
+    // ITLB (guard first: a stabilizing refill blocks the lookup).
+    Cycle granted = _itlbGuard.resolve(when);
+    res.irawStallCycles += granted - when;
+    when = granted;
+    if (!_itlb.lookup(pc)) {
+        res.tlbMiss = true;
+        when += _itlb.params().missPenalty;
+        _itlb.fill(pc);
+        _itlbGuard.noteWrite(when);
+    }
+
+    // IL0.
+    granted = _il0Guard.resolve(when);
+    res.irawStallCycles += granted - when;
+    when = granted;
+    if (_il0.access(pc, false)) {
+        res.l0Hit = true;
+        res.readyCycle = when;
+        return res;
+    }
+    res.readyCycle =
+        serviceMiss(_il0, _il0Guard, _il0.lineAddr(pc), when, false,
+                    res);
+    return res;
+}
+
+MemAccessResult
+MemoryHierarchy::dataLoad(uint64_t addr, Cycle cycle)
+{
+    retireFills(cycle);
+    MemAccessResult res;
+    Cycle when = cycle;
+
+    Cycle granted = _dtlbGuard.resolve(when);
+    res.irawStallCycles += granted - when;
+    when = granted;
+    if (!_dtlb.lookup(addr)) {
+        res.tlbMiss = true;
+        when += _dtlb.params().missPenalty;
+        _dtlb.fill(addr);
+        _dtlbGuard.noteWrite(when);
+    }
+
+    // DL0 fill-stall guard: a load arriving while a line fill
+    // stabilizes must wait (Sec. 4.4: fills are handled like the
+    // unfrequently-written blocks; store data is covered by the
+    // STable in the core).
+    granted = _dl0Guard.resolve(when);
+    res.irawStallCycles += granted - when;
+    when = granted;
+
+    if (_dl0.access(addr, false)) {
+        res.l0Hit = true;
+        res.readyCycle = when;
+        return res;
+    }
+    res.readyCycle =
+        serviceMiss(_dl0, _dl0Guard, _dl0.lineAddr(addr), when, false,
+                    res);
+    return res;
+}
+
+MemAccessResult
+MemoryHierarchy::dataStore(uint64_t addr, Cycle cycle)
+{
+    retireFills(cycle);
+    MemAccessResult res;
+    Cycle when = cycle;
+
+    Cycle granted = _dtlbGuard.resolve(when);
+    res.irawStallCycles += granted - when;
+    when = granted;
+    if (!_dtlb.lookup(addr)) {
+        res.tlbMiss = true;
+        when += _dtlb.params().missPenalty;
+        _dtlb.fill(addr);
+        _dtlbGuard.noteWrite(when);
+    }
+
+    // Stores must also respect the fill guard: the tag match reads
+    // the whole set, and a stabilizing fill's tags could be
+    // corrupted.  (Store *data* writes are safe and covered by the
+    // STable; they do not arm this guard.)
+    granted = _dl0Guard.resolve(when);
+    res.irawStallCycles += granted - when;
+    when = granted;
+
+    if (_dl0.access(addr, true)) {
+        res.l0Hit = true;
+        res.readyCycle = when;
+        return res;
+    }
+
+    // Write-allocate: fetch the line; the store data merges into the
+    // fill buffer, so commit is not blocked by the fill itself.
+    Cycle fillReady =
+        serviceMiss(_dl0, _dl0Guard, _dl0.lineAddr(addr), when, true,
+                    res);
+    (void)fillReady;
+    res.readyCycle = when;
+    return res;
+}
+
+uint64_t
+MemoryHierarchy::totalIrawStallCycles() const
+{
+    return _il0Guard.stallCycles() + _dl0Guard.stallCycles() +
+           _ul1Guard.stallCycles() + _itlbGuard.stallCycles() +
+           _dtlbGuard.stallCycles() + _fbGuard.stallCycles();
+}
+
+uint64_t
+MemoryHierarchy::totalSramBits() const
+{
+    return _cfg.il0.totalBits() + _cfg.dl0.totalBits() +
+           _cfg.ul1.totalBits() + _cfg.itlb.totalBits() +
+           _cfg.dtlb.totalBits() + _fb.totalBits() + _wcb.totalBits();
+}
+
+void
+MemoryHierarchy::reset()
+{
+    _il0.flush();
+    _il0.resetStats();
+    _dl0.flush();
+    _dl0.resetStats();
+    _ul1.flush();
+    _ul1.resetStats();
+    _itlb.flush();
+    _itlb.resetStats();
+    _dtlb.flush();
+    _dtlb.resetStats();
+    _fb.reset();
+    _wcb.reset();
+    _il0Guard.reset();
+    _dl0Guard.reset();
+    _ul1Guard.reset();
+    _itlbGuard.reset();
+    _dtlbGuard.reset();
+    _fbGuard.reset();
+    _pending.clear();
+}
+
+} // namespace memory
+} // namespace iraw

@@ -1,0 +1,71 @@
+#include "memory/tlb.hh"
+
+#include "common/logging.hh"
+
+namespace iraw {
+namespace memory {
+
+Tlb::Tlb(const TlbParams &params) : _params(params)
+{
+    fatalIf(_params.entries == 0, "tlb %s: needs >= 1 entry",
+            _params.name.c_str());
+    fatalIf(_params.pageBytes == 0,
+            "tlb %s: pageBytes must be positive",
+            _params.name.c_str());
+    _entries.assign(_params.entries, Entry{});
+}
+
+bool
+Tlb::lookup(uint64_t addr)
+{
+    ++_accesses;
+    uint64_t vpn = vpnOf(addr);
+    for (auto &entry : _entries) {
+        if (entry.valid && entry.vpn == vpn) {
+            entry.lru = ++_lruClock;
+            return true;
+        }
+    }
+    ++_misses;
+    return false;
+}
+
+void
+Tlb::fill(uint64_t addr)
+{
+    uint64_t vpn = vpnOf(addr);
+    Entry *victim = nullptr;
+    for (auto &entry : _entries) {
+        if (entry.valid && entry.vpn == vpn) {
+            entry.lru = ++_lruClock;
+            return; // already present (racing refill)
+        }
+        if (!entry.valid) {
+            if (!victim || victim->valid)
+                victim = &entry;
+        } else if (!victim ||
+                   (victim->valid && entry.lru < victim->lru)) {
+            victim = &entry;
+        }
+    }
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->lru = ++_lruClock;
+}
+
+void
+Tlb::flush()
+{
+    for (auto &entry : _entries)
+        entry = Entry{};
+}
+
+void
+Tlb::resetStats()
+{
+    _accesses = 0;
+    _misses = 0;
+}
+
+} // namespace memory
+} // namespace iraw

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Branch direction predictors: bimodal, gshare and a hybrid with a
+ * chooser table — the "BP" block of Figure 3.  Prediction arrays are
+ * prediction-only SRAM, so under IRAW they are left unprotected
+ * (Sec. 4.5); the corruption model quantifying that choice lives in
+ * iraw_corruption.hh.
+ */
+
+#ifndef IRAW_PREDICTOR_BRANCH_PREDICTOR_HH
+#define IRAW_PREDICTOR_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace iraw {
+namespace predictor {
+
+/** Direction predictor interface. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict the direction of the branch at @p pc. */
+    virtual bool predict(uint64_t pc) = 0;
+
+    /**
+     * Train with the resolved outcome.
+     * @return true iff the update flipped the direction (uppermost)
+     *         bit of the indexed entry — the only updates whose
+     *         IRAW window can corrupt a subsequent read (Sec. 4.5).
+     */
+    virtual bool update(uint64_t pc, bool taken) = 0;
+
+    virtual std::string name() const = 0;
+
+    /** Total predictor storage bits (for area accounting). */
+    virtual uint64_t totalBits() const = 0;
+
+    /** Index of the table entry @p pc maps to (for IRAW analysis). */
+    virtual uint32_t entryIndex(uint64_t pc) const = 0;
+    virtual uint32_t numEntries() const = 0;
+
+    uint64_t predictions() const { return _predictions; }
+    uint64_t mispredictions() const { return _mispredictions; }
+    double
+    accuracy() const
+    {
+        return _predictions
+                   ? 1.0 - static_cast<double>(_mispredictions) /
+                               _predictions
+                   : 0.0;
+    }
+    void
+    resetStats()
+    {
+        _predictions = 0;
+        _mispredictions = 0;
+    }
+
+  protected:
+    void
+    notePrediction(bool correct)
+    {
+        ++_predictions;
+        if (!correct)
+            ++_mispredictions;
+    }
+
+  private:
+    uint64_t _predictions = 0;
+    uint64_t _mispredictions = 0;
+};
+
+/** Classic 2-bit-counter bimodal predictor. */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    explicit BimodalPredictor(uint32_t entries = 4096);
+
+    bool predict(uint64_t pc) override;
+    bool update(uint64_t pc, bool taken) override;
+    std::string name() const override { return "bimodal"; }
+    uint64_t totalBits() const override
+    {
+        return static_cast<uint64_t>(_counters.size()) * 2;
+    }
+    uint32_t entryIndex(uint64_t pc) const override;
+    uint32_t numEntries() const override
+    {
+        return static_cast<uint32_t>(_counters.size());
+    }
+
+  private:
+    std::vector<uint8_t> _counters; //!< 2-bit saturating counters
+};
+
+/** Global-history gshare predictor. */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    GsharePredictor(uint32_t entries = 4096,
+                    uint32_t historyBits = 12);
+
+    bool predict(uint64_t pc) override;
+    bool update(uint64_t pc, bool taken) override;
+    std::string name() const override { return "gshare"; }
+    uint64_t totalBits() const override
+    {
+        return static_cast<uint64_t>(_counters.size()) * 2 +
+               _historyBits;
+    }
+    uint32_t entryIndex(uint64_t pc) const override;
+    uint32_t numEntries() const override
+    {
+        return static_cast<uint32_t>(_counters.size());
+    }
+
+  private:
+    std::vector<uint8_t> _counters;
+    uint32_t _historyBits;
+    uint32_t _history = 0;
+};
+
+/** Tournament hybrid: bimodal + gshare with a 2-bit chooser. */
+class HybridPredictor : public BranchPredictor
+{
+  public:
+    HybridPredictor(uint32_t entries = 4096,
+                    uint32_t historyBits = 12);
+
+    bool predict(uint64_t pc) override;
+    bool update(uint64_t pc, bool taken) override;
+    std::string name() const override { return "hybrid"; }
+    uint64_t totalBits() const override;
+    uint32_t entryIndex(uint64_t pc) const override;
+    uint32_t numEntries() const override;
+
+  private:
+    BimodalPredictor _bimodal;
+    GsharePredictor _gshare;
+    std::vector<uint8_t> _chooser;
+    bool _lastBimodal = false;
+    bool _lastGshare = false;
+};
+
+/** Factory by name ("bimodal", "gshare", "hybrid"). */
+std::unique_ptr<BranchPredictor>
+makePredictor(const std::string &kind, uint32_t entries = 4096,
+              uint32_t historyBits = 12);
+
+} // namespace predictor
+} // namespace iraw
+
+#endif // IRAW_PREDICTOR_BRANCH_PREDICTOR_HH

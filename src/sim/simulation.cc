@@ -1,0 +1,125 @@
+#include "sim/simulation.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "trace/workload.hh"
+
+namespace iraw {
+namespace sim {
+
+Simulator::Simulator()
+{
+    _logic = std::make_unique<circuit::LogicDelayModel>();
+    _bitcell = std::make_unique<circuit::BitcellModel>(*_logic);
+    _sram = std::make_unique<circuit::SramTimingModel>(*_logic,
+                                                       *_bitcell);
+    _cycleTime =
+        std::make_unique<circuit::CycleTimeModel>(*_logic, *_sram);
+}
+
+uint32_t
+Simulator::dramCyclesAt(double cycleTimeAu, double dramLatencyNs)
+{
+    fatalIf(cycleTimeAu <= 0.0, "dramCyclesAt: non-positive cycle");
+    double cycleNs = cycleTimeAu * kNanosecondsPerAu;
+    auto cycles =
+        static_cast<uint32_t>(std::ceil(dramLatencyNs / cycleNs));
+    return cycles == 0 ? 1 : cycles;
+}
+
+SimResult
+Simulator::run(const SimConfig &cfg) const
+{
+    cfg.core.validate();
+    fatalIf(cfg.instructions == 0,
+            "Simulator: zero instruction budget");
+    fatalIf(!circuit::inModelRange(cfg.vcc),
+            "Simulator: Vcc %.0f mV outside model range", cfg.vcc);
+
+    SimResult res;
+    res.config = cfg;
+
+    mechanism::IrawController controller(*_cycleTime, cfg.mode);
+    res.settings = controller.reconfigure(cfg.vcc);
+    res.cycleTimeAu = res.settings.cycleTime;
+
+    trace::SyntheticTraceGenerator gen(
+        trace::profileByName(cfg.workload), cfg.seed);
+
+    memory::MemoryHierarchy mem(cfg.mem);
+    res.dramCycles =
+        dramCyclesAt(res.cycleTimeAu, cfg.mem.dramLatencyNs);
+    mem.setDramLatencyCycles(
+        static_cast<uint32_t>(res.dramCycles));
+
+    core::Pipeline pipe(cfg.core, mem, gen);
+    pipe.applySettings(res.settings);
+
+    // Warm-up window: run, snapshot every counter, then measure.
+    core::PipelineStats warm;
+    struct MemSnapshot
+    {
+        uint64_t il0Acc, il0Hit, dl0Acc, dl0Hit, ul1Acc, ul1Hit;
+        uint64_t dl0Guard, otherGuard;
+        uint64_t bpPred, bpMiss;
+    } snap{};
+    if (cfg.warmupInstructions > 0) {
+        warm = pipe.run(cfg.warmupInstructions);
+        snap.il0Acc = mem.il0().accesses();
+        snap.il0Hit = mem.il0().hits();
+        snap.dl0Acc = mem.dl0().accesses();
+        snap.dl0Hit = mem.dl0().hits();
+        snap.ul1Acc = mem.ul1().accesses();
+        snap.ul1Hit = mem.ul1().hits();
+        snap.dl0Guard = mem.dl0Guard().stallCycles();
+        snap.otherGuard = mem.il0Guard().stallCycles() +
+                          mem.ul1Guard().stallCycles() +
+                          mem.itlbGuard().stallCycles() +
+                          mem.dtlbGuard().stallCycles() +
+                          mem.fbGuard().stallCycles();
+        snap.bpPred = pipe.branchPredictor().predictions();
+        snap.bpMiss = pipe.branchPredictor().mispredictions();
+    }
+
+    core::PipelineStats total =
+        pipe.run(cfg.warmupInstructions + cfg.instructions);
+    res.pipeline = total.minus(warm);
+    res.ipc = res.pipeline.ipc();
+    res.execTimeAu =
+        static_cast<double>(res.pipeline.cycles) * res.cycleTimeAu;
+
+    res.dl0GuardStalls =
+        mem.dl0Guard().stallCycles() - snap.dl0Guard;
+    res.otherGuardStalls =
+        mem.il0Guard().stallCycles() + mem.ul1Guard().stallCycles() +
+        mem.itlbGuard().stallCycles() +
+        mem.dtlbGuard().stallCycles() + mem.fbGuard().stallCycles() -
+        snap.otherGuard;
+
+    auto rate = [](uint64_t acc, uint64_t hit, uint64_t acc0,
+                   uint64_t hit0) {
+        uint64_t a = acc - acc0;
+        uint64_t h = hit - hit0;
+        return a ? static_cast<double>(a - h) / a : 0.0;
+    };
+    res.il0MissRate = rate(mem.il0().accesses(), mem.il0().hits(),
+                           snap.il0Acc, snap.il0Hit);
+    res.dl0MissRate = rate(mem.dl0().accesses(), mem.dl0().hits(),
+                           snap.dl0Acc, snap.dl0Hit);
+    res.ul1MissRate = rate(mem.ul1().accesses(), mem.ul1().hits(),
+                           snap.ul1Acc, snap.ul1Hit);
+    {
+        uint64_t preds =
+            pipe.branchPredictor().predictions() - snap.bpPred;
+        uint64_t miss =
+            pipe.branchPredictor().mispredictions() - snap.bpMiss;
+        res.bpAccuracy =
+            preds ? 1.0 - static_cast<double>(miss) / preds : 0.0;
+    }
+    res.bpConflictRate = pipe.bpCorruption().conflictRate();
+    return res;
+}
+
+} // namespace sim
+} // namespace iraw

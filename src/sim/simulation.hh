@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Top-level single-run simulator: wires circuit model, trace source,
+ * memory hierarchy and pipeline together for one (workload, Vcc,
+ * mode) point and reports timing/energy-ready results.
+ */
+
+#ifndef IRAW_SIM_SIMULATION_HH
+#define IRAW_SIM_SIMULATION_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "circuit/cycle_time.hh"
+#include "core/core_config.hh"
+#include "core/pipeline.hh"
+#include "iraw/controller.hh"
+#include "memory/hierarchy.hh"
+#include "trace/generator.hh"
+
+namespace iraw {
+namespace sim {
+
+/**
+ * Wall-clock scale: nanoseconds per delay a.u. (one 12-FO4 phase at
+ * 700 mV).  With 0.45 ns/a.u. the core clocks ~1.1 GHz at 700 mV,
+ * Silverthorne-class.  Only relative results depend on this choice
+ * through the DRAM-cycles conversion.
+ */
+constexpr double kNanosecondsPerAu = 0.45;
+
+/** Everything one simulation run needs. */
+struct SimConfig
+{
+    core::CoreConfig core;
+    memory::MemoryConfig mem;
+
+    std::string workload = "spec2006int";
+    uint64_t seed = 1;
+    uint64_t instructions = 100000;
+    /**
+     * Instructions executed before measurement starts (cache and
+     * predictor warm-up).  The paper's 10M-instruction traces are
+     * long enough that compulsory misses vanish in the noise; short
+     * runs need an explicit warm window to match.
+     */
+    uint64_t warmupInstructions = 80000;
+
+    circuit::MilliVolts vcc = 500.0;
+    mechanism::IrawMode mode = mechanism::IrawMode::Auto;
+};
+
+/** Results of one run. */
+struct SimResult
+{
+    SimConfig config;
+    mechanism::IrawSettings settings;
+
+    core::PipelineStats pipeline;
+    double ipc = 0.0;
+    double cycleTimeAu = 0.0;
+    double execTimeAu = 0.0; //!< cycles * cycleTime
+    uint64_t dramCycles = 0;
+
+    // Memory-side IRAW stall attribution (cycles).
+    uint64_t dl0GuardStalls = 0;
+    uint64_t otherGuardStalls = 0; //!< IL0+UL1+TLBs+FB
+
+    // Cache behaviour.
+    double il0MissRate = 0.0;
+    double dl0MissRate = 0.0;
+    double ul1MissRate = 0.0;
+    double bpAccuracy = 0.0;
+    double bpConflictRate = 0.0; //!< potential extra mispredictions
+
+    /** Instructions per a.u. of wall time (performance). */
+    double
+    performance() const
+    {
+        return execTimeAu > 0.0
+                   ? static_cast<double>(pipeline.committedInsts) /
+                         execTimeAu
+                   : 0.0;
+    }
+};
+
+/** Builds and runs single simulations against shared circuit models. */
+class Simulator
+{
+  public:
+    Simulator();
+
+    /** Run one configuration to completion. */
+    SimResult run(const SimConfig &cfg) const;
+
+    const circuit::CycleTimeModel &cycleTimeModel() const
+    {
+        return *_cycleTime;
+    }
+    const circuit::LogicDelayModel &logicModel() const
+    {
+        return *_logic;
+    }
+    const circuit::BitcellModel &bitcellModel() const
+    {
+        return *_bitcell;
+    }
+    const circuit::SramTimingModel &sramModel() const
+    {
+        return *_sram;
+    }
+
+    /** DRAM latency in cycles at a given cycle time. */
+    static uint32_t dramCyclesAt(double cycleTimeAu,
+                                 double dramLatencyNs);
+
+  private:
+    std::unique_ptr<circuit::LogicDelayModel> _logic;
+    std::unique_ptr<circuit::BitcellModel> _bitcell;
+    std::unique_ptr<circuit::SramTimingModel> _sram;
+    std::unique_ptr<circuit::CycleTimeModel> _cycleTime;
+};
+
+} // namespace sim
+} // namespace iraw
+
+#endif // IRAW_SIM_SIMULATION_HH

@@ -1,0 +1,130 @@
+#include "sim/stats_report.hh"
+
+#include "common/stats.hh"
+
+namespace iraw {
+namespace sim {
+
+void
+writeStatsReport(std::ostream &os, const SimResult &result)
+{
+    const core::PipelineStats &p = result.pipeline;
+
+    stats::Group config("config");
+    config.addScalar("vcc_mV", "supply voltage").set(
+        static_cast<uint64_t>(result.config.vcc));
+    config.addScalar("iraw_enabled", "IRAW avoidance active")
+        .set(result.settings.enabled ? 1 : 0);
+    config.addScalar("stabilization_cycles",
+                     "N at this operating point")
+        .set(result.settings.stabilizationCycles);
+    config.addScalar("dram_cycles",
+                     "DRAM latency at this clock")
+        .set(result.dramCycles);
+
+    stats::Group pipe("pipeline");
+    pipe.addScalar("cycles", "simulated cycles").set(p.cycles);
+    pipe.addScalar("instructions", "committed instructions")
+        .set(p.committedInsts);
+    pipe.addFormula(
+        "ipc", [&p]() { return p.ipc(); },
+        "instructions per cycle");
+    pipe.addScalar("raw_stall_cycles",
+                   "issue blocked on a true dependence")
+        .set(p.rawStallCycles);
+    pipe.addScalar("waw_stall_cycles",
+                   "issue blocked on an in-flight writer")
+        .set(p.wawStallCycles);
+    pipe.addScalar("structural_stall_cycles",
+                   "issue blocked on a functional unit")
+        .set(p.structuralStallCycles);
+    pipe.addScalar("iq_empty_cycles", "frontend supplied nothing")
+        .set(p.iqEmptyCycles);
+    pipe.addScalar("icache_stall_cycles",
+                   "fetch blocked on IL0/ITLB")
+        .set(p.icacheStallCycles);
+
+    stats::Group iraw("iraw");
+    iraw.addScalar("rf_stall_cycles",
+                   "issue blocked by the scoreboard bubble")
+        .set(p.rfIrawStallCycles);
+    iraw.addScalar("rf_delayed_insts",
+                   "instructions delayed by RF IRAW (paper: 13.2%)")
+        .set(p.rfIrawDelayedInsts);
+    iraw.addScalar("iq_gate_stall_cycles",
+                   "Eq. (1) occupancy gate stalls")
+        .set(p.iqGateStallCycles);
+    iraw.addScalar("dl0_replay_stall_cycles",
+                   "STable replay recovery stalls")
+        .set(p.dl0ReplayStallCycles);
+    iraw.addScalar("dl0_guard_stall_cycles",
+                   "DL0 fill-stabilization stalls")
+        .set(result.dl0GuardStalls);
+    iraw.addScalar("other_guard_stall_cycles",
+                   "IL0/UL1/TLB/FB fill-stabilization stalls")
+        .set(result.otherGuardStalls);
+    iraw.addScalar("stable_full_matches",
+                   "loads forwarded from the STable")
+        .set(p.stableFullMatches);
+    iraw.addScalar("stable_set_matches",
+                   "set-only STable conflicts")
+        .set(p.stableSetMatches);
+    iraw.addScalar("drain_nops", "injected drain NOOPs")
+        .set(p.drainNops);
+
+    stats::Group mem("memory");
+    mem.addScalar("loads", "load instructions").set(p.loads);
+    mem.addScalar("stores", "store instructions").set(p.stores);
+    mem.addScalar("load_misses", "DL0 load misses")
+        .set(p.loadMisses);
+    mem.addFormula(
+        "dl0_miss_rate",
+        [&result]() { return result.dl0MissRate; },
+        "DL0 miss rate over the measured window");
+    mem.addFormula(
+        "il0_miss_rate",
+        [&result]() { return result.il0MissRate; }, "");
+    mem.addFormula(
+        "ul1_miss_rate",
+        [&result]() { return result.ul1MissRate; }, "");
+
+    stats::Group pred("predictor");
+    pred.addScalar("branches", "control-flow instructions")
+        .set(p.branches);
+    pred.addScalar("mispredicts", "direction/target mispredicts")
+        .set(p.mispredicts);
+    pred.addScalar("rsb_mispredicts", "return-target mispredicts")
+        .set(p.rsbMispredicts);
+    pred.addFormula(
+        "accuracy", [&result]() { return result.bpAccuracy; },
+        "direction predictor accuracy");
+    pred.addScalar("bp_conflict_reads",
+                   "BP reads inside a stabilization window")
+        .set(p.bpConflictReads);
+    pred.addScalar("rsb_conflict_pops",
+                   "RSB pops inside a stabilization window")
+        .set(p.rsbConflictPops);
+
+    stats::Group timing("timing");
+    timing.addFormula(
+        "cycle_time_au",
+        [&result]() { return result.cycleTimeAu; },
+        "selected cycle time (a.u., 12FO4@700mV phase = 1)");
+    timing.addFormula(
+        "exec_time_au", [&result]() { return result.execTimeAu; },
+        "cycles x cycle time");
+    timing.addFormula(
+        "performance",
+        [&result]() { return result.performance(); },
+        "instructions per a.u. of wall time");
+
+    config.dump(os);
+    pipe.dump(os);
+    iraw.dump(os);
+    mem.dump(os);
+    pred.dump(os);
+    timing.dump(os);
+}
+
+} // namespace sim
+} // namespace iraw

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * gem5-style statistics reporting: renders a SimResult as a flat
+ * "group.stat value # description" listing (the format downstream
+ * tooling expects from simulators), built on the stats package.
+ */
+
+#ifndef IRAW_SIM_STATS_REPORT_HH
+#define IRAW_SIM_STATS_REPORT_HH
+
+#include <ostream>
+
+#include "sim/simulation.hh"
+
+namespace iraw {
+namespace sim {
+
+/**
+ * Write a full statistics dump for one simulation run.
+ * Sections: run configuration, pipeline, IRAW mechanisms, memory,
+ * predictor, timing/performance.
+ */
+void writeStatsReport(std::ostream &os, const SimResult &result);
+
+} // namespace sim
+} // namespace iraw
+
+#endif // IRAW_SIM_STATS_REPORT_HH

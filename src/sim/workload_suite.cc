@@ -1,0 +1,35 @@
+#include "sim/workload_suite.hh"
+
+#include "trace/workload.hh"
+
+namespace iraw {
+namespace sim {
+
+std::vector<SuiteEntry>
+defaultSuite(uint64_t instructions, uint32_t seedsPer)
+{
+    std::vector<SuiteEntry> suite;
+    for (const auto &name : trace::profileNames()) {
+        for (uint32_t s = 0; s < seedsPer; ++s) {
+            SuiteEntry entry;
+            entry.workload = name;
+            entry.seed = 1 + s;
+            entry.instructions = instructions;
+            suite.push_back(entry);
+        }
+    }
+    return suite;
+}
+
+std::vector<SuiteEntry>
+quickSuite(uint64_t instructions)
+{
+    return {
+        {"spec2006int", 1, instructions},
+        {"spec2006fp", 1, instructions},
+        {"multimedia", 1, instructions},
+    };
+}
+
+} // namespace sim
+} // namespace iraw

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The standard workload suite: a scaled-down stand-in for the paper's
+ * 531 traces.  One or more seeds per workload category; experiments
+ * aggregate across the suite with instruction-count weighting.
+ */
+
+#ifndef IRAW_SIM_WORKLOAD_SUITE_HH
+#define IRAW_SIM_WORKLOAD_SUITE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iraw {
+namespace sim {
+
+/** One trace of the suite. */
+struct SuiteEntry
+{
+    std::string workload;
+    uint64_t seed = 1;
+    uint64_t instructions = 100000;
+};
+
+/**
+ * Build the default suite: every built-in profile with @p seedsPer
+ * seeds of @p instructions each.
+ */
+std::vector<SuiteEntry> defaultSuite(uint64_t instructions = 100000,
+                                     uint32_t seedsPer = 1);
+
+/** A fast 3-trace suite for smoke tests and examples. */
+std::vector<SuiteEntry> quickSuite(uint64_t instructions = 30000);
+
+} // namespace sim
+} // namespace iraw
+
+#endif // IRAW_SIM_WORKLOAD_SUITE_HH

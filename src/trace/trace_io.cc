@@ -1,0 +1,190 @@
+#include "trace/trace_io.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace iraw {
+namespace trace {
+
+namespace {
+
+/** On-disk record layout (packed little-endian, 30 bytes). */
+struct PackedRecord
+{
+    uint64_t pc;
+    uint64_t memAddr;
+    uint64_t target;
+    uint8_t opClass;
+    uint8_t dst;
+    uint8_t src1;
+    uint8_t src2;
+    uint8_t memSize;
+    uint8_t flags; // bit 0: taken
+};
+
+constexpr size_t kRecordBytes = 8 + 8 + 8 + 6;
+
+void
+pack(const isa::MicroOp &op, uint8_t *buf)
+{
+    auto put64 = [&buf](size_t off, uint64_t v) {
+        for (int i = 0; i < 8; ++i)
+            buf[off + i] = static_cast<uint8_t>(v >> (8 * i));
+    };
+    put64(0, op.pc);
+    put64(8, op.memAddr);
+    put64(16, op.target);
+    buf[24] = static_cast<uint8_t>(op.opClass);
+    buf[25] = op.dst;
+    buf[26] = op.src1;
+    buf[27] = op.src2;
+    buf[28] = op.memSize;
+    buf[29] = op.taken ? 1 : 0;
+}
+
+void
+unpack(const uint8_t *buf, isa::MicroOp &op)
+{
+    auto get64 = [&buf](size_t off) {
+        uint64_t v = 0;
+        for (int i = 7; i >= 0; --i)
+            v = (v << 8) | buf[off + i];
+        return v;
+    };
+    op.pc = get64(0);
+    op.memAddr = get64(8);
+    op.target = get64(16);
+    op.opClass = static_cast<isa::OpClass>(buf[24]);
+    op.dst = buf[25];
+    op.src1 = buf[26];
+    op.src2 = buf[27];
+    op.memSize = buf[28];
+    op.taken = (buf[29] & 1) != 0;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : _out(path, std::ios::binary), _path(path)
+{
+    fatalIf(!_out, "TraceWriter: cannot open '%s'", path.c_str());
+    _out.write(kTraceMagic, sizeof(kTraceMagic));
+    uint32_t version = kTraceVersion;
+    _out.write(reinterpret_cast<const char *>(&version),
+               sizeof(version));
+    uint64_t placeholder = 0;
+    _out.write(reinterpret_cast<const char *>(&placeholder),
+               sizeof(placeholder));
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (!_closed) {
+        try {
+            close();
+        } catch (...) {
+            // Destructors must not throw; the explicit close() path
+            // reports errors.
+        }
+    }
+}
+
+void
+TraceWriter::append(const isa::MicroOp &op)
+{
+    panicIf(_closed, "TraceWriter: append after close");
+    uint8_t buf[kRecordBytes];
+    pack(op, buf);
+    _out.write(reinterpret_cast<const char *>(buf), sizeof(buf));
+    ++_count;
+}
+
+void
+TraceWriter::close()
+{
+    if (_closed)
+        return;
+    _closed = true;
+    _out.seekp(sizeof(kTraceMagic) + sizeof(uint32_t));
+    _out.write(reinterpret_cast<const char *>(&_count),
+               sizeof(_count));
+    _out.close();
+    fatalIf(!_out, "TraceWriter: error finalizing '%s'", _path.c_str());
+}
+
+TraceReader::TraceReader(const std::string &path) : _path(path)
+{
+    openAndValidate();
+}
+
+void
+TraceReader::openAndValidate()
+{
+    _in.open(_path, std::ios::binary);
+    fatalIf(!_in, "TraceReader: cannot open '%s'", _path.c_str());
+
+    char magic[8];
+    _in.read(magic, sizeof(magic));
+    fatalIf(!_in || std::memcmp(magic, kTraceMagic, sizeof(magic)) != 0,
+            "TraceReader: '%s' is not an IRAW trace", _path.c_str());
+
+    uint32_t version = 0;
+    _in.read(reinterpret_cast<char *>(&version), sizeof(version));
+    fatalIf(!_in || version != kTraceVersion,
+            "TraceReader: '%s' has unsupported version %u",
+            _path.c_str(), version);
+
+    _in.read(reinterpret_cast<char *>(&_total), sizeof(_total));
+    fatalIf(!_in, "TraceReader: '%s' truncated header", _path.c_str());
+    _read = 0;
+}
+
+std::optional<isa::MicroOp>
+TraceReader::next()
+{
+    if (_read >= _total)
+        return std::nullopt;
+    uint8_t buf[kRecordBytes];
+    _in.read(reinterpret_cast<char *>(buf), sizeof(buf));
+    fatalIf(!_in, "TraceReader: '%s' truncated at record %llu",
+            _path.c_str(),
+            static_cast<unsigned long long>(_read));
+    isa::MicroOp op;
+    unpack(buf, op);
+    ++_read;
+    op.seqNum = _read;
+    return op;
+}
+
+void
+TraceReader::reset()
+{
+    _in.close();
+    _in.clear();
+    openAndValidate();
+}
+
+std::string
+TraceReader::name() const
+{
+    return "file:" + _path;
+}
+
+uint64_t
+dumpTrace(TraceSource &source, const std::string &path,
+          uint64_t maxRecords)
+{
+    TraceWriter writer(path);
+    for (uint64_t i = 0; i < maxRecords; ++i) {
+        auto op = source.next();
+        if (!op)
+            break;
+        writer.append(*op);
+    }
+    writer.close();
+    return writer.recordsWritten();
+}
+
+} // namespace trace
+} // namespace iraw

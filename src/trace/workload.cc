@@ -1,0 +1,247 @@
+#include "trace/workload.hh"
+
+#include "common/logging.hh"
+
+namespace iraw {
+namespace trace {
+
+void
+WorkloadProfile::validate() const
+{
+    double mix = wIntAlu + wIntMul + wIntDiv + wFpAdd + wFpMul +
+                 wFpDiv + wLoad + wStore + wBranch + wCall;
+    fatalIf(mix <= 0.0, "profile %s: empty instruction mix",
+            name.c_str());
+    fatalIf(wIntAlu < 0 || wIntMul < 0 || wIntDiv < 0 || wFpAdd < 0 ||
+                wFpMul < 0 || wFpDiv < 0 || wLoad < 0 || wStore < 0 ||
+                wBranch < 0 || wCall < 0,
+            "profile %s: negative mix weight", name.c_str());
+    fatalIf(depDistGeomP <= 0.0 || depDistGeomP > 1.0,
+            "profile %s: depDistGeomP outside (0, 1]", name.c_str());
+    fatalIf(secondSrcProb < 0.0 || secondSrcProb > 1.0,
+            "profile %s: secondSrcProb outside [0, 1]", name.c_str());
+    fatalIf(freshSrcProb < 0.0 || freshSrcProb > 1.0,
+            "profile %s: freshSrcProb outside [0, 1]", name.c_str());
+    fatalIf(staticBranchSites == 0,
+            "profile %s: needs >= 1 branch site", name.c_str());
+    fatalIf(stronglyBiasedFraction < 0.0 || stronglyBiasedFraction > 1.0,
+            "profile %s: stronglyBiasedFraction outside [0, 1]",
+            name.c_str());
+    fatalIf(weakBias < 0.0 || weakBias > 1.0,
+            "profile %s: weakBias outside [0, 1]", name.c_str());
+    fatalIf(footprintLog2 < 10 || footprintLog2 > 32,
+            "profile %s: footprintLog2 outside [10, 32]", name.c_str());
+    fatalIf(streamingFraction < 0.0 || streamingFraction > 1.0,
+            "profile %s: streamingFraction outside [0, 1]",
+            name.c_str());
+    fatalIf(storeForwardProb < 0.0 || storeForwardProb > 0.5,
+            "profile %s: storeForwardProb outside [0, 0.5]",
+            name.c_str());
+    fatalIf(hotProb < 0.0 || warmProb < 0.0 ||
+                hotProb + warmProb > 1.0,
+            "profile %s: hot/warm probabilities inconsistent",
+            name.c_str());
+    fatalIf(hotBytesLog2 > warmBytesLog2 ||
+                warmBytesLog2 > footprintLog2,
+            "profile %s: locality pyramid must satisfy hot <= warm "
+            "<= footprint", name.c_str());
+    fatalIf(staticCodeInsts < 64,
+            "profile %s: staticCodeInsts must be >= 64", name.c_str());
+    fatalIf(minFunctionBody < 2 || minFunctionBody > maxFunctionBody,
+            "profile %s: bad function body bounds", name.c_str());
+}
+
+namespace {
+
+std::vector<WorkloadProfile>
+makeCatalog()
+{
+    std::vector<WorkloadProfile> catalog;
+
+    {
+        // Pointer-chasing, branchy integer code (SPEC CPU2006 int).
+        WorkloadProfile p;
+        p.name = "spec2006int";
+        p.wIntAlu = 46;  p.wIntMul = 1.2; p.wIntDiv = 0.15;
+        p.wLoad = 24;    p.wStore = 10;   p.wBranch = 17;
+        p.wCall = 1.6;
+        p.depDistGeomP = 0.52;
+        p.secondSrcProb = 0.42;
+        p.footprintLog2 = 22;
+        p.streamingFraction = 0.45;
+        p.stronglyBiasedFraction = 0.90;
+        p.storeForwardProb = 0.05;
+        catalog.push_back(p);
+    }
+    {
+        // Loop-dominated FP code with long dependency chains
+        // (SPEC CPU2006 fp).
+        WorkloadProfile p;
+        p.name = "spec2006fp";
+        p.wIntAlu = 26;  p.wIntMul = 0.8; p.wIntDiv = 0.1;
+        p.wFpAdd = 16;   p.wFpMul = 12;   p.wFpDiv = 0.6;
+        p.wLoad = 26;    p.wStore = 9;    p.wBranch = 9;
+        p.wCall = 0.5;
+        p.depDistGeomP = 0.54;
+        p.secondSrcProb = 0.60;
+        p.footprintLog2 = 24;
+        p.streamingFraction = 0.85;
+        p.stronglyBiasedFraction = 0.95;
+        p.storeForwardProb = 0.02;
+        catalog.push_back(p);
+    }
+    {
+        // Legacy integer suite: smaller footprints (SPEC CPU2000 int).
+        WorkloadProfile p;
+        p.name = "spec2000int";
+        p.wIntAlu = 48;  p.wIntMul = 1.0; p.wIntDiv = 0.2;
+        p.wLoad = 23;    p.wStore = 10;   p.wBranch = 16.5;
+        p.wCall = 1.3;
+        p.depDistGeomP = 0.54;
+        p.secondSrcProb = 0.40;
+        p.footprintLog2 = 20;
+        p.streamingFraction = 0.50;
+        p.stronglyBiasedFraction = 0.90;
+        p.storeForwardProb = 0.05;
+        catalog.push_back(p);
+    }
+    {
+        // Legacy FP suite (SPEC CPU2000 fp).
+        WorkloadProfile p;
+        p.name = "spec2000fp";
+        p.wIntAlu = 28;  p.wIntMul = 0.6; p.wIntDiv = 0.1;
+        p.wFpAdd = 15;   p.wFpMul = 11;   p.wFpDiv = 0.8;
+        p.wLoad = 27;    p.wStore = 9;    p.wBranch = 8;
+        p.wCall = 0.5;
+        p.depDistGeomP = 0.44;
+        p.secondSrcProb = 0.58;
+        p.footprintLog2 = 22;
+        p.streamingFraction = 0.85;
+        p.stronglyBiasedFraction = 0.94;
+        p.storeForwardProb = 0.02;
+        catalog.push_back(p);
+    }
+    {
+        // Tight numeric kernels: tiny code, hot loops.
+        WorkloadProfile p;
+        p.name = "kernels";
+        p.wIntAlu = 38;  p.wIntMul = 3.0; p.wIntDiv = 0.1;
+        p.wFpAdd = 8;    p.wFpMul = 6;    p.wFpDiv = 0.2;
+        p.wLoad = 26;    p.wStore = 10;   p.wBranch = 8;
+        p.wCall = 0.3;
+        p.depDistGeomP = 0.57;
+        p.secondSrcProb = 0.65;
+        p.staticCodeInsts = 2048;
+        p.staticBranchSites = 64;
+        p.footprintLog2 = 18;
+        p.streamingFraction = 0.92;
+        p.stronglyBiasedFraction = 0.97;
+        p.storeForwardProb = 0.03;
+        catalog.push_back(p);
+    }
+    {
+        // Media encode/decode: SIMD-ish dense compute, streaming.
+        WorkloadProfile p;
+        p.name = "multimedia";
+        p.wIntAlu = 44;  p.wIntMul = 4.0; p.wIntDiv = 0.1;
+        p.wFpAdd = 4;    p.wFpMul = 3;    p.wFpDiv = 0.1;
+        p.wLoad = 24;    p.wStore = 11;   p.wBranch = 9;
+        p.wCall = 0.7;
+        p.depDistGeomP = 0.54;
+        p.secondSrcProb = 0.55;
+        p.footprintLog2 = 21;
+        p.streamingFraction = 0.90;
+        p.stronglyBiasedFraction = 0.92;
+        p.storeForwardProb = 0.03;
+        catalog.push_back(p);
+    }
+    {
+        // Productivity software: branchy, call-heavy, cold code.
+        WorkloadProfile p;
+        p.name = "office";
+        p.wIntAlu = 44;  p.wIntMul = 0.8; p.wIntDiv = 0.2;
+        p.wLoad = 25;    p.wStore = 12;   p.wBranch = 19;
+        p.wCall = 2.4;
+        p.depDistGeomP = 0.50;
+        p.secondSrcProb = 0.40;
+        p.staticCodeInsts = 32768;
+        p.staticBranchSites = 2048;
+        p.footprintLog2 = 21;
+        p.streamingFraction = 0.35;
+        p.stronglyBiasedFraction = 0.86;
+        p.storeForwardProb = 0.06;
+        p.hotProb = 0.945;
+        p.warmProb = 0.05;
+        catalog.push_back(p);
+    }
+    {
+        // Transaction-style server code: large footprint, poor
+        // locality, frequent calls.
+        WorkloadProfile p;
+        p.name = "server";
+        p.wIntAlu = 42;  p.wIntMul = 0.7; p.wIntDiv = 0.2;
+        p.wLoad = 27;    p.wStore = 12;   p.wBranch = 18;
+        p.wCall = 2.2;
+        p.depDistGeomP = 0.48;
+        p.secondSrcProb = 0.40;
+        p.staticCodeInsts = 32768;
+        p.staticBranchSites = 2048;
+        p.footprintLog2 = 25;
+        p.streamingFraction = 0.25;
+        p.stronglyBiasedFraction = 0.84;
+        p.storeForwardProb = 0.06;
+        p.hotProb = 0.93;
+        p.warmProb = 0.06;
+        catalog.push_back(p);
+    }
+    {
+        // Workstation/CAD-style mixed int+fp.
+        WorkloadProfile p;
+        p.name = "workstation";
+        p.wIntAlu = 36;  p.wIntMul = 1.5; p.wIntDiv = 0.2;
+        p.wFpAdd = 9;    p.wFpMul = 7;    p.wFpDiv = 0.4;
+        p.wLoad = 25;    p.wStore = 10;   p.wBranch = 12;
+        p.wCall = 1.3;
+        p.depDistGeomP = 0.48;
+        p.secondSrcProb = 0.50;
+        p.footprintLog2 = 23;
+        p.streamingFraction = 0.6;
+        p.stronglyBiasedFraction = 0.90;
+        p.storeForwardProb = 0.04;
+        catalog.push_back(p);
+    }
+
+    for (const auto &p : catalog)
+        p.validate();
+    return catalog;
+}
+
+} // namespace
+
+const std::vector<WorkloadProfile> &
+builtinProfiles()
+{
+    static const std::vector<WorkloadProfile> catalog = makeCatalog();
+    return catalog;
+}
+
+const WorkloadProfile &
+profileByName(const std::string &name)
+{
+    for (const auto &p : builtinProfiles())
+        if (p.name == name)
+            return p;
+    fatal("unknown workload profile '%s'", name.c_str());
+}
+
+std::vector<std::string>
+profileNames()
+{
+    std::vector<std::string> names;
+    for (const auto &p : builtinProfiles())
+        names.push_back(p.name);
+    return names;
+}
+
+} // namespace trace
+} // namespace iraw

@@ -1,0 +1,120 @@
+/** @file Unit tests for the trace analyzer. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "trace/analyzer.hh"
+#include "trace/generator.hh"
+
+namespace iraw {
+namespace trace {
+namespace {
+
+/** Trace source replaying a fixed vector (test fixture). */
+class VectorSource : public TraceSource
+{
+  public:
+    explicit VectorSource(std::vector<isa::MicroOp> ops)
+        : _ops(std::move(ops))
+    {}
+    std::optional<isa::MicroOp>
+    next() override
+    {
+        if (_idx >= _ops.size())
+            return std::nullopt;
+        return _ops[_idx++];
+    }
+    void reset() override { _idx = 0; }
+    std::string name() const override { return "vector"; }
+
+  private:
+    std::vector<isa::MicroOp> _ops;
+    size_t _idx = 0;
+};
+
+isa::MicroOp
+alu(uint64_t seq, isa::RegId dst, isa::RegId src)
+{
+    isa::MicroOp op;
+    op.seqNum = seq;
+    op.pc = 0x400000 + seq * 4;
+    op.opClass = isa::OpClass::IntAlu;
+    op.dst = dst;
+    op.src1 = src;
+    return op;
+}
+
+TEST(Analyzer, CountsClassesAndDistances)
+{
+    std::vector<isa::MicroOp> ops;
+    ops.push_back(alu(1, 1, 0));
+    ops.push_back(alu(2, 2, 1)); // distance 1
+    ops.push_back(alu(3, 3, 1)); // distance 2
+    isa::MicroOp ld;
+    ld.seqNum = 4;
+    ld.pc = 0x400010;
+    ld.opClass = isa::OpClass::Load;
+    ld.src1 = 2;
+    ld.dst = 4;
+    ld.memAddr = 0x1000;
+    ld.memSize = 4;
+    ops.push_back(ld); // distance 2 (src 2 written at idx 1)
+
+    VectorSource src(ops);
+    TraceStats stats = TraceAnalyzer::analyze(src, 100);
+    EXPECT_EQ(stats.instructions, 4u);
+    EXPECT_EQ(stats.classCounts[static_cast<size_t>(
+                  isa::OpClass::IntAlu)],
+              3u);
+    EXPECT_EQ(stats.memOps, 1u);
+    EXPECT_EQ(stats.distinctLines, 1u);
+    // Distances observed: 1, 2, 2 (src 0 of the first op was never
+    // written, so it contributes no sample).
+    EXPECT_EQ(stats.depSamples, 3u);
+    EXPECT_NEAR(stats.meanDepDistance, (1 + 2 + 2) / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stats.depDistanceCdf(1), 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(stats.depDistanceCdf(2), 1.0);
+}
+
+TEST(Analyzer, BranchAccounting)
+{
+    std::vector<isa::MicroOp> ops;
+    for (int i = 0; i < 4; ++i) {
+        isa::MicroOp br;
+        br.seqNum = static_cast<uint64_t>(i + 1);
+        br.pc = 0x400000;
+        br.opClass = isa::OpClass::Branch;
+        br.src1 = 1;
+        br.taken = i % 2 == 0;
+        br.target = 0x400100;
+        ops.push_back(br);
+    }
+    VectorSource src(ops);
+    TraceStats stats = TraceAnalyzer::analyze(src, 100);
+    EXPECT_EQ(stats.branches, 4u);
+    EXPECT_EQ(stats.takenBranches, 2u);
+    EXPECT_DOUBLE_EQ(stats.takenFraction(), 0.5);
+    EXPECT_EQ(stats.distinctPcs, 1u);
+}
+
+TEST(Analyzer, MaxInstsLimits)
+{
+    SyntheticTraceGenerator g(profileByName("kernels"), 1);
+    TraceStats stats = TraceAnalyzer::analyze(g, 1234);
+    EXPECT_EQ(stats.instructions, 1234u);
+}
+
+TEST(Analyzer, EmptySourceGivesZeroes)
+{
+    VectorSource src({});
+    TraceStats stats = TraceAnalyzer::analyze(src, 10);
+    EXPECT_EQ(stats.instructions, 0u);
+    EXPECT_DOUBLE_EQ(stats.meanDepDistance, 0.0);
+    EXPECT_DOUBLE_EQ(stats.takenFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.depDistanceCdf(10), 0.0);
+}
+
+} // namespace
+} // namespace trace
+} // namespace iraw

@@ -1,0 +1,131 @@
+/** @file Unit tests for the 8-T bitcell delay model. */
+
+#include <gtest/gtest.h>
+
+#include "circuit/bitcell.hh"
+#include "common/logging.hh"
+
+namespace iraw {
+namespace circuit {
+namespace {
+
+class BitcellTest : public ::testing::Test
+{
+  protected:
+    LogicDelayModel logic;
+    BitcellModel cell{logic};
+};
+
+TEST_F(BitcellTest, WriteDelayHitsCalibrationKnots)
+{
+    const auto &grid = BitcellModel::calibrationGrid();
+    const auto &vals = BitcellModel::calibrationWriteDelays();
+    ASSERT_EQ(grid.size(), vals.size());
+    for (size_t i = 0; i < grid.size(); ++i)
+        EXPECT_NEAR(cell.writeDelay(grid[i]), vals[i],
+                    vals[i] * 1e-9)
+            << "at " << grid[i] << " mV";
+}
+
+TEST_F(BitcellTest, WriteDelayMonotoneDecreasingInVcc)
+{
+    double prev = 1e30;
+    for (MilliVolts v = 400; v <= 700; v += 5) {
+        double w = cell.writeDelay(v);
+        EXPECT_LT(w, prev) << "at " << v << " mV";
+        prev = w;
+    }
+}
+
+TEST_F(BitcellTest, WriteGrowthAcceleratesAtLowVcc)
+{
+    // Super-exponential shape: per-25mV growth factor increases as
+    // Vcc decreases (in the low-Vcc region).
+    double gHigh =
+        cell.writeDelay(575) / cell.writeDelay(600);
+    double gLow = cell.writeDelay(425) / cell.writeDelay(450);
+    EXPECT_GT(gLow, gHigh);
+    EXPECT_GT(gLow, 1.4);
+}
+
+TEST_F(BitcellTest, ReadDelayStaysBelowPhase)
+{
+    // Figure 1: 8-T read stays under the 12-FO4 phase delay.
+    for (MilliVolts v = 400; v <= 700; v += 25)
+        EXPECT_LT(cell.readDelay(v), logic.phaseDelay(v));
+}
+
+TEST_F(BitcellTest, InterruptedWriteIsFractionOfFull)
+{
+    for (MilliVolts v = 400; v <= 700; v += 25) {
+        double full = cell.writeDelay(v);
+        double partial = cell.interruptedWriteDelay(v);
+        EXPECT_GT(partial, 0.0);
+        EXPECT_LT(partial, full);
+        EXPECT_NEAR(partial / full,
+                    cell.params().interruptFraction, 1e-12);
+    }
+}
+
+TEST_F(BitcellTest, StabilizationScalesWithWrite)
+{
+    for (MilliVolts v : {400.0, 500.0, 600.0, 700.0})
+        EXPECT_NEAR(cell.stabilizationDelay(v),
+                    cell.params().stabilizeFraction *
+                        cell.writeDelay(v),
+                    1e-12);
+}
+
+TEST_F(BitcellTest, WriteCrossesPhaseNear550)
+{
+    // Figure 1: bitcell write (without wordline) crosses the 12-FO4
+    // phase in the 525-560 mV band.
+    EXPECT_LT(cell.writeDelay(575), logic.phaseDelay(575));
+    EXPECT_GT(cell.writeDelay(525), logic.phaseDelay(525));
+}
+
+TEST_F(BitcellTest, OutOfRangeRejected)
+{
+    EXPECT_THROW(cell.writeDelay(399), FatalError);
+    EXPECT_THROW(cell.writeDelay(701), FatalError);
+    EXPECT_THROW(cell.readDelay(399), FatalError);
+}
+
+TEST_F(BitcellTest, BadParamsRejected)
+{
+    BitcellModel::Params p;
+    p.readPhaseFraction = 1.5;
+    EXPECT_THROW(BitcellModel(logic, p), FatalError);
+    p = {};
+    p.interruptFraction = 0.0;
+    EXPECT_THROW(BitcellModel(logic, p), FatalError);
+    p = {};
+    p.stabilizeFraction = -1.0;
+    EXPECT_THROW(BitcellModel(logic, p), FatalError);
+}
+
+/** Property: interpolation between knots stays between knot values. */
+class BitcellInterp : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(BitcellInterp, BetweenKnots)
+{
+    LogicDelayModel logic;
+    BitcellModel cell(logic);
+    const auto &grid = BitcellModel::calibrationGrid();
+    const auto &vals = BitcellModel::calibrationWriteDelays();
+    size_t i = static_cast<size_t>(GetParam());
+    ASSERT_LT(i + 1, grid.size());
+    // Grid is descending in Vcc, values ascending.
+    double mid = (grid[i] + grid[i + 1]) / 2.0;
+    double w = cell.writeDelay(mid);
+    EXPECT_GT(w, vals[i]);
+    EXPECT_LT(w, vals[i + 1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIntervals, BitcellInterp,
+                         ::testing::Range(0, 12));
+
+} // namespace
+} // namespace circuit
+} // namespace iraw

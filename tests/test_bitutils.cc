@@ -1,0 +1,87 @@
+/** @file Unit tests for common/bitutils.hh. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutils.hh"
+
+namespace iraw {
+namespace {
+
+TEST(BitUtils, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ULL << 40));
+    EXPECT_FALSE(isPowerOf2((1ULL << 40) + 1));
+}
+
+TEST(BitUtils, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+}
+
+TEST(BitUtils, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(BitUtils, BitsExtraction)
+{
+    EXPECT_EQ(bits(0xff00, 15, 8), 0xffu);
+    EXPECT_EQ(bits(0xdeadbeef, 7, 0), 0xefu);
+    EXPECT_EQ(bits(0xdeadbeef, 31, 28), 0xdu);
+    EXPECT_EQ(bits(~0ULL, 63, 0), ~0ULL);
+}
+
+TEST(BitUtils, Alignment)
+{
+    EXPECT_EQ(alignDown(127, 64), 64u);
+    EXPECT_EQ(alignDown(128, 64), 128u);
+    EXPECT_EQ(alignUp(127, 64), 128u);
+    EXPECT_EQ(alignUp(128, 64), 128u);
+    EXPECT_EQ(alignUp(0, 64), 0u);
+}
+
+TEST(BitUtils, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+}
+
+/** Property: alignDown(x) <= x < alignDown(x) + align. */
+class AlignProperty : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(AlignProperty, DownThenRange)
+{
+    uint64_t x = GetParam();
+    for (uint64_t align : {1ULL, 2ULL, 8ULL, 64ULL, 4096ULL}) {
+        uint64_t down = alignDown(x, align);
+        EXPECT_LE(down, x);
+        EXPECT_LT(x - down, align);
+        EXPECT_EQ(down % align, 0u);
+        uint64_t up = alignUp(x, align);
+        EXPECT_GE(up, x);
+        EXPECT_LT(up - x, align);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AlignProperty,
+                         ::testing::Values(0, 1, 63, 64, 65, 4095,
+                                           4097, 123456789));
+
+} // namespace
+} // namespace iraw

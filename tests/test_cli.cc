@@ -1,0 +1,79 @@
+/** @file Unit tests for the key=value option parser. */
+
+#include <gtest/gtest.h>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+
+namespace iraw {
+namespace {
+
+OptionMap
+parse(std::initializer_list<const char *> args)
+{
+    std::vector<const char *> argv = {"prog"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    return OptionMap::parse(static_cast<int>(argv.size()),
+                            argv.data());
+}
+
+TEST(OptionMap, ParsesTypedValues)
+{
+    auto opts = parse({"vcc=500", "ratio=0.5", "name=hello",
+                       "flag", "enabled=true"});
+    EXPECT_EQ(opts.getInt("vcc", 0), 500);
+    EXPECT_DOUBLE_EQ(opts.getDouble("ratio", 0.0), 0.5);
+    EXPECT_EQ(opts.getString("name", ""), "hello");
+    EXPECT_TRUE(opts.getBool("flag", false));
+    EXPECT_TRUE(opts.getBool("enabled", false));
+}
+
+TEST(OptionMap, DefaultsApply)
+{
+    auto opts = parse({});
+    EXPECT_EQ(opts.getInt("missing", 42), 42);
+    EXPECT_DOUBLE_EQ(opts.getDouble("missing", 2.5), 2.5);
+    EXPECT_EQ(opts.getString("missing", "d"), "d");
+    EXPECT_FALSE(opts.getBool("missing", false));
+    EXPECT_FALSE(opts.has("missing"));
+}
+
+TEST(OptionMap, RejectsMalformedNumbers)
+{
+    auto opts = parse({"n=abc", "d=1.2.3"});
+    EXPECT_THROW(opts.getInt("n", 0), FatalError);
+    EXPECT_THROW(opts.getDouble("d", 0.0), FatalError);
+}
+
+TEST(OptionMap, RejectsMalformedBool)
+{
+    auto opts = parse({"b=maybe"});
+    EXPECT_THROW(opts.getBool("b", false), FatalError);
+}
+
+TEST(OptionMap, BoolSpellings)
+{
+    auto opts = parse({"a=yes", "b=off", "c=0", "d=on"});
+    EXPECT_TRUE(opts.getBool("a", false));
+    EXPECT_FALSE(opts.getBool("b", true));
+    EXPECT_FALSE(opts.getBool("c", true));
+    EXPECT_TRUE(opts.getBool("d", false));
+}
+
+TEST(OptionMap, UnusedKeyDetection)
+{
+    auto opts = parse({"used=1", "typo=2"});
+    opts.getInt("used", 0);
+    auto unused = opts.unusedKeys();
+    ASSERT_EQ(unused.size(), 1u);
+    EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(OptionMap, HexIntegers)
+{
+    auto opts = parse({"addr=0x40"});
+    EXPECT_EQ(opts.getInt("addr", 0), 0x40);
+}
+
+} // namespace
+} // namespace iraw

@@ -1,0 +1,75 @@
+/** @file Unit tests for the IRAW Vcc controller. */
+
+#include <gtest/gtest.h>
+
+#include "iraw/controller.hh"
+
+namespace iraw {
+namespace mechanism {
+namespace {
+
+class ControllerTest : public ::testing::Test
+{
+  protected:
+    circuit::LogicDelayModel logic;
+    circuit::BitcellModel cell{logic};
+    circuit::SramTimingModel sram{logic, cell};
+    circuit::CycleTimeModel model{logic, sram};
+};
+
+TEST_F(ControllerTest, AutoFollowsCircuitModel)
+{
+    IrawController ctl(model, IrawMode::Auto);
+    auto high = ctl.reconfigure(650);
+    EXPECT_FALSE(high.enabled);
+    EXPECT_EQ(high.stabilizationCycles, 0u);
+    EXPECT_DOUBLE_EQ(high.frequencyGain, 1.0);
+    EXPECT_DOUBLE_EQ(high.cycleTime, high.baselineCycleTime);
+
+    auto low = ctl.reconfigure(500);
+    EXPECT_TRUE(low.enabled);
+    EXPECT_EQ(low.stabilizationCycles, 1u);
+    EXPECT_GT(low.frequencyGain, 1.4);
+    EXPECT_LT(low.cycleTime, low.baselineCycleTime);
+}
+
+TEST_F(ControllerTest, ForcedOffIsTheBaselineMachine)
+{
+    IrawController ctl(model, IrawMode::ForcedOff);
+    for (circuit::MilliVolts v : {400.0, 500.0, 700.0}) {
+        auto s = ctl.reconfigure(v);
+        EXPECT_FALSE(s.enabled);
+        EXPECT_DOUBLE_EQ(s.cycleTime, s.baselineCycleTime);
+        EXPECT_DOUBLE_EQ(s.frequencyGain, 1.0);
+    }
+}
+
+TEST_F(ControllerTest, ForcedOnEnablesEvenAtHighVcc)
+{
+    IrawController ctl(model, IrawMode::ForcedOn);
+    auto s = ctl.reconfigure(700);
+    EXPECT_TRUE(s.enabled);
+    EXPECT_GE(s.stabilizationCycles, 1u);
+}
+
+TEST_F(ControllerTest, ModeSwitchable)
+{
+    IrawController ctl(model);
+    EXPECT_EQ(ctl.mode(), IrawMode::Auto);
+    ctl.setMode(IrawMode::ForcedOff);
+    EXPECT_FALSE(ctl.reconfigure(400).enabled);
+}
+
+TEST_F(ControllerTest, GainConsistency)
+{
+    IrawController ctl(model);
+    for (circuit::MilliVolts v = 400; v <= 700; v += 25) {
+        auto s = ctl.reconfigure(v);
+        EXPECT_NEAR(s.frequencyGain,
+                    s.baselineCycleTime / s.cycleTime, 1e-12);
+    }
+}
+
+} // namespace
+} // namespace mechanism
+} // namespace iraw

@@ -1,0 +1,160 @@
+/** @file
+ * Unit tests for the cycle-time solver — these pin the paper's
+ * headline circuit-level numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/cycle_time.hh"
+#include "common/logging.hh"
+
+namespace iraw {
+namespace circuit {
+namespace {
+
+class CycleTimeTest : public ::testing::Test
+{
+  protected:
+    LogicDelayModel logic;
+    BitcellModel cell{logic};
+    SramTimingModel sram{logic, cell};
+    CycleTimeModel model{logic, sram};
+};
+
+TEST_F(CycleTimeTest, BaselineEqualsLogicAtHighVcc)
+{
+    // Above the crossover, writes fit in a phase: the cycle is
+    // 24 FO4.
+    for (MilliVolts v : {700.0, 650.0, 625.0}) {
+        EXPECT_NEAR(model.baselineCycleTime(v),
+                    model.logicCycleTime(v), 1e-9);
+    }
+}
+
+TEST_F(CycleTimeTest, PaperAnchor77PercentAt550)
+{
+    // Sec. 2.1: "frequency must be decreased down to 77% of the
+    // frequency allowed by the logic at 550mV".
+    EXPECT_NEAR(model.writeLimitedFrequencyFraction(550), 0.77,
+                0.02);
+}
+
+TEST_F(CycleTimeTest, PaperAnchor24PercentAt450)
+{
+    // Sec. 2.1: "... and down to only 24% at 450mV".
+    EXPECT_NEAR(model.writeLimitedFrequencyFraction(450), 0.24,
+                0.02);
+}
+
+TEST_F(CycleTimeTest, PaperAnchorGain57PercentAt500)
+{
+    // Abstract/Sec. 5.2: IRAW raises frequency by 57% at 500 mV.
+    EXPECT_NEAR(model.frequencyGain(500), 1.57, 0.04);
+}
+
+TEST_F(CycleTimeTest, PaperAnchorGain99PercentAt400)
+{
+    // Abstract/Sec. 5.2: ... and by 99% at 400 mV.
+    EXPECT_NEAR(model.frequencyGain(400), 1.99, 0.04);
+}
+
+TEST_F(CycleTimeTest, IrawDisabledAtAndAbove600)
+{
+    // Sec. 5.2: IRAW is deactivated at 600 mV and above (the ~1%
+    // gain would not pay for the stalls).
+    for (MilliVolts v = 600; v <= 700; v += 25)
+        EXPECT_FALSE(model.irawEnabled(v)) << v << " mV";
+    for (MilliVolts v = 575; v >= 400; v -= 25)
+        EXPECT_TRUE(model.irawEnabled(v)) << v << " mV";
+}
+
+TEST_F(CycleTimeTest, OneStabilizationCycleBelow600)
+{
+    // Sec. 5.2: one stabilization cycle suffices over the whole
+    // evaluated range.
+    for (MilliVolts v = 575; v >= 400; v -= 25)
+        EXPECT_EQ(model.stabilizationCycles(v), 1u) << v << " mV";
+    EXPECT_EQ(model.stabilizationCycles(600), 0u);
+}
+
+TEST_F(CycleTimeTest, GainIsMonotoneInVccDecrease)
+{
+    double prev = 1.0;
+    for (MilliVolts v = 600; v >= 400; v -= 25) {
+        double g = model.frequencyGain(v);
+        EXPECT_GE(g, prev - 1e-9) << v << " mV";
+        prev = g;
+    }
+}
+
+TEST_F(CycleTimeTest, IrawCycleNeverBelowLogic)
+{
+    for (MilliVolts v = 400; v <= 700; v += 25) {
+        EXPECT_GE(model.irawCycleTime(v),
+                  model.logicCycleTime(v) - 1e-12);
+        EXPECT_LE(model.irawCycleTime(v),
+                  model.baselineCycleTime(v) + 1e-12);
+    }
+}
+
+TEST_F(CycleTimeTest, IrawCycleLiftsAboveLogicAtVeryLowVcc)
+{
+    // Figure 11(a): the IRAW curve visibly exceeds 24 FO4 at the
+    // bottom of the range (the interrupted write no longer fits in
+    // a phase).
+    EXPECT_GT(model.irawCycleTime(400),
+              model.logicCycleTime(400) * 1.5);
+    EXPECT_NEAR(model.irawCycleTime(575),
+                model.logicCycleTime(575), 1e-9);
+}
+
+TEST_F(CycleTimeTest, SolveAggregatesConsistently)
+{
+    OperatingPoint op = model.solve(500);
+    EXPECT_EQ(op.vcc, 500.0);
+    EXPECT_TRUE(op.irawEnabled);
+    EXPECT_EQ(op.stabilizationCycles, 1u);
+    EXPECT_NEAR(op.frequencyGain,
+                op.baselineCycleTime / op.irawCycleTime, 1e-12);
+
+    OperatingPoint off = model.solve(650);
+    EXPECT_FALSE(off.irawEnabled);
+    // With IRAW off the machine runs at the baseline cycle time.
+    EXPECT_DOUBLE_EQ(off.irawCycleTime, off.baselineCycleTime);
+    EXPECT_DOUBLE_EQ(off.frequencyGain, 1.0);
+}
+
+TEST_F(CycleTimeTest, BadThresholdRejected)
+{
+    CycleTimeModel::Params p;
+    p.minUsefulGain = 0.5;
+    EXPECT_THROW(CycleTimeModel(logic, sram, p), FatalError);
+}
+
+/** Property sweep: invariants at every 5 mV step. */
+class CycleTimeSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(CycleTimeSweep, Invariants)
+{
+    LogicDelayModel logic;
+    BitcellModel cell(logic);
+    SramTimingModel sram(logic, cell);
+    CycleTimeModel model(logic, sram);
+    MilliVolts v = GetParam();
+    OperatingPoint op = model.solve(v);
+    EXPECT_GT(op.logicCycleTime, 0.0);
+    EXPECT_GE(op.baselineCycleTime, op.logicCycleTime - 1e-12);
+    EXPECT_GE(op.frequencyGain, 1.0 - 1e-12);
+    if (op.irawEnabled)
+        EXPECT_GE(op.stabilizationCycles, 1u);
+    else
+        EXPECT_EQ(op.stabilizationCycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Voltages, CycleTimeSweep,
+                         ::testing::Range(400, 705, 5));
+
+} // namespace
+} // namespace circuit
+} // namespace iraw

@@ -1,0 +1,98 @@
+/** @file Unit tests for the energy model. */
+
+#include <gtest/gtest.h>
+
+#include "circuit/energy.hh"
+#include "common/logging.hh"
+
+namespace iraw {
+namespace circuit {
+namespace {
+
+TEST(EnergyModel, LeakageIsTenPercentAtReference)
+{
+    // Calibration: baseline at 600 mV spends 10% of total energy on
+    // leakage (paper Sec. 5.1).
+    double refTimePerInst = 2.0;
+    EnergyModel m(refTimePerInst);
+    uint64_t insts = 1000;
+    auto e = m.taskEnergy(600, insts, refTimePerInst * insts);
+    EXPECT_NEAR(e.leakage / e.total(), 0.10, 1e-9);
+}
+
+TEST(EnergyModel, DynamicScalesQuadratically)
+{
+    EnergyModel m(1.0);
+    double e600 = m.dynamicEnergyPerInst(600);
+    EXPECT_NEAR(m.dynamicEnergyPerInst(300), e600 / 4.0, 1e-12);
+    EXPECT_NEAR(m.dynamicEnergyPerInst(1200), e600 * 4.0, 1e-12);
+}
+
+TEST(EnergyModel, LeakagePowerGrows10PercentPer25mVDrop)
+{
+    EnergyModel m(1.0);
+    for (MilliVolts v = 600; v > 425; v -= 25)
+        EXPECT_NEAR(m.leakagePower(v - 25) / m.leakagePower(v), 1.1,
+                    1e-9);
+}
+
+TEST(EnergyModel, LeakageShareGrowsAsVccDrops)
+{
+    // Paper Sec. 5.3: at lower Vcc leakage contributes more of the
+    // total (both because power grows and because runs get longer).
+    EnergyModel m(1.0);
+    auto shareAt = [&m](MilliVolts v, double time) {
+        auto e = m.taskEnergy(v, 1000, time);
+        return e.leakage / e.total();
+    };
+    EXPECT_GT(shareAt(450, 2500.0), shareAt(600, 1000.0));
+}
+
+TEST(EnergyModel, DynOverheadAppliesOnlyToDynamic)
+{
+    EnergyModel m(1.0);
+    auto base = m.taskEnergy(500, 1000, 1500.0, 0.0);
+    auto ovh = m.taskEnergy(500, 1000, 1500.0, 0.01);
+    EXPECT_NEAR(ovh.dynamic, base.dynamic * 1.01, 1e-9);
+    EXPECT_DOUBLE_EQ(ovh.leakage, base.leakage);
+}
+
+TEST(EnergyModel, EdpIsEnergyTimesDelay)
+{
+    EnergyBreakdown e;
+    e.dynamic = 3.0;
+    e.leakage = 2.0;
+    EXPECT_DOUBLE_EQ(EnergyModel::edp(e, 4.0), 20.0);
+}
+
+TEST(EnergyModel, PaperWorkedExampleShape)
+{
+    // Sec. 5.3 worked example at 450 mV: the baseline (slower)
+    // machine burns more leakage for the same dynamic energy, so a
+    // faster IRAW run must cost less total energy.
+    EnergyModel m(1.0);
+    uint64_t insts = 100000;
+    double tIraw = 2.2 * insts;  // a.u.
+    double tBase = 3.9 * insts;  // slower baseline at 450 mV
+    auto eIraw = m.taskEnergy(450, insts, tIraw, 0.01);
+    auto eBase = m.taskEnergy(450, insts, tBase, 0.0);
+    EXPECT_LT(eIraw.total(), eBase.total());
+    // Dynamic components are ~equal; the gap is pure leakage.
+    EXPECT_NEAR(eIraw.dynamic / eBase.dynamic, 1.01, 1e-9);
+    EXPECT_LT(eIraw.leakage, eBase.leakage);
+}
+
+TEST(EnergyModel, Validation)
+{
+    EXPECT_THROW(EnergyModel(0.0), FatalError);
+    EnergyModel::Params p;
+    p.leakFractionAtRef = 1.5;
+    EXPECT_THROW(EnergyModel(1.0, p), FatalError);
+    EnergyModel m(1.0);
+    EXPECT_THROW(m.taskEnergy(500, 1, -1.0), FatalError);
+    EXPECT_THROW(m.taskEnergy(500, 1, 1.0, -0.1), FatalError);
+}
+
+} // namespace
+} // namespace circuit
+} // namespace iraw

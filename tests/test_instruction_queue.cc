@@ -1,0 +1,119 @@
+/** @file Unit tests for the circular instruction queue. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/instruction_queue.hh"
+#include "iraw/iq_gate.hh"
+
+namespace iraw {
+namespace core {
+namespace {
+
+IqEntry
+entry(uint64_t seq)
+{
+    IqEntry e;
+    e.op = isa::makeNop(seq, 0x1000 + seq * 4);
+    return e;
+}
+
+TEST(IqTest, FifoOrder)
+{
+    InstructionQueue iq(8);
+    for (uint64_t i = 1; i <= 3; ++i)
+        iq.allocate(entry(i));
+    EXPECT_EQ(iq.occupancy(), 3u);
+    EXPECT_EQ(iq.at(0).op.seqNum, 1u);
+    EXPECT_EQ(iq.at(2).op.seqNum, 3u);
+    iq.popFront();
+    EXPECT_EQ(iq.at(0).op.seqNum, 2u);
+}
+
+TEST(IqTest, FullAndEmpty)
+{
+    InstructionQueue iq(4);
+    EXPECT_TRUE(iq.empty());
+    for (uint64_t i = 0; i < 4; ++i)
+        iq.allocate(entry(i));
+    EXPECT_TRUE(iq.full());
+    EXPECT_THROW(iq.allocate(entry(9)), PanicError);
+    for (int i = 0; i < 4; ++i)
+        iq.popFront();
+    EXPECT_TRUE(iq.empty());
+    EXPECT_THROW(iq.popFront(), PanicError);
+}
+
+TEST(IqTest, PopBackSquashesYoungest)
+{
+    InstructionQueue iq(8);
+    for (uint64_t i = 1; i <= 3; ++i)
+        iq.allocate(entry(i));
+    iq.popBack();
+    EXPECT_EQ(iq.occupancy(), 2u);
+    EXPECT_EQ(iq.at(1).op.seqNum, 2u);
+}
+
+TEST(IqTest, PointersMatchFigure9Occupancy)
+{
+    InstructionQueue iq(32);
+    mechanism::IqOccupancyGate gate(32, 2, 2);
+    // Random-ish workload of allocations and pops; the hardware
+    // occupancy (from pointers) must always equal the software one.
+    uint64_t seq = 0;
+    auto check = [&]() {
+        EXPECT_EQ(gate.occupancyFromPointers(iq.headPointer(),
+                                             iq.tailPointer()),
+                  iq.occupancy());
+    };
+    for (int round = 0; round < 200; ++round) {
+        int allocs = (round * 7) % 3;
+        for (int a = 0; a < allocs && !iq.full(); ++a)
+            iq.allocate(entry(++seq));
+        check();
+        int pops = (round * 5) % 2;
+        for (int p = 0; p < pops && !iq.empty(); ++p)
+            iq.popFront();
+        check();
+        if (round % 13 == 0 && !iq.empty()) {
+            iq.popBack();
+            check();
+        }
+    }
+}
+
+TEST(IqTest, PointerWraparound)
+{
+    InstructionQueue iq(4);
+    mechanism::IqOccupancyGate gate(4, 1, 1);
+    uint64_t seq = 0;
+    // Push/pop far past the pointer modulus.
+    for (int i = 0; i < 50; ++i) {
+        iq.allocate(entry(++seq));
+        iq.allocate(entry(++seq));
+        EXPECT_EQ(gate.occupancyFromPointers(iq.headPointer(),
+                                             iq.tailPointer()),
+                  2u);
+        iq.popFront();
+        iq.popFront();
+    }
+}
+
+TEST(IqTest, ClearResets)
+{
+    InstructionQueue iq(8);
+    iq.allocate(entry(1));
+    iq.clear();
+    EXPECT_TRUE(iq.empty());
+    EXPECT_EQ(iq.headPointer(), 0u);
+    EXPECT_EQ(iq.tailPointer(), 0u);
+}
+
+TEST(IqTest, NonPowerOf2Rejected)
+{
+    EXPECT_THROW(InstructionQueue iq(12), FatalError);
+}
+
+} // namespace
+} // namespace core
+} // namespace iraw

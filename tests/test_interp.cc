@@ -1,0 +1,112 @@
+/** @file Unit tests for the monotone cubic interpolant. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/interp.hh"
+#include "common/logging.hh"
+
+namespace iraw {
+namespace {
+
+TEST(MonotoneCubic, HitsKnots)
+{
+    MonotoneCubic f({0, 1, 2, 4}, {1, 3, 4, 10});
+    EXPECT_DOUBLE_EQ(f.eval(0), 1);
+    EXPECT_DOUBLE_EQ(f.eval(1), 3);
+    EXPECT_DOUBLE_EQ(f.eval(2), 4);
+    EXPECT_DOUBLE_EQ(f.eval(4), 10);
+}
+
+TEST(MonotoneCubic, PreservesMonotonicity)
+{
+    // Strictly increasing data: the interpolant must never decrease.
+    MonotoneCubic f({0, 1, 2, 3, 4, 5},
+                    {0.0, 0.1, 0.2, 5.0, 5.1, 20.0});
+    double prev = f.eval(0.0);
+    for (double x = 0.01; x <= 5.0; x += 0.01) {
+        double y = f.eval(x);
+        EXPECT_GE(y, prev - 1e-12) << "at x=" << x;
+        prev = y;
+    }
+}
+
+TEST(MonotoneCubic, LinearDataReproducedExactly)
+{
+    MonotoneCubic f({0, 1, 2, 3}, {2, 4, 6, 8});
+    for (double x = 0.0; x <= 3.0; x += 0.125)
+        EXPECT_NEAR(f.eval(x), 2 + 2 * x, 1e-9);
+}
+
+TEST(MonotoneCubic, LinearExtrapolationOutsideRange)
+{
+    MonotoneCubic f({0, 1, 2, 3}, {2, 4, 6, 8});
+    EXPECT_NEAR(f.eval(-1.0), 0.0, 1e-9);
+    EXPECT_NEAR(f.eval(4.0), 10.0, 1e-9);
+}
+
+TEST(MonotoneCubic, DerivativeMatchesFiniteDifference)
+{
+    MonotoneCubic f({0, 1, 2, 4}, {1, 3, 4, 10});
+    for (double x : {0.3, 0.9, 1.5, 2.7, 3.6}) {
+        double h = 1e-6;
+        double fd = (f.eval(x + h) - f.eval(x - h)) / (2 * h);
+        EXPECT_NEAR(f.derivative(x), fd, 1e-4) << "at x=" << x;
+    }
+}
+
+TEST(MonotoneCubic, FlatSegmentsStayFlat)
+{
+    MonotoneCubic f({0, 1, 2, 3}, {1, 1, 1, 5});
+    for (double x = 0.0; x <= 2.0; x += 0.1)
+        EXPECT_NEAR(f.eval(x), 1.0, 1e-12);
+}
+
+TEST(MonotoneCubic, RejectsBadInputs)
+{
+    EXPECT_THROW(MonotoneCubic({0, 1}, {0}), FatalError);
+    EXPECT_THROW(MonotoneCubic({0}, {0}), FatalError);
+    EXPECT_THROW(MonotoneCubic({1, 1}, {0, 0}), FatalError);
+    EXPECT_THROW(MonotoneCubic({2, 1}, {0, 0}), FatalError);
+}
+
+TEST(MonotoneCubic, EmptyEvalPanics)
+{
+    MonotoneCubic f;
+    EXPECT_FALSE(f.valid());
+    EXPECT_THROW(f.eval(0.0), PanicError);
+}
+
+/** Property: monotone over randomized increasing data. */
+class MonotoneProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(MonotoneProperty, NeverDecreases)
+{
+    // Deterministic pseudo-random increasing data per seed.
+    unsigned seed = static_cast<unsigned>(GetParam());
+    std::vector<double> xs, ys;
+    double x = 0, y = 0;
+    for (int i = 0; i < 12; ++i) {
+        seed = seed * 1103515245 + 12345;
+        x += 0.5 + (seed % 100) / 50.0;
+        seed = seed * 1103515245 + 12345;
+        y += (seed % 1000) / 100.0;
+        xs.push_back(x);
+        ys.push_back(y);
+    }
+    MonotoneCubic f(xs, ys);
+    double prev = f.eval(xs.front());
+    for (double t = xs.front(); t <= xs.back(); t += 0.01) {
+        double v = f.eval(t);
+        ASSERT_GE(v, prev - 1e-9);
+        prev = v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonotoneProperty,
+                         ::testing::Range(1, 11));
+
+} // namespace
+} // namespace iraw

@@ -1,0 +1,92 @@
+/** @file Unit tests for the IQ occupancy gate (Eq. 1, Figure 9). */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "iraw/iq_gate.hh"
+
+namespace iraw {
+namespace mechanism {
+namespace {
+
+TEST(IqGate, Equation1Threshold)
+{
+    // Silverthorne parameters: ICI=2, AI=2, N=1 => occupancy >= 4.
+    IqOccupancyGate gate(32, 2, 2);
+    gate.setStabilizationCycles(1);
+    EXPECT_EQ(gate.threshold(), 4u);
+    EXPECT_FALSE(gate.issueAllowed(3));
+    EXPECT_TRUE(gate.issueAllowed(4));
+    EXPECT_TRUE(gate.issueAllowed(32));
+}
+
+TEST(IqGate, DisabledGateAlwaysAllows)
+{
+    IqOccupancyGate gate(32, 2, 2);
+    gate.setStabilizationCycles(0); // stall_issue? == 0
+    EXPECT_TRUE(gate.issueAllowed(0));
+    EXPECT_TRUE(gate.issueAllowed(1));
+}
+
+TEST(IqGate, ThresholdScalesWithN)
+{
+    IqOccupancyGate gate(32, 2, 2);
+    for (uint32_t n = 0; n <= 4; ++n) {
+        gate.setStabilizationCycles(n);
+        if (n > 0)
+            EXPECT_EQ(gate.threshold(), 2 + 2 * n);
+    }
+}
+
+TEST(IqGate, DrainNoopCount)
+{
+    IqOccupancyGate gate(32, 2, 2);
+    gate.setStabilizationCycles(1);
+    EXPECT_EQ(gate.drainNoops(), 2u); // AI * N
+    gate.setStabilizationCycles(3);
+    EXPECT_EQ(gate.drainNoops(), 6u);
+}
+
+TEST(IqGate, Figure9PointerArithmetic)
+{
+    IqOccupancyGate gate(32, 2, 2);
+    // Pointers are 6-bit counters (mod 64) over a 32-entry queue.
+    EXPECT_EQ(gate.occupancyFromPointers(0, 0), 0u);
+    EXPECT_EQ(gate.occupancyFromPointers(0, 5), 5u);
+    // Wrap-around: tail wrapped past the top.
+    EXPECT_EQ(gate.occupancyFromPointers(60, 4), 8u);
+    // Full queue.
+    EXPECT_EQ(gate.occupancyFromPointers(10, 42), 32u);
+}
+
+TEST(IqGate, RejectsInconsistentConfig)
+{
+    EXPECT_THROW(IqOccupancyGate(30, 2, 2), FatalError); // not pow2
+    EXPECT_THROW(IqOccupancyGate(32, 0, 2), FatalError);
+    EXPECT_THROW(IqOccupancyGate(4, 3, 2), FatalError);
+    IqOccupancyGate gate(8, 2, 2);
+    EXPECT_THROW(gate.setStabilizationCycles(4), FatalError);
+}
+
+/** Property: issueAllowed is monotone in occupancy. */
+class GateMonotone : public ::testing::TestWithParam<uint32_t>
+{};
+
+TEST_P(GateMonotone, Monotone)
+{
+    IqOccupancyGate gate(32, 2, 2);
+    gate.setStabilizationCycles(GetParam());
+    bool prev = false;
+    for (uint32_t occ = 0; occ <= 32; ++occ) {
+        bool now = gate.issueAllowed(occ);
+        EXPECT_TRUE(!prev || now) << "non-monotone at " << occ;
+        prev = now;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ns, GateMonotone,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+} // namespace
+} // namespace mechanism
+} // namespace iraw

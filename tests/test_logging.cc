@@ -1,0 +1,58 @@
+/** @file Unit tests for logging/error helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace iraw {
+namespace {
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config"), FatalError);
+    try {
+        fatal("value %d is bad", 42);
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value 42 is bad");
+    }
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("invariant"), PanicError);
+    try {
+        panic("reg %s broke at %u", "r3", 7u);
+    } catch (const PanicError &e) {
+        EXPECT_STREQ(e.what(), "reg r3 broke at 7");
+    }
+}
+
+TEST(Logging, ConditionalHelpers)
+{
+    EXPECT_NO_THROW(panicIf(false, "never"));
+    EXPECT_NO_THROW(fatalIf(false, "never"));
+    EXPECT_THROW(panicIf(true, "yes"), PanicError);
+    EXPECT_THROW(fatalIf(true, "yes"), FatalError);
+}
+
+TEST(Logging, WarnAndInformDoNotThrow)
+{
+    EXPECT_NO_THROW(warn("approximate %s", "model"));
+    EXPECT_NO_THROW(inform("status %d%%", 50));
+}
+
+TEST(Logging, FatalErrorIsDistinctFromPanicError)
+{
+    // Tests rely on catching the right category.
+    try {
+        fatal("user error");
+        FAIL();
+    } catch (const PanicError &) {
+        FAIL() << "fatal() must not throw PanicError";
+    } catch (const FatalError &) {
+        SUCCEED();
+    }
+}
+
+} // namespace
+} // namespace iraw

@@ -1,0 +1,89 @@
+/** @file Unit tests for the alpha-power logic delay model. */
+
+#include <gtest/gtest.h>
+
+#include "circuit/logic_delay.hh"
+#include "common/logging.hh"
+
+namespace iraw {
+namespace circuit {
+namespace {
+
+TEST(LogicDelay, NormalizedAtNominal)
+{
+    LogicDelayModel m;
+    EXPECT_NEAR(m.phaseDelay(700), 1.0, 1e-12);
+    EXPECT_NEAR(m.cycleDelay(700), 2.0, 1e-12);
+    EXPECT_NEAR(m.fo4Delay(700), 1.0 / 12.0, 1e-12);
+}
+
+TEST(LogicDelay, MonotoneIncreasingAsVccDrops)
+{
+    LogicDelayModel m;
+    double prev = 0.0;
+    for (MilliVolts v = 700; v >= 400; v -= 5) {
+        double d = m.phaseDelay(v);
+        EXPECT_GT(d, prev) << "at " << v << " mV";
+        prev = d;
+    }
+}
+
+TEST(LogicDelay, Roughly2p5xAt400mV)
+{
+    // The paper's Figure 1 shows the 12-FO4 line reaching ~2.5 a.u.
+    // at 400 mV.
+    LogicDelayModel m;
+    EXPECT_NEAR(m.phaseDelay(400), 2.5, 0.25);
+}
+
+TEST(LogicDelay, ChainScalesLinearlyWithDepth)
+{
+    LogicDelayModel m;
+    EXPECT_NEAR(m.chainDelay(500, 24), 2.0 * m.chainDelay(500, 12),
+                1e-12);
+    EXPECT_NEAR(m.chainDelay(500, 12), m.phaseDelay(500), 1e-12);
+}
+
+TEST(LogicDelay, GrowthIsSubExponential)
+{
+    // Logic delay grows much more slowly than the bitcell write
+    // delay; check the per-25mV factor stays small.
+    LogicDelayModel m;
+    for (MilliVolts v = 700; v > 425; v -= 25) {
+        double ratio = m.phaseDelay(v - 25) / m.phaseDelay(v);
+        EXPECT_LT(ratio, 1.20) << "at " << v << " mV";
+        EXPECT_GT(ratio, 1.0);
+    }
+}
+
+TEST(LogicDelay, RejectsBadParams)
+{
+    LogicDelayModel::Params p;
+    p.alpha = 0.5;
+    EXPECT_THROW(LogicDelayModel m(p), FatalError);
+    p = {};
+    p.vth = 450.0; // above min Vcc
+    EXPECT_THROW(LogicDelayModel m(p), FatalError);
+    p = {};
+    p.fo4PerPhase = 0.0;
+    EXPECT_THROW(LogicDelayModel m(p), FatalError);
+}
+
+TEST(LogicDelay, PanicsBelowVth)
+{
+    LogicDelayModel m;
+    EXPECT_THROW(m.phaseDelay(200), PanicError);
+}
+
+TEST(LogicDelay, AlternativeAlphaStillMonotone)
+{
+    LogicDelayModel::Params p;
+    p.alpha = 1.3;
+    LogicDelayModel m(p);
+    EXPECT_GT(m.phaseDelay(450), m.phaseDelay(500));
+    EXPECT_NEAR(m.phaseDelay(700), 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace circuit
+} // namespace iraw

@@ -1,0 +1,69 @@
+/** @file Unit tests for the area/power overhead model. */
+
+#include <gtest/gtest.h>
+
+#include "circuit/overhead.hh"
+#include "common/logging.hh"
+
+namespace iraw {
+namespace circuit {
+namespace {
+
+CoreInventory
+inventory(uint64_t sram, uint64_t logic)
+{
+    CoreInventory inv;
+    inv.sramBits = sram;
+    inv.logicBitEquivalents = logic;
+    return inv;
+}
+
+TEST(OverheadModel, EmptyModelHasZeroOverhead)
+{
+    OverheadModel m(inventory(1000000, 1000000));
+    EXPECT_DOUBLE_EQ(m.areaFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(m.powerFraction(), 0.0);
+}
+
+TEST(OverheadModel, AreaUsesLatchAndGateFactors)
+{
+    OverheadModel m(inventory(1000000, 1000000));
+    m.add({"bits", 100, 0});
+    m.add({"gates", 0, 100});
+    // 100 latches * 2.0 + 100 gates * 1.5 = 350 bit-equivalents
+    // over 2,000,000.
+    EXPECT_NEAR(m.areaFraction(), 350.0 / 2000000.0, 1e-15);
+}
+
+TEST(OverheadModel, PowerUses20xActivity)
+{
+    OverheadModel m(inventory(500000, 500000));
+    m.add({"bits", 50, 50});
+    EXPECT_NEAR(m.powerFraction(), 20.0 * 100 / 1000000.0, 1e-15);
+}
+
+TEST(OverheadModel, Accumulates)
+{
+    OverheadModel m(inventory(1000, 0));
+    m.add({"a", 10, 5});
+    m.add({"b", 20, 15});
+    EXPECT_EQ(m.totalLatchBits(), 30u);
+    EXPECT_EQ(m.totalGateEquivalents(), 20u);
+    EXPECT_EQ(m.items().size(), 2u);
+}
+
+TEST(OverheadModel, RejectsEmptyInventory)
+{
+    EXPECT_THROW(OverheadModel(inventory(0, 0)), FatalError);
+}
+
+TEST(OverheadModel, RejectsBadActivity)
+{
+    OverheadModel::Params p;
+    p.activityFactor = 0.0;
+    EXPECT_THROW(OverheadModel(inventory(1, 1), p), FatalError);
+}
+
+} // namespace
+} // namespace circuit
+} // namespace iraw

@@ -1,0 +1,81 @@
+/** @file Unit tests for the IRAW overhead inventory (Sec. 5.3). */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "iraw/overhead_inventory.hh"
+
+namespace iraw {
+namespace mechanism {
+namespace {
+
+TEST(OverheadInventory, PaperClaimAreaBelow0p03Percent)
+{
+    // A Silverthorne-class core carries several Mbit of SRAM; the
+    // IRAW hardware must land below the paper's 0.03% area bound.
+    uint64_t coreSram = 5000000; // ~5 Mbit (caches + TLBs + ...)
+    auto model = buildOverheadModel(coreSram, OverheadParams{});
+    EXPECT_LT(model.areaFraction(), 0.0003);
+    EXPECT_GT(model.areaFraction(), 0.0);
+}
+
+TEST(OverheadInventory, PaperClaimPowerBelow1Percent)
+{
+    uint64_t coreSram = 5000000;
+    auto model = buildOverheadModel(coreSram, OverheadParams{});
+    EXPECT_LT(model.powerFraction(), 0.01);
+    EXPECT_GT(model.powerFraction(), 0.0);
+}
+
+TEST(OverheadInventory, ContainsAllMechanisms)
+{
+    auto model = buildOverheadModel(1000000, OverheadParams{});
+    std::vector<std::string> names;
+    for (const auto &item : model.items())
+        names.push_back(item.name);
+    for (const char *want :
+         {"scoreboard-extension", "iq-occupancy-gate",
+          "port-stall-counters", "store-table", "vcc-controller"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), want),
+                  names.end())
+            << want;
+    }
+}
+
+TEST(OverheadInventory, ScalesWithStableSize)
+{
+    OverheadParams small;
+    small.stableEntries = 2;
+    OverheadParams big;
+    big.stableEntries = 8;
+    auto a = buildOverheadModel(1000000, small);
+    auto b = buildOverheadModel(1000000, big);
+    EXPECT_GT(b.totalLatchBits(), a.totalLatchBits());
+}
+
+TEST(OverheadInventory, ScoreboardBitsMatchFormula)
+{
+    OverheadParams p;
+    p.numLogicalRegs = 32;
+    p.bypassLevels = 1;
+    p.maxStabilizationCycles = 4;
+    auto model = buildOverheadModel(1000000, p);
+    bool found = false;
+    for (const auto &item : model.items()) {
+        if (item.name == "scoreboard-extension") {
+            EXPECT_EQ(item.latchBits, 32u * (1 + 4));
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(OverheadInventory, RejectsEmptyCore)
+{
+    EXPECT_THROW(buildOverheadModel(0, OverheadParams{}),
+                 FatalError);
+}
+
+} // namespace
+} // namespace mechanism
+} // namespace iraw

@@ -1,0 +1,143 @@
+/** @file Unit tests for the PCG32 engine and distributions. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+
+namespace iraw {
+namespace {
+
+TEST(Pcg32, DeterministicPerSeed)
+{
+    Pcg32 a(42), b(42), c(43);
+    bool anyDiff = false;
+    for (int i = 0; i < 100; ++i) {
+        uint32_t va = a.next();
+        EXPECT_EQ(va, b.next());
+        if (va != c.next())
+            anyDiff = true;
+    }
+    EXPECT_TRUE(anyDiff);
+}
+
+TEST(Pcg32, ReseedRestartsSequence)
+{
+    Pcg32 rng(7);
+    std::vector<uint32_t> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(rng.next());
+    rng.reseed(7);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(rng.next(), first[static_cast<size_t>(i)]);
+}
+
+TEST(Pcg32, BelowStaysInBounds)
+{
+    Pcg32 rng(1);
+    for (uint32_t bound : {1u, 2u, 7u, 100u, 4096u}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Pcg32, BelowIsRoughlyUniform)
+{
+    Pcg32 rng(3);
+    std::map<uint32_t, int> counts;
+    const int draws = 40000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[rng.below(4)];
+    for (auto &[v, c] : counts) {
+        EXPECT_LT(v, 4u);
+        EXPECT_NEAR(c, draws / 4, draws / 20);
+    }
+}
+
+TEST(Pcg32, RangeInclusive)
+{
+    Pcg32 rng(5);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        sawLo |= (v == -3);
+        sawHi |= (v == 3);
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Pcg32, UniformInHalfOpenInterval)
+{
+    Pcg32 rng(9);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Pcg32, ChanceEdgeCases)
+{
+    Pcg32 rng(11);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Pcg32, GeometricMeanMatches)
+{
+    Pcg32 rng(13);
+    double p = 0.4;
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.geometric(p);
+    // Mean of failures-before-success is (1-p)/p = 1.5.
+    EXPECT_NEAR(sum / n, (1 - p) / p, 0.08);
+}
+
+TEST(Pcg32, GeometricRejectsBadP)
+{
+    Pcg32 rng(1);
+    EXPECT_THROW(rng.geometric(0.0), PanicError);
+    EXPECT_THROW(rng.geometric(1.5), PanicError);
+}
+
+TEST(DiscreteSampler, RespectsWeights)
+{
+    Pcg32 rng(17);
+    DiscreteSampler sampler({1.0, 0.0, 3.0});
+    int counts[3] = {0, 0, 0};
+    const int draws = 40000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[sampler.sample(rng)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(counts[0], draws / 4, draws / 25);
+    EXPECT_NEAR(counts[2], 3 * draws / 4, draws / 25);
+}
+
+TEST(DiscreteSampler, SingleBucket)
+{
+    Pcg32 rng(19);
+    DiscreteSampler sampler({5.0});
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+TEST(DiscreteSampler, RejectsDegenerateWeights)
+{
+    EXPECT_THROW(DiscreteSampler(std::vector<double>{}), FatalError);
+    EXPECT_THROW(DiscreteSampler({0.0, 0.0}), FatalError);
+    EXPECT_THROW(DiscreteSampler({-1.0, 2.0}), FatalError);
+}
+
+} // namespace
+} // namespace iraw

@@ -1,0 +1,88 @@
+/** @file Unit tests for SRAM array timing composition. */
+
+#include <gtest/gtest.h>
+
+#include "circuit/sram_timing.hh"
+#include "common/logging.hh"
+
+namespace iraw {
+namespace circuit {
+namespace {
+
+class SramTimingTest : public ::testing::Test
+{
+  protected:
+    LogicDelayModel logic;
+    BitcellModel cell{logic};
+    SramTimingModel sram{logic, cell};
+};
+
+TEST_F(SramTimingTest, WordlineIsQuarterPhaseForReferenceArray)
+{
+    // The reference geometry (8-bit wordline segments) pays 3 FO4 =
+    // 1/4 of a 12-FO4 phase.
+    for (MilliVolts v : {400.0, 550.0, 700.0})
+        EXPECT_NEAR(sram.wordlineDelay(v),
+                    0.25 * logic.phaseDelay(v), 1e-12);
+}
+
+TEST_F(SramTimingTest, PathsCompose)
+{
+    for (MilliVolts v = 400; v <= 700; v += 50) {
+        EXPECT_NEAR(sram.writePathDelay(v),
+                    sram.wordlineDelay(v) + cell.writeDelay(v),
+                    1e-12);
+        EXPECT_NEAR(sram.readPathDelay(v),
+                    sram.wordlineDelay(v) + cell.readDelay(v),
+                    1e-12);
+        EXPECT_NEAR(sram.interruptedWritePathDelay(v),
+                    sram.wordlineDelay(v) +
+                        cell.interruptedWriteDelay(v),
+                    1e-12);
+    }
+}
+
+TEST_F(SramTimingTest, WritePathCrossesPhaseAt600)
+{
+    // The paper's first crossover: write+wordline hits the 12-FO4
+    // phase at ~600 mV.
+    EXPECT_LE(sram.writePathDelay(600) / logic.phaseDelay(600), 1.01);
+    EXPECT_GT(sram.writePathDelay(575) / logic.phaseDelay(575), 1.05);
+}
+
+TEST_F(SramTimingTest, ReadPathStaysBelowPhaseEverywhere)
+{
+    // Figure 1: read + wordline remains below 12 FO4 at all Vcc.
+    for (MilliVolts v = 400; v <= 700; v += 25)
+        EXPECT_LT(sram.readPathDelay(v), logic.phaseDelay(v));
+}
+
+TEST_F(SramTimingTest, WiderWordlineSegmentsAreSlower)
+{
+    SramGeometry wide;
+    wide.bitsPerWordline = 32;
+    SramTimingModel wider(logic, cell, wide);
+    EXPECT_GT(wider.wordlineDelay(500), sram.wordlineDelay(500));
+}
+
+TEST_F(SramTimingTest, GeometryValidation)
+{
+    SramGeometry bad;
+    bad.entries = 0;
+    EXPECT_THROW(SramTimingModel(logic, cell, bad), FatalError);
+    bad = {};
+    bad.bitsPerWordline = 64; // wider than bitsPerEntry=32
+    EXPECT_THROW(SramTimingModel(logic, cell, bad), FatalError);
+}
+
+TEST_F(SramTimingTest, TotalBits)
+{
+    SramGeometry g;
+    g.entries = 1024;
+    g.bitsPerEntry = 32;
+    EXPECT_EQ(g.totalBits(), 32768u);
+}
+
+} // namespace
+} // namespace circuit
+} // namespace iraw

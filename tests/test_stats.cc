@@ -1,0 +1,127 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace iraw {
+namespace stats {
+namespace {
+
+TEST(Scalar, CountsAndResets)
+{
+    Scalar s("events", "test counter");
+    EXPECT_EQ(s.value(), 0u);
+    ++s;
+    s += 9;
+    EXPECT_EQ(s.value(), 10u);
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+    s.set(5);
+    EXPECT_EQ(s.value(), 5u);
+}
+
+TEST(Average, TracksMeanMinMax)
+{
+    Average a("lat");
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(9.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.minValue(), 2.0);
+    EXPECT_DOUBLE_EQ(a.maxValue(), 9.0);
+    EXPECT_EQ(a.count(), 3u);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(HistogramTest, BucketsAndOverflow)
+{
+    Histogram h("dist", 0, 9, 2); // buckets [0,1],[2,3],...,[8,9]
+    h.sample(0);
+    h.sample(1);
+    h.sample(2);
+    h.sample(9);
+    h.sample(-1);
+    h.sample(100);
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_EQ(h.underflows(), 1u);
+    EXPECT_EQ(h.overflows(), 1u);
+}
+
+TEST(HistogramTest, WeightedSamples)
+{
+    Histogram h("w", 0, 3);
+    h.sample(1, 10);
+    EXPECT_EQ(h.count(), 10u);
+    EXPECT_EQ(h.bucketCount(1), 10u);
+    EXPECT_DOUBLE_EQ(h.mean(), 1.0);
+}
+
+TEST(HistogramTest, Cdf)
+{
+    Histogram h("cdf", 0, 9);
+    for (int64_t v = 0; v < 10; ++v)
+        h.sample(v);
+    EXPECT_DOUBLE_EQ(h.cdfAt(4), 0.5);
+    EXPECT_DOUBLE_EQ(h.cdfAt(9), 1.0);
+}
+
+TEST(HistogramTest, RejectsBadConfig)
+{
+    EXPECT_THROW(Histogram("bad", 5, 4), FatalError);
+    EXPECT_THROW(Histogram("bad", 0, 4, 0), FatalError);
+}
+
+TEST(GroupTest, DumpFormat)
+{
+    Group g("core0");
+    Scalar &s = g.addScalar("cycles", "total cycles");
+    s += 123;
+    g.addFormula("ipc", [&s]() { return 456.0 / s.value(); },
+                 "instructions per cycle");
+    std::ostringstream os;
+    g.dump(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("core0.cycles"), std::string::npos);
+    EXPECT_NE(text.find("123"), std::string::npos);
+    EXPECT_NE(text.find("core0.ipc"), std::string::npos);
+    EXPECT_NE(text.find("total cycles"), std::string::npos);
+}
+
+TEST(GroupTest, ResetAllZeroes)
+{
+    Group g("g");
+    Scalar &s = g.addScalar("a", "");
+    Average &a = g.addAverage("b", "");
+    Histogram &h = g.addHistogram("c", 0, 3);
+    s += 7;
+    a.sample(1.0);
+    h.sample(2);
+    g.resetAll();
+    EXPECT_EQ(s.value(), 0u);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(GroupTest, PointersStableAcrossAdds)
+{
+    Group g("g");
+    Scalar &first = g.addScalar("first", "");
+    for (int i = 0; i < 100; ++i)
+        g.addScalar("s" + std::to_string(i), "");
+    first += 3;
+    EXPECT_EQ(first.value(), 3u);
+    EXPECT_EQ(first.name(), "first");
+}
+
+} // namespace
+} // namespace stats
+} // namespace iraw

@@ -1,0 +1,80 @@
+/** @file Unit tests for the gem5-style statistics report. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats_report.hh"
+
+namespace iraw {
+namespace sim {
+namespace {
+
+SimResult
+runSmall()
+{
+    Simulator s;
+    SimConfig cfg;
+    cfg.instructions = 8000;
+    cfg.warmupInstructions = 2000;
+    cfg.vcc = 500;
+    return s.run(cfg);
+}
+
+TEST(StatsReport, ContainsAllSections)
+{
+    SimResult r = runSmall();
+    std::ostringstream os;
+    writeStatsReport(os, r);
+    std::string text = os.str();
+    for (const char *section :
+         {"config.", "pipeline.", "iraw.", "memory.", "predictor.",
+          "timing."}) {
+        EXPECT_NE(text.find(section), std::string::npos)
+            << "missing section " << section;
+    }
+}
+
+TEST(StatsReport, ValuesMatchResult)
+{
+    SimResult r = runSmall();
+    std::ostringstream os;
+    writeStatsReport(os, r);
+    std::string text = os.str();
+    // Spot-check that the committed-instruction count appears.
+    EXPECT_NE(text.find(std::to_string(r.pipeline.committedInsts)),
+              std::string::npos);
+    EXPECT_NE(text.find("stabilization_cycles"), std::string::npos);
+    EXPECT_NE(text.find("rf_delayed_insts"), std::string::npos);
+}
+
+TEST(StatsReport, DescriptionsPresent)
+{
+    SimResult r = runSmall();
+    std::ostringstream os;
+    writeStatsReport(os, r);
+    std::string text = os.str();
+    EXPECT_NE(text.find("# instructions per cycle"),
+              std::string::npos);
+    EXPECT_NE(text.find("# supply voltage"), std::string::npos);
+}
+
+TEST(StatsReport, BaselineRunReportsZeroIrawActivity)
+{
+    Simulator s;
+    SimConfig cfg;
+    cfg.instructions = 5000;
+    cfg.warmupInstructions = 1000;
+    cfg.vcc = 500;
+    cfg.mode = mechanism::IrawMode::ForcedOff;
+    SimResult r = s.run(cfg);
+    std::ostringstream os;
+    writeStatsReport(os, r);
+    std::string text = os.str();
+    EXPECT_NE(text.find("iraw_enabled"), std::string::npos);
+    EXPECT_EQ(r.pipeline.rfIrawStallCycles, 0u);
+}
+
+} // namespace
+} // namespace sim
+} // namespace iraw

@@ -1,0 +1,61 @@
+/** @file Unit tests for the text table formatter. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace iraw {
+namespace {
+
+TEST(TextTable, BasicRendering)
+{
+    TextTable t("Demo");
+    t.setHeader({"Vcc", "Gain"});
+    t.addRow({"500", "1.55"});
+    t.addRow({"400", "1.99"});
+    t.addNote("calibrated model");
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("== Demo =="), std::string::npos);
+    EXPECT_NE(s.find("Vcc"), std::string::npos);
+    EXPECT_NE(s.find("1.99"), std::string::npos);
+    EXPECT_NE(s.find("note: calibrated model"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchRejected)
+{
+    TextTable t("T");
+    t.setHeader({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), FatalError);
+}
+
+TEST(TextTable, RowsBeforeHeaderRejected)
+{
+    TextTable t("T");
+    EXPECT_THROW(t.addRow({"x"}), FatalError);
+}
+
+TEST(TextTable, Accessors)
+{
+    TextTable t("T");
+    t.setHeader({"a", "b", "c"});
+    t.addRow({"1", "2", "3"});
+    EXPECT_EQ(t.numRows(), 1u);
+    EXPECT_EQ(t.numColumns(), 3u);
+    EXPECT_EQ(t.row(0)[1], "2");
+}
+
+TEST(TextTable, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::num(1.0, 0), "1");
+    EXPECT_EQ(TextTable::pct(0.1234, 1), "12.3%");
+    EXPECT_EQ(TextTable::pct(1.0, 0), "100%");
+}
+
+} // namespace
+} // namespace iraw

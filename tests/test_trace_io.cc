@@ -1,0 +1,130 @@
+/** @file Unit tests for binary trace files. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/logging.hh"
+#include "trace/generator.hh"
+#include "trace/trace_io.hh"
+
+namespace iraw {
+namespace trace {
+namespace {
+
+class TraceIoTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        _path = ::testing::TempDir() + "iraw_trace_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name() +
+                ".trc";
+    }
+    void TearDown() override { std::remove(_path.c_str()); }
+    std::string _path;
+};
+
+TEST_F(TraceIoTest, RoundTripPreservesEverything)
+{
+    SyntheticTraceGenerator gen(profileByName("spec2006int"), 5);
+    uint64_t written = dumpTrace(gen, _path, 5000);
+    EXPECT_EQ(written, 5000u);
+
+    gen.reset();
+    TraceReader reader(_path);
+    EXPECT_EQ(reader.recordCount(), 5000u);
+    for (uint64_t i = 0; i < 5000; ++i) {
+        auto expect = gen.next();
+        auto got = reader.next();
+        ASSERT_TRUE(expect && got) << "at record " << i;
+        EXPECT_EQ(got->pc, expect->pc);
+        EXPECT_EQ(got->opClass, expect->opClass);
+        EXPECT_EQ(got->dst, expect->dst);
+        EXPECT_EQ(got->src1, expect->src1);
+        EXPECT_EQ(got->src2, expect->src2);
+        EXPECT_EQ(got->memAddr, expect->memAddr);
+        EXPECT_EQ(got->memSize, expect->memSize);
+        EXPECT_EQ(got->target, expect->target);
+        EXPECT_EQ(got->taken, expect->taken);
+        EXPECT_EQ(got->seqNum, i + 1);
+    }
+    EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST_F(TraceIoTest, ReaderResetReplays)
+{
+    SyntheticTraceGenerator gen(profileByName("kernels"), 2);
+    dumpTrace(gen, _path, 100);
+    TraceReader reader(_path);
+    auto first = reader.next();
+    while (reader.next()) {
+    }
+    reader.reset();
+    auto again = reader.next();
+    ASSERT_TRUE(first && again);
+    EXPECT_EQ(first->pc, again->pc);
+}
+
+TEST_F(TraceIoTest, RejectsMissingFile)
+{
+    EXPECT_THROW(TraceReader("/nonexistent/file.trc"), FatalError);
+}
+
+TEST_F(TraceIoTest, RejectsBadMagic)
+{
+    std::ofstream out(_path, std::ios::binary);
+    out << "NOTATRACEFILE_____________";
+    out.close();
+    EXPECT_THROW(TraceReader reader(_path), FatalError);
+}
+
+TEST_F(TraceIoTest, RejectsTruncatedRecords)
+{
+    SyntheticTraceGenerator gen(profileByName("kernels"), 2);
+    dumpTrace(gen, _path, 10);
+    // Truncate mid-record.
+    std::ifstream in(_path, std::ios::binary | std::ios::ate);
+    auto size = in.tellg();
+    in.close();
+    std::ofstream trunc(_path,
+                        std::ios::binary | std::ios::in |
+                            std::ios::out);
+    trunc.close();
+    std::filesystem::resize_file(_path,
+                                 static_cast<uintmax_t>(size) - 7);
+    TraceReader reader(_path);
+    for (int i = 0; i < 9; ++i)
+        EXPECT_NO_THROW(reader.next());
+    EXPECT_THROW(reader.next(), FatalError);
+}
+
+TEST_F(TraceIoTest, WriterCountsRecords)
+{
+    {
+        TraceWriter writer(_path);
+        isa::MicroOp nop = isa::makeNop(1, 0);
+        writer.append(nop);
+        writer.append(nop);
+        EXPECT_EQ(writer.recordsWritten(), 2u);
+        writer.close();
+    }
+    TraceReader reader(_path);
+    EXPECT_EQ(reader.recordCount(), 2u);
+}
+
+TEST_F(TraceIoTest, DumpStopsAtSourceEnd)
+{
+    SyntheticTraceGenerator gen(profileByName("kernels"), 3, 50);
+    uint64_t written = dumpTrace(gen, _path, 1000);
+    EXPECT_EQ(written, 50u);
+}
+
+} // namespace
+} // namespace trace
+} // namespace iraw

@@ -1,0 +1,83 @@
+/** @file Unit tests for workload profiles. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "trace/workload.hh"
+
+namespace iraw {
+namespace trace {
+namespace {
+
+TEST(Workload, CatalogCoversPaperCategories)
+{
+    auto names = profileNames();
+    // Sec. 5.1: Spec2006, Spec2000, kernels, multimedia, office,
+    // server, workstation.
+    for (const char *want :
+         {"spec2006int", "spec2006fp", "spec2000int", "spec2000fp",
+          "kernels", "multimedia", "office", "server",
+          "workstation"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), want),
+                  names.end())
+            << "missing profile " << want;
+    }
+}
+
+TEST(Workload, AllBuiltinsValidate)
+{
+    for (const auto &p : builtinProfiles())
+        EXPECT_NO_THROW(p.validate()) << p.name;
+}
+
+TEST(Workload, LookupByName)
+{
+    const auto &p = profileByName("multimedia");
+    EXPECT_EQ(p.name, "multimedia");
+    EXPECT_THROW(profileByName("not-a-profile"), FatalError);
+}
+
+TEST(Workload, FpProfilesHaveFpWork)
+{
+    EXPECT_GT(profileByName("spec2006fp").wFpAdd, 0.0);
+    EXPECT_GT(profileByName("spec2000fp").wFpMul, 0.0);
+    EXPECT_EQ(profileByName("spec2006int").wFpAdd, 0.0);
+}
+
+TEST(Workload, ServerHasWorstLocality)
+{
+    const auto &server = profileByName("server");
+    const auto &kernels = profileByName("kernels");
+    EXPECT_GT(server.footprintLog2, kernels.footprintLog2);
+    EXPECT_LT(server.streamingFraction, kernels.streamingFraction);
+}
+
+TEST(Workload, ValidationCatchesBadProfiles)
+{
+    WorkloadProfile p;
+    p.depDistGeomP = 0.0;
+    EXPECT_THROW(p.validate(), FatalError);
+
+    p = WorkloadProfile{};
+    p.hotProb = 0.9;
+    p.warmProb = 0.2; // sums above 1
+    EXPECT_THROW(p.validate(), FatalError);
+
+    p = WorkloadProfile{};
+    p.hotBytesLog2 = 20;
+    p.warmBytesLog2 = 15; // pyramid inverted
+    EXPECT_THROW(p.validate(), FatalError);
+
+    p = WorkloadProfile{};
+    p.minFunctionBody = 100;
+    p.maxFunctionBody = 10;
+    EXPECT_THROW(p.validate(), FatalError);
+
+    p = WorkloadProfile{};
+    p.wIntAlu = -1;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+} // namespace
+} // namespace trace
+} // namespace iraw
