@@ -8,11 +8,11 @@
  *  - per-workload speedup at 500 mV (the suite behind the averages).
  */
 
-#include <iostream>
+#include <ostream>
 
-#include "bench_common.hh"
 #include "common/table.hh"
 #include "core/pipeline.hh"
+#include "sim/scenario.hh"
 #include "trace/generator.hh"
 
 namespace {
@@ -52,18 +52,12 @@ runConfigured(const std::string &workload, uint32_t n,
     return r;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runDesignSpace(sim::ScenarioContext &ctx)
 {
-    using namespace iraw;
-    using namespace iraw::bench;
-    OptionMap opts = OptionMap::parse(argc, argv);
+    using namespace iraw::sim;
     uint64_t insts =
-        static_cast<uint64_t>(opts.getInt("insts", 60000));
-    BenchSettings settings = settingsFromArgs(opts);
-    warnUnusedOptions(opts);
+        static_cast<uint64_t>(ctx.opts().getInt("insts", 60000));
 
     // N sweep: the IPC cost of deeper stabilization windows (other
     // nodes / lower Vcc ranges would need N >= 2).
@@ -82,7 +76,7 @@ main(int argc, char **argv)
     }
     nsweep.addNote("each extra stabilization cycle widens the "
                    "scoreboard bubble and the fill-stall windows");
-    nsweep.print(std::cout);
+    nsweep.print(ctx.out());
 
     // Bypass depth: a second bypass level covers the cycle the
     // bubble would otherwise block.
@@ -99,29 +93,48 @@ main(int argc, char **argv)
     bysweep.addNote("deeper bypass absorbs consumers that would hit "
                     "the stabilization window (cf. the synergy with "
                     "incomplete-bypass designs, Sec. 4.1.2)");
-    bysweep.print(std::cout);
+    bysweep.print(ctx.out());
 
-    // Per-workload speedups at 500 mV.
-    iraw::sim::Simulator simulator;
+    // Per-workload speedups at 500 mV: all (workload, machine)
+    // simulations run as one parallel wave.
+    const auto names = trace::profileNames();
+    std::vector<SimConfig> cfgs;
+    cfgs.reserve(2 * names.size());
+    for (const auto &name : names) {
+        for (auto mode : {mechanism::IrawMode::ForcedOff,
+                          mechanism::IrawMode::Auto}) {
+            SimConfig sc;
+            sc.workload = name;
+            sc.instructions = insts;
+            sc.warmupInstructions = ctx.settings().warmup;
+            sc.vcc = 500;
+            sc.mode = mode;
+            cfgs.push_back(sc);
+        }
+    }
+    auto results = ctx.runner().runConfigs(cfgs);
+
     TextTable pw("Per-workload IRAW speedup at 500 mV");
     pw.setHeader({"workload", "IPC base", "IPC iraw", "speedup"});
-    for (const auto &name : iraw::trace::profileNames()) {
-        BenchSettings one;
-        one.suite = {{name, 1, insts}};
-        one.warmup = settings.warmup;
-        auto b = runMachine(simulator, one, 500,
-                            iraw::mechanism::IrawMode::ForcedOff);
-        auto i = runMachine(simulator, one, 500,
-                            iraw::mechanism::IrawMode::Auto);
+    for (size_t i = 0; i < names.size(); ++i) {
+        auto b = SweepRunner::merge(500, {results[2 * i]});
+        auto m = SweepRunner::merge(500, {results[2 * i + 1]});
         pw.addRow({
-            name,
+            names[i],
             TextTable::num(b.ipc, 3),
-            TextTable::num(i.ipc, 3),
-            TextTable::num(i.performance() / b.performance(), 3),
+            TextTable::num(m.ipc, 3),
+            TextTable::num(m.performance() / b.performance(), 3),
         });
     }
     pw.addNote("the paper reports suite averages over 531 traces; "
                "per-category spread is expected");
-    pw.print(std::cout);
+    pw.print(ctx.out());
     return 0;
 }
+
+} // namespace
+
+IRAW_SCENARIO("ablation_design_space",
+              "Design-space ablations: stabilization cycles, bypass "
+              "depth, per-workload speedup",
+              runDesignSpace);

@@ -7,25 +7,23 @@
  * loses performance).
  */
 
-#include <iostream>
+#include <ostream>
 
-#include "bench_common.hh"
 #include "common/table.hh"
 #include "iraw/iq_gate.hh"
 #include "iraw/ready_pattern.hh"
+#include "sim/scenario.hh"
+
+namespace {
 
 int
-main(int argc, char **argv)
+runVccAdaptation(iraw::sim::ScenarioContext &ctx)
 {
     using namespace iraw;
-    using namespace iraw::bench;
-    OptionMap opts = OptionMap::parse(argc, argv);
-    BenchSettings settings = settingsFromArgs(opts);
-    warnUnusedOptions(opts);
+    using namespace iraw::sim;
 
-    sim::Simulator simulator;
     mechanism::IrawController controller(
-        simulator.cycleTimeModel());
+        ctx.simulator().cycleTimeModel());
 
     // The configuration the Vcc controller distributes.
     TextTable cfg("Sec. 4.1.3: per-Vcc IRAW configuration");
@@ -49,23 +47,30 @@ main(int argc, char **argv)
     }
     cfg.addNote("paper: 0001011 at <= 575 mV, 0001111 at >= 600 mV "
                 "(Sec. 4.1.3)");
-    cfg.print(std::cout);
+    cfg.print(ctx.out());
 
     // Ablation: force IRAW on at high Vcc -- the stalls are not paid
     // back by the ~0-1% frequency gain.
+    const std::vector<circuit::MilliVolts> highVcc{700.0, 650.0,
+                                                   600.0, 575.0};
+    std::vector<MachinePoint> points;
+    for (circuit::MilliVolts v : highVcc) {
+        points.push_back({v, mechanism::IrawMode::ForcedOff});
+        points.push_back({v, mechanism::IrawMode::ForcedOn});
+    }
+    std::vector<MachineAtVcc> machines = ctx.runMachines(points);
+
     TextTable abl("Ablation: forcing IRAW on at high Vcc");
     abl.setHeader({"Vcc(mV)", "freq gain", "perf gain (forced on)",
                    "verdict"});
-    for (circuit::MilliVolts v : {700.0, 650.0, 600.0, 575.0}) {
-        auto base = runMachine(simulator, settings, v,
-                               mechanism::IrawMode::ForcedOff);
-        auto forced = runMachine(simulator, settings, v,
-                                 mechanism::IrawMode::ForcedOn);
+    for (size_t i = 0; i < highVcc.size(); ++i) {
+        const MachineAtVcc &base = machines[2 * i];
+        const MachineAtVcc &forced = machines[2 * i + 1];
         double fgain = base.cycleTimeAu / forced.cycleTimeAu;
         double speedup =
             forced.performance() / base.performance();
         abl.addRow({
-            TextTable::num(v, 0),
+            TextTable::num(highVcc[i], 0),
             TextTable::num(fgain, 3),
             TextTable::num(speedup, 3),
             speedup >= 1.0 ? "worth it" : "net loss",
@@ -74,6 +79,13 @@ main(int argc, char **argv)
     abl.addNote("paper Sec. 5.2: at 600 mV the ~1% frequency gain "
                 "is largely offset by the stalls, so IRAW is "
                 "deactivated");
-    abl.print(std::cout);
+    abl.print(ctx.out());
     return 0;
 }
+
+} // namespace
+
+IRAW_SCENARIO("ablation_vcc_adaptation",
+              "Sec. 4.1.3: per-Vcc IRAW configuration and the "
+              "forced-on-at-high-Vcc ablation",
+              runVccAdaptation);

@@ -10,24 +10,23 @@
  * phase everywhere.
  */
 
-#include <iostream>
+#include <ostream>
 
-#include "circuit/cycle_time.hh"
-#include "common/cli.hh"
 #include "common/table.hh"
+#include "sim/scenario.hh"
+
+namespace {
 
 int
-main(int argc, char **argv)
+runFig01(iraw::sim::ScenarioContext &ctx)
 {
     using namespace iraw;
     using namespace iraw::circuit;
-    OptionMap opts = OptionMap::parse(argc, argv);
-    (void)opts;
 
-    LogicDelayModel logic;
-    BitcellModel cell(logic);
-    SramTimingModel sram(logic, cell);
-    CycleTimeModel model(logic, sram);
+    const auto &model = ctx.simulator().cycleTimeModel();
+    const auto &logic = ctx.simulator().logicModel();
+    const auto &sram = ctx.simulator().sramModel();
+    const auto &cell = ctx.simulator().bitcellModel();
 
     TextTable table(
         "Figure 1: delay vs Vcc (a.u., 12 FO4 @ 700mV = 1)");
@@ -47,7 +46,7 @@ main(int argc, char **argv)
     }
     table.addNote("paper: write+WL crosses 12 FO4 at ~600 mV; "
                   "write-limited frequency 0.77 @550mV, 0.24 @450mV");
-    table.print(std::cout);
+    table.print(ctx.out());
 
     // Crossover report.
     double crossWl = 0, crossRaw = 0;
@@ -59,9 +58,16 @@ main(int argc, char **argv)
             cell.writeDelay(v) >= logic.phaseDelay(v))
             crossRaw = v;
     }
-    std::cout << "write+wordline becomes critical below " << crossWl
+    ctx.out() << "write+wordline becomes critical below " << crossWl
               << " mV (paper: ~600 mV)\n"
               << "bitcell write alone becomes critical below "
               << crossRaw << " mV (paper: ~525 mV)\n";
     return 0;
 }
+
+} // namespace
+
+IRAW_SCENARIO("fig01_bitcell_delay",
+              "Figure 1: bitcell/logic delay vs Vcc and the write "
+              "criticality crossover",
+              runFig01);

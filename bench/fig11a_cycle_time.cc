@@ -5,25 +5,20 @@
  * machine and the IRAW machine.
  */
 
-#include <iostream>
+#include <ostream>
 
-#include "circuit/cycle_time.hh"
-#include "common/cli.hh"
 #include "common/table.hh"
+#include "sim/scenario.hh"
+
+namespace {
 
 int
-main(int argc, char **argv)
+runFig11a(iraw::sim::ScenarioContext &ctx)
 {
     using namespace iraw;
     using namespace iraw::circuit;
-    OptionMap opts = OptionMap::parse(argc, argv);
-    (void)opts;
 
-    LogicDelayModel logic;
-    BitcellModel cell(logic);
-    SramTimingModel sram(logic, cell);
-    CycleTimeModel model(logic, sram);
-
+    const auto &model = ctx.simulator().cycleTimeModel();
     const double norm = model.logicCycleTime(700.0);
 
     TextTable table("Figure 11(a): cycle time vs Vcc "
@@ -45,12 +40,18 @@ main(int argc, char **argv)
                   "(visible lift below ~500 mV)");
     table.addNote("paper: baseline cycle time ~doubles at 500 mV "
                   "vs the unconstrained cycle");
-    table.print(std::cout);
+    table.print(ctx.out());
 
-    std::cout << "baseline/logic cycle ratio at 500 mV: "
+    ctx.out() << "baseline/logic cycle ratio at 500 mV: "
               << TextTable::num(model.baselineCycleTime(500) /
                                     model.logicCycleTime(500),
                                 2)
               << " (paper: ~2x)\n";
     return 0;
 }
+
+} // namespace
+
+IRAW_SCENARIO("fig11a_cycle_time",
+              "Figure 11(a): logic/baseline/IRAW cycle time vs Vcc",
+              runFig11a);

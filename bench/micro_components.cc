@@ -1,103 +1,149 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the simulator's hot
- * components: scoreboard shifting, cache accesses, the trace
- * generator, the STable probe and full pipeline throughput.
- * These guard the tool's usability (a slow simulator cannot sweep
- * 13 voltages x 2 machines x 9 workloads interactively).
+ * Microbenchmarks of the simulator's hot components: scoreboard
+ * shifting, cache accesses, the trace generator, the STable probe
+ * and full pipeline throughput.  These guard the tool's usability
+ * (a slow simulator cannot sweep 13 voltages x 2 machines x 9
+ * workloads interactively).  Self-timed with std::chrono so the
+ * scenario driver needs no external benchmark library; tune the
+ * measurement window with reps=.
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <ostream>
 
+#include "common/table.hh"
 #include "core/pipeline.hh"
 #include "iraw/stable.hh"
 #include "memory/cache.hh"
+#include "sim/scenario.hh"
 #include "trace/generator.hh"
-#include "trace/workload.hh"
 
 namespace {
 
 using namespace iraw;
 
-void
-BM_ScoreboardTick(benchmark::State &state)
+/** Defeat dead-code elimination without a benchmark library. */
+template <typename T>
+inline void
+doNotOptimize(const T &value)
 {
-    core::Scoreboard sb(8, 1);
-    sb.setStabilizationCycles(1);
-    sb.setProducer(3, 3);
-    for (auto _ : state) {
-        sb.tick();
-        benchmark::DoNotOptimize(sb.isReady(3));
-    }
+    asm volatile("" : : "g"(&value) : "memory");
 }
-BENCHMARK(BM_ScoreboardTick);
 
-void
-BM_CacheAccess(benchmark::State &state)
+/** Time @p body(reps) and report ns per op. */
+template <typename Body>
+double
+nsPerOp(uint64_t reps, Body &&body)
 {
-    memory::CacheParams p{"bench", 24 * 1024, 6, 64};
-    memory::Cache cache(p);
-    uint64_t addr = 0;
-    for (auto _ : state) {
-        if (!cache.access(addr, false))
-            cache.fill(addr);
-        addr = (addr + 64) % (1 << 18);
-    }
+    // One untimed pass warms caches and first-touch allocations.
+    body(reps / 8 + 1);
+    auto start = std::chrono::steady_clock::now();
+    body(reps);
+    auto stop = std::chrono::steady_clock::now();
+    std::chrono::duration<double, std::nano> elapsed = stop - start;
+    return elapsed.count() / static_cast<double>(reps);
 }
-BENCHMARK(BM_CacheAccess);
 
-void
-BM_TraceGenerator(benchmark::State &state)
+int
+runMicro(sim::ScenarioContext &ctx)
 {
-    trace::SyntheticTraceGenerator gen(
-        trace::profileByName("spec2006int"), 1);
-    for (auto _ : state) {
-        auto op = gen.next();
-        benchmark::DoNotOptimize(op);
+    auto reps =
+        static_cast<uint64_t>(ctx.opts().getInt("reps", 2000000));
+
+    TextTable table("Component microbenchmarks (" +
+                    std::to_string(reps) + " reps)");
+    table.setHeader({"component", "ns/op", "Mops/s"});
+    auto addRow = [&table](const char *name, double ns) {
+        table.addRow({name, TextTable::num(ns, 1),
+                      TextTable::num(1e3 / ns, 1)});
+    };
+
+    {
+        core::Scoreboard sb(8, 1);
+        sb.setStabilizationCycles(1);
+        sb.setProducer(3, 3);
+        addRow("scoreboard tick+probe",
+               nsPerOp(reps, [&sb](uint64_t n) {
+                   for (uint64_t i = 0; i < n; ++i) {
+                       sb.tick();
+                       doNotOptimize(sb.isReady(3));
+                   }
+               }));
     }
-}
-BENCHMARK(BM_TraceGenerator);
 
-void
-BM_StableProbe(benchmark::State &state)
-{
-    mechanism::StoreTable table(4, 64, 64);
-    table.setActiveEntries(4);
-    uint64_t cycle = 0;
-    for (auto _ : state) {
-        ++cycle;
-        table.noteStore(0x1000 + (cycle % 64) * 4, 4, cycle);
-        benchmark::DoNotOptimize(
-            table.probe(0x1000, 4, cycle, 1));
+    {
+        memory::CacheParams p{"bench", 24 * 1024, 6, 64};
+        memory::Cache cache(p);
+        addRow("cache access+fill",
+               nsPerOp(reps, [&cache](uint64_t n) {
+                   uint64_t addr = 0;
+                   for (uint64_t i = 0; i < n; ++i) {
+                       if (!cache.access(addr, false))
+                           cache.fill(addr);
+                       addr = (addr + 64) % (1 << 18);
+                   }
+               }));
     }
-}
-BENCHMARK(BM_StableProbe);
 
-void
-BM_PipelineThroughput(benchmark::State &state)
-{
-    for (auto _ : state) {
-        state.PauseTiming();
-        core::CoreConfig cfg;
-        memory::MemoryConfig mc;
+    {
         trace::SyntheticTraceGenerator gen(
-            trace::profileByName("multimedia"), 1);
-        memory::MemoryHierarchy mem(mc);
-        mem.setDramLatencyCycles(100);
-        core::Pipeline pipe(cfg, mem, gen);
-        mechanism::IrawSettings s;
-        s.enabled = true;
-        s.stabilizationCycles = 1;
-        pipe.applySettings(s);
-        state.ResumeTiming();
-        const auto &stats = pipe.run(20000);
-        benchmark::DoNotOptimize(stats.cycles);
+            trace::profileByName("spec2006int"), 1);
+        addRow("trace generator next",
+               nsPerOp(reps, [&gen](uint64_t n) {
+                   for (uint64_t i = 0; i < n; ++i)
+                       doNotOptimize(gen.next());
+               }));
     }
-    state.SetItemsProcessed(
-        static_cast<int64_t>(state.iterations()) * 20000);
+
+    {
+        mechanism::StoreTable stable(4, 64, 64);
+        stable.setActiveEntries(4);
+        addRow("STable note+probe",
+               nsPerOp(reps, [&stable](uint64_t n) {
+                   for (uint64_t cycle = 1; cycle <= n; ++cycle) {
+                       stable.noteStore(
+                           0x1000 + (cycle % 64) * 4, 4, cycle);
+                       doNotOptimize(
+                           stable.probe(0x1000, 4, cycle, 1));
+                   }
+               }));
+    }
+
+    {
+        // Full pipeline throughput: cost per simulated instruction.
+        constexpr uint64_t kInstsPerRun = 20000;
+        uint64_t runs = reps / kInstsPerRun + 1;
+        double nsPerInst =
+            nsPerOp(runs, [](uint64_t n) {
+                for (uint64_t i = 0; i < n; ++i) {
+                    core::CoreConfig cfg;
+                    memory::MemoryConfig mc;
+                    trace::SyntheticTraceGenerator gen(
+                        trace::profileByName("multimedia"), 1);
+                    memory::MemoryHierarchy mem(mc);
+                    mem.setDramLatencyCycles(100);
+                    core::Pipeline pipe(cfg, mem, gen);
+                    mechanism::IrawSettings s;
+                    s.enabled = true;
+                    s.stabilizationCycles = 1;
+                    pipe.applySettings(s);
+                    doNotOptimize(pipe.run(kInstsPerRun).cycles);
+                }
+            }) /
+            static_cast<double>(kInstsPerRun);
+        addRow("pipeline (per simulated inst)", nsPerInst);
+    }
+
+    table.addNote("interactive sweeps need the pipeline line in the "
+                  "tens of ns per instruction");
+    table.print(ctx.out());
+    return 0;
 }
-BENCHMARK(BM_PipelineThroughput)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+IRAW_SCENARIO("micro_components",
+              "Microbenchmarks of scoreboard, cache, trace "
+              "generator, STable and pipeline throughput",
+              runMicro);

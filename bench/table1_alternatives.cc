@@ -14,59 +14,43 @@
  *    level) against the IRAW hardware budget.
  */
 
-#include <iostream>
+#include <algorithm>
+#include <ostream>
 
-#include "bench_common.hh"
 #include "common/table.hh"
 #include "iraw/overhead_inventory.hh"
+#include "sim/scenario.hh"
 
 namespace {
 
 /** IPC of one machine with caches scaled by @p capacityFactor. */
 double
-ipcWithCapacity(const iraw::sim::Simulator &simulator,
-                const iraw::bench::BenchSettings &settings,
+ipcWithCapacity(iraw::sim::ScenarioContext &ctx,
                 double capacityFactor)
 {
     using namespace iraw;
-    uint64_t insts = 0, cycles = 0;
-    for (const auto &entry : settings.suite) {
-        sim::SimConfig sc;
-        sc.workload = entry.workload;
-        sc.seed = entry.seed;
-        sc.instructions = entry.instructions;
-        sc.warmupInstructions = settings.warmup;
-        sc.vcc = 500;
-        sc.mode = mechanism::IrawMode::ForcedOff;
-        // Faulty-bit capacity loss: shrink each cache's effective
-        // size (associativity reduction models disabled ways).
-        auto shrink = [capacityFactor](memory::CacheParams &p) {
-            auto ways = static_cast<uint32_t>(p.assoc *
-                                              capacityFactor);
-            ways = std::max(1u, ways);
-            p.sizeBytes = p.sizeBytes / p.assoc * ways;
-            p.assoc = ways;
-        };
-        shrink(sc.mem.il0);
-        shrink(sc.mem.dl0);
-        shrink(sc.mem.ul1);
-        sim::SimResult r = simulator.run(sc);
-        insts += r.pipeline.committedInsts;
-        cycles += r.pipeline.cycles;
-    }
-    return static_cast<double>(insts) / cycles;
+    sim::SweepConfig cfg = ctx.sweepConfig();
+    // Faulty-bit capacity loss: shrink each cache's effective size
+    // (associativity reduction models disabled ways).
+    auto shrink = [capacityFactor](memory::CacheParams &p) {
+        auto ways =
+            static_cast<uint32_t>(p.assoc * capacityFactor);
+        ways = std::max(1u, ways);
+        p.sizeBytes = p.sizeBytes / p.assoc * ways;
+        p.assoc = ways;
+    };
+    shrink(cfg.mem.il0);
+    shrink(cfg.mem.dl0);
+    shrink(cfg.mem.ul1);
+    return ctx.runner()
+        .runMachine(cfg, 500, mechanism::IrawMode::ForcedOff)
+        .ipc;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runTable1(iraw::sim::ScenarioContext &ctx)
 {
     using namespace iraw;
-    using namespace iraw::bench;
-    OptionMap opts = OptionMap::parse(argc, argv);
-    BenchSettings settings = settingsFromArgs(opts);
-    warnUnusedOptions(opts);
 
     TextTable qual("Table 1: techniques to override SRAM write "
                    "delay");
@@ -81,14 +65,12 @@ main(int argc, char **argv)
     qual.addNote("first two columns are the paper's "
                  "characterization; the IRAW column is validated "
                  "quantitatively below");
-    qual.print(std::cout);
-
-    sim::Simulator simulator;
+    qual.print(ctx.out());
 
     // Quantitative ablation 1: faulty-bit capacity loss.
-    double full = ipcWithCapacity(simulator, settings, 1.0);
-    double loss125 = ipcWithCapacity(simulator, settings, 0.875);
-    double loss25 = ipcWithCapacity(simulator, settings, 0.75);
+    double full = ipcWithCapacity(ctx, 1.0);
+    double loss125 = ipcWithCapacity(ctx, 0.875);
+    double loss25 = ipcWithCapacity(ctx, 0.75);
     TextTable fb("Faulty Bits ablation: IPC cost of disabled cache "
                  "capacity (at 500 mV clock)");
     fb.setHeader({"capacity", "IPC", "IPC loss"});
@@ -99,7 +81,7 @@ main(int argc, char **argv)
                TextTable::pct(1 - loss25 / full, 2)});
     fb.addNote("and Faulty Bits cannot cover the RF/IQ at all: an "
                "in-order core needs every register entry");
-    fb.print(std::cout);
+    fb.print(ctx.out());
 
     // Quantitative ablation 2: hardware budgets.
     mechanism::OverheadParams p;
@@ -130,6 +112,13 @@ main(int argc, char **argv)
     hw.addNote("Extra Bypass spends more area than all of IRAW yet "
                "covers only the register file, and its muxes sit on "
                "the operand-select critical path");
-    hw.print(std::cout);
+    hw.print(ctx.out());
     return 0;
 }
+
+} // namespace
+
+IRAW_SCENARIO("table1_alternatives",
+              "Table 1: Faulty Bits / Extra Bypass / IRAW "
+              "comparison with quantitative ablations",
+              runTable1);

@@ -8,11 +8,12 @@
  * ignoring IRAW in prediction-only blocks.
  */
 
-#include <iostream>
+#include <algorithm>
+#include <ostream>
 
-#include "bench_common.hh"
 #include "common/table.hh"
 #include "core/pipeline.hh"
+#include "sim/scenario.hh"
 #include "trace/analyzer.hh"
 #include "trace/generator.hh"
 
@@ -54,14 +55,10 @@ runOne(const std::string &workload, bool determinism, bool inject)
     return r;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runBpRsb(iraw::sim::ScenarioContext &ctx)
 {
     using namespace iraw;
-    OptionMap opts = OptionMap::parse(argc, argv);
-    bench::warnUnusedOptions(opts);
 
     TextTable table("Sec. 4.5: prediction-block IRAW exposure "
                     "(N = 1, per workload)");
@@ -92,7 +89,7 @@ main(int argc, char **argv)
     table.addNote("injecting the corruption (flip on conflict) and "
                   "the determinism stalls both leave IPC essentially "
                   "unchanged, validating the 'ignore IRAW' policy");
-    table.print(std::cout);
+    table.print(ctx.out());
 
     // RSB safety argument: the shortest call->return distance in the
     // synthetic programs (the paper found no function short enough
@@ -108,6 +105,13 @@ main(int argc, char **argv)
     rsb.addNote("paper: no function executes call->return within "
                 "1-2 cycles, so unprotected RSB entries always "
                 "stabilize before their pop");
-    rsb.print(std::cout);
+    rsb.print(ctx.out());
     return 0;
 }
+
+} // namespace
+
+IRAW_SCENARIO("text_bp_rsb_corruption",
+              "Sec. 4.5: BP/RSB stabilization-window exposure, "
+              "corruption injection and determinism mode",
+              runBpRsb);

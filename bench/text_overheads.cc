@@ -5,22 +5,22 @@
  * pessimistic 20x activity factor), itemized per mechanism.
  */
 
-#include <iostream>
+#include <ostream>
 
-#include "common/cli.hh"
 #include "common/table.hh"
 #include "core/core_config.hh"
 #include "iraw/overhead_inventory.hh"
 #include "memory/hierarchy.hh"
 #include "predictor/branch_predictor.hh"
 #include "predictor/rsb.hh"
+#include "sim/scenario.hh"
+
+namespace {
 
 int
-main(int argc, char **argv)
+runOverheads(iraw::sim::ScenarioContext &ctx)
 {
     using namespace iraw;
-    OptionMap opts = OptionMap::parse(argc, argv);
-    (void)opts;
 
     // Baseline core SRAM inventory from the actual configuration.
     memory::MemoryConfig mc;
@@ -39,7 +39,8 @@ main(int argc, char **argv)
     inv.setHeader({"block", "bits"});
     inv.addRow({"IL0 + DL0 + UL1 + TLBs + FB + WCB",
                 std::to_string(mem.totalSramBits())});
-    inv.addRow({"branch predictor", std::to_string(bp->totalBits())});
+    inv.addRow({"branch predictor",
+                std::to_string(bp->totalBits())});
     inv.addRow({"RSB", std::to_string(rsb.totalBits())});
     inv.addRow({"register file",
                 std::to_string(cc.registerFileBits())});
@@ -47,7 +48,7 @@ main(int argc, char **argv)
     inv.addRow({"scoreboard",
                 std::to_string(cc.scoreboardBitsTotal())});
     inv.addRow({"total", std::to_string(coreSram)});
-    inv.print(std::cout);
+    inv.print(ctx.out());
 
     mechanism::OverheadParams p;
     p.bypassLevels = cc.bypassLevels;
@@ -64,9 +65,9 @@ main(int argc, char **argv)
     }
     table.addRow({"TOTAL", std::to_string(model.totalLatchBits()),
                   std::to_string(model.totalGateEquivalents())});
-    table.print(std::cout);
+    table.print(ctx.out());
 
-    std::cout << "area overhead:  "
+    ctx.out() << "area overhead:  "
               << TextTable::pct(model.areaFraction(), 4)
               << "  (paper: below 0.03%)\n"
               << "power overhead: "
@@ -74,3 +75,9 @@ main(int argc, char **argv)
               << "  (paper: below 1%, 20x activity factor)\n";
     return 0;
 }
+
+} // namespace
+
+IRAW_SCENARIO("text_overheads",
+              "Sec. 5.3: itemized IRAW hardware area/power overhead",
+              runOverheads);

@@ -7,32 +7,34 @@
  * statistic, at every active Vcc level.
  */
 
-#include <iostream>
+#include <ostream>
 
-#include "bench_common.hh"
 #include "common/table.hh"
+#include "sim/scenario.hh"
+
+namespace {
 
 int
-main(int argc, char **argv)
+runStallBreakdown(iraw::sim::ScenarioContext &ctx)
 {
     using namespace iraw;
-    using namespace iraw::bench;
-    OptionMap opts = OptionMap::parse(argc, argv);
-    BenchSettings settings = settingsFromArgs(opts);
-    warnUnusedOptions(opts);
+    using namespace iraw::sim;
 
-    sim::Simulator simulator;
+    const auto voltages = circuit::standardSweep();
+    std::vector<MachinePoint> points;
+    for (circuit::MilliVolts v : voltages)
+        points.push_back({v, mechanism::IrawMode::Auto});
+    std::vector<MachineAtVcc> machines = ctx.runMachines(points);
 
     TextTable table("Sec. 5.2: IRAW stall breakdown (% of cycles) "
                     "and delayed instructions");
     table.setHeader({"Vcc(mV)", "total", "RF", "IQ gate", "DL0",
                      "others", "delayed insts"});
-    for (circuit::MilliVolts v : circuit::standardSweep()) {
-        auto m = runMachine(simulator, settings, v,
-                            mechanism::IrawMode::Auto);
+    for (size_t i = 0; i < voltages.size(); ++i) {
+        const MachineAtVcc &m = machines[i];
         if (!m.irawEnabled) {
-            table.addRow({TextTable::num(v, 0), "off", "-", "-", "-",
-                          "-", "-"});
+            table.addRow({TextTable::num(voltages[i], 0), "off", "-",
+                          "-", "-", "-", "-"});
             continue;
         }
         double c = static_cast<double>(m.cycles);
@@ -41,7 +43,7 @@ main(int argc, char **argv)
         double dl0 = m.dl0IrawStalls / c;
         double other = m.otherIrawStalls / c;
         table.addRow({
-            TextTable::num(v, 0),
+            TextTable::num(voltages[i], 0),
             TextTable::pct(rf + iq + dl0 + other, 2),
             TextTable::pct(rf, 2),
             TextTable::pct(iq, 2),
@@ -57,6 +59,13 @@ main(int argc, char **argv)
                   "+ 0.04% others; 13.2% of instructions delayed");
     table.addNote("paper band: stall degradation 8-10% across Vcc "
                   "levels, dominated by the register file");
-    table.print(std::cout);
+    table.print(ctx.out());
     return 0;
 }
+
+} // namespace
+
+IRAW_SCENARIO("text_stall_breakdown",
+              "Sec. 5.2: per-structure IRAW stall breakdown across "
+              "Vcc",
+              runStallBreakdown);

@@ -11,13 +11,12 @@
  *   custom_core [vcc=450] [insts=60000] [workload=spec2006int]
  */
 
-#include <iostream>
+#include <ostream>
 
-#include "common/cli.hh"
 #include "common/table.hh"
 #include "core/pipeline.hh"
 #include "iraw/controller.hh"
-#include "sim/simulation.hh"
+#include "sim/scenario.hh"
 #include "trace/generator.hh"
 
 namespace {
@@ -72,19 +71,16 @@ evaluate(const core::CoreConfig &cfg, const std::string &workload,
     return out;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runCustomCore(sim::ScenarioContext &ctx)
 {
-    using namespace iraw;
-    OptionMap opts = OptionMap::parse(argc, argv);
-    double vcc = opts.getDouble("vcc", 450.0);
-    auto insts = static_cast<uint64_t>(opts.getInt("insts", 60000));
+    double vcc = ctx.opts().getDouble("vcc", 450.0);
+    auto insts =
+        static_cast<uint64_t>(ctx.opts().getInt("insts", 60000));
     std::string workload =
-        opts.getString("workload", "spec2006int");
+        ctx.opts().getString("workload", "spec2006int");
 
-    sim::Simulator simulator;
+    const sim::Simulator &simulator = ctx.simulator();
 
     core::CoreConfig stock; // Silverthorne-class defaults
 
@@ -120,6 +116,12 @@ main(int argc, char **argv)
     table.addNote("a second bypass level removes most RF-IRAW "
                   "delays (the consumer that would read during "
                   "stabilization now gets the value forwarded)");
-    table.print(std::cout);
+    table.print(ctx.out());
     return 0;
 }
+
+} // namespace
+
+IRAW_SCENARIO("custom_core",
+              "Stock vs fat vs lean cores under IRAW at low Vcc",
+              runCustomCore);

@@ -9,26 +9,27 @@
  *              [stats=1]   # gem5-style statistics dump
  */
 
-#include <iostream>
+#include <ostream>
 
-#include "common/cli.hh"
 #include "common/table.hh"
-#include "sim/simulation.hh"
+#include "sim/scenario.hh"
 #include "sim/stats_report.hh"
 
+namespace {
+
 int
-main(int argc, char **argv)
+runQuickstart(iraw::sim::ScenarioContext &ctx)
 {
     using namespace iraw;
-    OptionMap opts = OptionMap::parse(argc, argv);
 
     sim::SimConfig cfg;
-    cfg.vcc = opts.getDouble("vcc", 500.0);
-    cfg.workload = opts.getString("workload", "spec2006int");
+    cfg.vcc = ctx.opts().getDouble("vcc", 500.0);
+    cfg.workload =
+        ctx.opts().getString("workload", "spec2006int");
     cfg.instructions =
-        static_cast<uint64_t>(opts.getInt("insts", 60000));
+        static_cast<uint64_t>(ctx.opts().getInt("insts", 60000));
 
-    sim::Simulator simulator;
+    const sim::Simulator &simulator = ctx.simulator();
 
     cfg.mode = mechanism::IrawMode::ForcedOff;
     sim::SimResult base = simulator.run(cfg);
@@ -60,23 +61,31 @@ main(int argc, char **argv)
     table.addRow({"branch predictor accuracy",
                   TextTable::pct(base.bpAccuracy, 1),
                   TextTable::pct(iraw.bpAccuracy, 1)});
-    table.print(std::cout);
+    table.print(ctx.out());
 
-    if (opts.getBool("stats", false)) {
-        std::cout << "\n--- full statistics dump (IRAW machine) ---\n";
-        sim::writeStatsReport(std::cout, iraw);
-        std::cout << '\n';
+    if (ctx.opts().getBool("stats", false)) {
+        ctx.out()
+            << "\n--- full statistics dump (IRAW machine) ---\n";
+        sim::writeStatsReport(ctx.out(), iraw);
+        ctx.out() << '\n';
     }
 
     double fgain = base.cycleTimeAu / iraw.cycleTimeAu;
     double speedup = iraw.performance() / base.performance();
-    std::cout << "frequency gain: " << TextTable::num(fgain, 3)
+    ctx.out() << "frequency gain: " << TextTable::num(fgain, 3)
               << "x\nperformance gain: "
               << TextTable::num(speedup, 3) << "x\n";
     if (!iraw.settings.enabled) {
-        std::cout << "(IRAW is off at this voltage: interrupting "
+        ctx.out() << "(IRAW is off at this voltage: interrupting "
                      "writes would not raise the frequency enough "
                      "to pay for its stalls)\n";
     }
     return 0;
 }
+
+} // namespace
+
+IRAW_SCENARIO("quickstart",
+              "One workload at one Vcc on both machines: what IRAW "
+              "buys you",
+              runQuickstart);

@@ -10,23 +10,26 @@
  *                   [dump=/tmp/trace.trc]
  */
 
-#include <iostream>
+#include <ostream>
 
-#include "common/cli.hh"
 #include "common/table.hh"
+#include "sim/scenario.hh"
 #include "trace/analyzer.hh"
 #include "trace/generator.hh"
 #include "trace/trace_io.hh"
 
+namespace {
+
 int
-main(int argc, char **argv)
+runWorkloadStudio(iraw::sim::ScenarioContext &ctx)
 {
     using namespace iraw;
     using namespace iraw::trace;
-    OptionMap opts = OptionMap::parse(argc, argv);
-    std::string which = opts.getString("workload", "all");
-    auto insts = static_cast<uint64_t>(opts.getInt("insts", 50000));
-    std::string dump = opts.getString("dump", "");
+
+    std::string which = ctx.opts().getString("workload", "all");
+    auto insts =
+        static_cast<uint64_t>(ctx.opts().getInt("insts", 50000));
+    std::string dump = ctx.opts().getString("dump", "");
 
     std::vector<std::string> names;
     if (which == "all")
@@ -56,23 +59,30 @@ main(int argc, char **argv)
     table.addNote("dep<=4: fraction of source operands produced at "
                   "most 4 micro-ops earlier (drives RF-IRAW "
                   "conflicts)");
-    table.print(std::cout);
+    table.print(ctx.out());
 
     if (!dump.empty()) {
         SyntheticTraceGenerator gen(profileByName(names.front()),
                                     1);
         uint64_t written = dumpTrace(gen, dump, insts);
         TraceReader reader(dump);
-        std::cout << "wrote " << written << " records to " << dump
+        ctx.out() << "wrote " << written << " records to " << dump
                   << "; first record: "
                   << reader.next()->toString() << "\n";
     }
 
     // Show a small disassembly excerpt.
     SyntheticTraceGenerator gen(profileByName(names.front()), 1);
-    std::cout << "\nfirst 10 micro-ops of " << names.front()
+    ctx.out() << "\nfirst 10 micro-ops of " << names.front()
               << ":\n";
     for (int i = 0; i < 10; ++i)
-        std::cout << "  " << gen.next()->toString() << "\n";
+        ctx.out() << "  " << gen.next()->toString() << "\n";
     return 0;
 }
+
+} // namespace
+
+IRAW_SCENARIO("workload_studio",
+              "Synthetic workload characterization and trace-file "
+              "round-trip",
+              runWorkloadStudio);

@@ -1,0 +1,61 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+
+namespace iraw {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    unsigned count = std::max(1u, threads);
+    _workers.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _shutdown = true;
+    }
+    _wakeWorker.notify_all();
+    for (auto &worker : _workers)
+        worker.join();
+}
+
+uint64_t
+ThreadPool::tasksSubmitted() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _submitted;
+}
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _wakeWorker.wait(lock, [this] {
+                return _shutdown || !_queue.empty();
+            });
+            if (_queue.empty()) {
+                // _shutdown is set and nothing is left to drain.
+                return;
+            }
+            task = std::move(_queue.front());
+            _queue.pop_front();
+        }
+        task();
+    }
+}
+
+} // namespace iraw

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A fixed-size worker pool with a FIFO task queue and futures,
+ * sized for the experiment runner: tasks are coarse (one full
+ * simulation each), so a single mutex-protected queue is plenty and
+ * keeps completion order irrelevant to results.
+ */
+
+#ifndef IRAW_COMMON_THREAD_POOL_HH
+#define IRAW_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace iraw {
+
+/**
+ * Fixed worker pool.  Tasks submitted via submit() run in FIFO order
+ * across @p threads workers; each submission returns a std::future
+ * for its result.  Destruction drains the queue (all submitted tasks
+ * run) and joins the workers.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p threads workers.  A count of 0 or 1 still starts one
+     * worker thread; callers that want strictly inline execution can
+     * simply call their functions directly.
+     */
+    explicit ThreadPool(unsigned threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(_workers.size()); }
+
+    /** Tasks submitted over the pool's lifetime. */
+    uint64_t tasksSubmitted() const;
+
+    /**
+     * Enqueue @p fn and obtain a future for its result.  The task
+     * runs on some worker; exceptions propagate through the future.
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using Result = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<F>(fn));
+        std::future<Result> future = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            _queue.emplace_back([task] { (*task)(); });
+            ++_submitted;
+        }
+        _wakeWorker.notify_one();
+        return future;
+    }
+
+    /**
+     * Default worker count: the hardware concurrency, with a sane
+     * floor of 1 when the runtime cannot tell.
+     */
+    static unsigned defaultThreads();
+
+  private:
+    void workerLoop();
+
+    mutable std::mutex _mutex;
+    std::condition_variable _wakeWorker;
+    std::deque<std::function<void()>> _queue;
+    std::vector<std::thread> _workers;
+    uint64_t _submitted = 0;
+    bool _shutdown = false;
+};
+
+} // namespace iraw
+
+#endif // IRAW_COMMON_THREAD_POOL_HH

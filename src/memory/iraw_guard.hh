@@ -116,9 +116,12 @@ class IrawPortGuard
     {
         if (_writeCycles.size() < 16)
             return;
-        std::erase_if(_writeCycles, [this, cycle](Cycle w) {
-            return w + _n < cycle;
-        });
+        _writeCycles.erase(
+            std::remove_if(_writeCycles.begin(), _writeCycles.end(),
+                           [this, cycle](Cycle w) {
+                               return w + _n < cycle;
+                           }),
+            _writeCycles.end());
     }
 
     std::string _name;

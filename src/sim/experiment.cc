@@ -1,6 +1,6 @@
 #include "sim/experiment.hh"
 
-#include "common/logging.hh"
+#include "sim/runner.hh"
 
 namespace iraw {
 namespace sim {
@@ -9,84 +9,13 @@ MachineAtVcc
 VccSweep::runMachine(const SweepConfig &cfg, circuit::MilliVolts vcc,
                      mechanism::IrawMode mode) const
 {
-    fatalIf(cfg.suite.empty(), "VccSweep: empty workload suite");
-
-    MachineAtVcc m;
-    m.vcc = vcc;
-
-    for (const auto &entry : cfg.suite) {
-        SimConfig sc;
-        sc.core = cfg.core;
-        sc.mem = cfg.mem;
-        sc.workload = entry.workload;
-        sc.seed = entry.seed;
-        sc.instructions = entry.instructions;
-        sc.vcc = vcc;
-        sc.mode = mode;
-
-        SimResult r = _sim.run(sc);
-        m.irawEnabled = r.settings.enabled;
-        m.stabilizationCycles = r.settings.stabilizationCycles;
-        m.cycleTimeAu = r.cycleTimeAu;
-        m.instructions += r.pipeline.committedInsts;
-        m.cycles += r.pipeline.cycles;
-        m.execTimeAu += r.execTimeAu;
-        m.rfIrawStalls += r.pipeline.rfIrawStallCycles;
-        m.iqGateStalls += r.pipeline.iqGateStallCycles;
-        m.dl0IrawStalls += r.pipeline.dl0ReplayStallCycles +
-                           r.dl0GuardStalls;
-        m.otherIrawStalls += r.otherGuardStalls;
-        m.rfIrawDelayedInsts += r.pipeline.rfIrawDelayedInsts;
-    }
-    m.ipc = m.cycles ? static_cast<double>(m.instructions) / m.cycles
-                     : 0.0;
-    return m;
+    return SweepRunner(_sim).runMachine(cfg, vcc, mode);
 }
 
 std::vector<SweepRow>
 VccSweep::run(const SweepConfig &cfg) const
 {
-    fatalIf(cfg.voltages.empty(), "VccSweep: empty voltage list");
-
-    // Energy calibration point: baseline machine at 600 mV.
-    MachineAtVcc ref =
-        runMachine(cfg, 600.0, mechanism::IrawMode::ForcedOff);
-    double refTimePerInst =
-        ref.execTimeAu / static_cast<double>(ref.instructions);
-    circuit::EnergyModel energy(refTimePerInst);
-
-    std::vector<SweepRow> rows;
-    rows.reserve(cfg.voltages.size());
-    for (circuit::MilliVolts vcc : cfg.voltages) {
-        SweepRow row;
-        row.vcc = vcc;
-        row.baseline =
-            runMachine(cfg, vcc, mechanism::IrawMode::ForcedOff);
-        row.iraw = runMachine(cfg, vcc, mechanism::IrawMode::Auto);
-
-        row.frequencyGain =
-            row.baseline.cycleTimeAu / row.iraw.cycleTimeAu;
-        row.speedup =
-            row.iraw.performance() / row.baseline.performance();
-
-        row.baselineBreakdown = energy.taskEnergy(
-            vcc, row.baseline.instructions, row.baseline.execTimeAu,
-            0.0);
-        // The IRAW hardware is present (and pessimistically active)
-        // whenever the machine carries the mechanism.
-        row.irawBreakdown = energy.taskEnergy(
-            vcc, row.iraw.instructions, row.iraw.execTimeAu,
-            cfg.irawDynOverhead);
-
-        row.energyBaseline = row.baselineBreakdown.total();
-        row.energyIraw = row.irawBreakdown.total();
-        row.relativeEnergy = row.energyIraw / row.energyBaseline;
-        row.relativeDelay =
-            row.iraw.execTimeAu / row.baseline.execTimeAu;
-        row.relativeEdp = row.relativeEnergy * row.relativeDelay;
-        rows.push_back(row);
-    }
-    return rows;
+    return SweepRunner(_sim).run(cfg);
 }
 
 } // namespace sim

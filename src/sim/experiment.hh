@@ -74,12 +74,18 @@ struct SweepConfig
     std::vector<circuit::MilliVolts> voltages;
     core::CoreConfig core;
     memory::MemoryConfig mem;
+    /** Per-trace warm-up window (cache and predictor warm-up). */
+    uint64_t warmupInstructions = 80000;
     /** Dynamic-energy overhead fraction of the IRAW hardware
      *  (from OverheadModel::powerFraction; ~1% pessimistic). */
     double irawDynOverhead = 0.01;
 };
 
-/** Runs the sweep. */
+/**
+ * Runs the sweep on the calling thread.  This is a thin
+ * single-threaded facade over sim::SweepRunner (see sim/runner.hh);
+ * both produce bitwise-identical rows.
+ */
 class VccSweep
 {
   public:

@@ -1,0 +1,172 @@
+#include "sim/runner.hh"
+
+#include <algorithm>
+#include <future>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+
+namespace iraw {
+namespace sim {
+
+unsigned
+SweepRunner::effectiveThreads() const
+{
+    return _cfg.threads == 0 ? ThreadPool::defaultThreads()
+                             : _cfg.threads;
+}
+
+MachineAtVcc
+SweepRunner::merge(circuit::MilliVolts vcc,
+                   const std::vector<SimResult> &results)
+{
+    MachineAtVcc m;
+    m.vcc = vcc;
+    for (const SimResult &r : results) {
+        m.irawEnabled = r.settings.enabled;
+        m.stabilizationCycles = r.settings.stabilizationCycles;
+        m.cycleTimeAu = r.cycleTimeAu;
+        m.instructions += r.pipeline.committedInsts;
+        m.cycles += r.pipeline.cycles;
+        m.execTimeAu += r.execTimeAu;
+        m.rfIrawStalls += r.pipeline.rfIrawStallCycles;
+        m.iqGateStalls += r.pipeline.iqGateStallCycles;
+        m.dl0IrawStalls += r.pipeline.dl0ReplayStallCycles +
+                           r.dl0GuardStalls;
+        m.otherIrawStalls += r.otherGuardStalls;
+        m.rfIrawDelayedInsts += r.pipeline.rfIrawDelayedInsts;
+    }
+    m.ipc = m.cycles ? static_cast<double>(m.instructions) / m.cycles
+                     : 0.0;
+    return m;
+}
+
+std::vector<SimResult>
+SweepRunner::runConfigs(const std::vector<SimConfig> &configs) const
+{
+    std::vector<SimResult> results(configs.size());
+    // More workers than tasks would only cost thread churn.
+    unsigned threads =
+        std::min<uint64_t>(effectiveThreads(), configs.size());
+    if (threads <= 1 || configs.size() <= 1) {
+        for (size_t i = 0; i < configs.size(); ++i)
+            results[i] = _sim.run(configs[i]);
+        return results;
+    }
+
+    ThreadPool pool(threads);
+    std::vector<std::future<SimResult>> futures;
+    futures.reserve(configs.size());
+    for (const SimConfig &cfg : configs) {
+        futures.push_back(
+            pool.submit([this, &cfg] { return _sim.run(cfg); }));
+    }
+    // Collect in submission order; any worker exception rethrows
+    // here, on the caller's thread.
+    for (size_t i = 0; i < futures.size(); ++i)
+        results[i] = futures[i].get();
+    return results;
+}
+
+std::vector<MachineAtVcc>
+SweepRunner::runMachines(const SweepConfig &cfg,
+                         const std::vector<MachinePoint> &points) const
+{
+    fatalIf(cfg.suite.empty(), "SweepRunner: empty workload suite");
+
+    std::vector<SimConfig> configs;
+    configs.reserve(points.size() * cfg.suite.size());
+    for (const MachinePoint &pt : points) {
+        for (const SuiteEntry &entry : cfg.suite) {
+            SimConfig sc;
+            sc.core = cfg.core;
+            sc.mem = cfg.mem;
+            sc.workload = entry.workload;
+            sc.seed = entry.seed;
+            sc.instructions = entry.instructions;
+            sc.warmupInstructions = cfg.warmupInstructions;
+            sc.vcc = pt.vcc;
+            sc.mode = pt.mode;
+            configs.push_back(sc);
+        }
+    }
+
+    std::vector<SimResult> results = runConfigs(configs);
+
+    std::vector<MachineAtVcc> machines;
+    machines.reserve(points.size());
+    const size_t stride = cfg.suite.size();
+    for (size_t p = 0; p < points.size(); ++p) {
+        std::vector<SimResult> slice(
+            results.begin() + p * stride,
+            results.begin() + (p + 1) * stride);
+        machines.push_back(merge(points[p].vcc, slice));
+    }
+    return machines;
+}
+
+MachineAtVcc
+SweepRunner::runMachine(const SweepConfig &cfg,
+                        circuit::MilliVolts vcc,
+                        mechanism::IrawMode mode) const
+{
+    return runMachines(cfg, {{vcc, mode}}).front();
+}
+
+std::vector<SweepRow>
+SweepRunner::run(const SweepConfig &cfg) const
+{
+    fatalIf(cfg.voltages.empty(), "VccSweep: empty voltage list");
+
+    // Point 0 is the energy calibration run: the baseline machine at
+    // 600 mV (paper Sec. 5.1: leakage is 10% of total energy there).
+    std::vector<MachinePoint> points;
+    points.reserve(1 + 2 * cfg.voltages.size());
+    points.push_back({600.0, mechanism::IrawMode::ForcedOff});
+    for (circuit::MilliVolts vcc : cfg.voltages) {
+        points.push_back({vcc, mechanism::IrawMode::ForcedOff});
+        points.push_back({vcc, mechanism::IrawMode::Auto});
+    }
+
+    std::vector<MachineAtVcc> machines = runMachines(cfg, points);
+
+    const MachineAtVcc &ref = machines[0];
+    double refTimePerInst =
+        ref.execTimeAu / static_cast<double>(ref.instructions);
+    circuit::EnergyModel energy(refTimePerInst);
+
+    std::vector<SweepRow> rows;
+    rows.reserve(cfg.voltages.size());
+    for (size_t i = 0; i < cfg.voltages.size(); ++i) {
+        SweepRow row;
+        row.vcc = cfg.voltages[i];
+        row.baseline = machines[1 + 2 * i];
+        row.iraw = machines[2 + 2 * i];
+
+        row.frequencyGain =
+            row.baseline.cycleTimeAu / row.iraw.cycleTimeAu;
+        row.speedup =
+            row.iraw.performance() / row.baseline.performance();
+
+        row.baselineBreakdown = energy.taskEnergy(
+            row.vcc, row.baseline.instructions,
+            row.baseline.execTimeAu, 0.0);
+        // The IRAW hardware is present (and pessimistically active)
+        // whenever the machine carries the mechanism.
+        row.irawBreakdown = energy.taskEnergy(
+            row.vcc, row.iraw.instructions, row.iraw.execTimeAu,
+            cfg.irawDynOverhead);
+
+        row.energyBaseline = row.baselineBreakdown.total();
+        row.energyIraw = row.irawBreakdown.total();
+        row.relativeEnergy = row.energyIraw / row.energyBaseline;
+        row.relativeDelay =
+            row.iraw.execTimeAu / row.baseline.execTimeAu;
+        row.relativeEdp = row.relativeEnergy * row.relativeDelay;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+} // namespace sim
+} // namespace iraw

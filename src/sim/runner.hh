@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Parallel experiment runner: decomposes a Vcc sweep into independent
+ * (Vcc, trace, machine-config) work items, runs them across a worker
+ * pool, and merges the per-trace results with a deterministic,
+ * order-independent reduction.  Because every simulation owns its
+ * trace generator (seeded per SuiteEntry) and the reduction always
+ * folds partials in suite order, aggregates are bitwise identical at
+ * threads=1 and threads=N.
+ */
+
+#ifndef IRAW_SIM_RUNNER_HH
+#define IRAW_SIM_RUNNER_HH
+
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace iraw {
+namespace sim {
+
+/** Execution settings of the parallel runner. */
+struct RunnerConfig
+{
+    /** Worker threads; 0 means "one per hardware thread". */
+    unsigned threads = 1;
+};
+
+/** One (voltage, machine) aggregation request. */
+struct MachinePoint
+{
+    circuit::MilliVolts vcc = 0.0;
+    mechanism::IrawMode mode = mechanism::IrawMode::Auto;
+};
+
+/**
+ * Runs Vcc sweeps across a thread pool.  The single-threaded
+ * VccSweep engine delegates here, so both produce identical rows.
+ */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(const Simulator &sim, RunnerConfig cfg = {})
+        : _sim(sim), _cfg(cfg)
+    {}
+
+    /** Effective worker count after resolving threads=0. */
+    unsigned effectiveThreads() const;
+
+    /**
+     * Execute the full Figure 11/12 sweep: every (voltage, trace,
+     * machine) point runs as its own task.  The energy model is
+     * calibrated on the baseline machine at 600 mV exactly as in the
+     * serial engine.
+     */
+    std::vector<SweepRow> run(const SweepConfig &cfg) const;
+
+    /** Aggregate one machine over the suite at one voltage. */
+    MachineAtVcc runMachine(const SweepConfig &cfg,
+                            circuit::MilliVolts vcc,
+                            mechanism::IrawMode mode) const;
+
+    /**
+     * Aggregate many machines in one parallel batch — the bench
+     * driver's workhorse (e.g. 13 voltages x 2 machines x 9 traces
+     * as 234 independent tasks).  Results arrive in @p points order.
+     */
+    std::vector<MachineAtVcc>
+    runMachines(const SweepConfig &cfg,
+                const std::vector<MachinePoint> &points) const;
+
+    /**
+     * Run arbitrary simulation configs as one parallel wave;
+     * results arrive in @p configs order.  The escape hatch for
+     * sweeps whose points differ in more than (Vcc, mode) — e.g.
+     * one machine per workload or per core config.
+     */
+    std::vector<SimResult>
+    runConfigs(const std::vector<SimConfig> &configs) const;
+
+    /**
+     * Fold per-trace results (in suite order) into the suite
+     * aggregate.  Exposed so tests can verify the reduction is
+     * independent of execution order.
+     */
+    static MachineAtVcc merge(circuit::MilliVolts vcc,
+                              const std::vector<SimResult> &results);
+
+  private:
+    const Simulator &_sim;
+    RunnerConfig _cfg;
+};
+
+} // namespace sim
+} // namespace iraw
+
+#endif // IRAW_SIM_RUNNER_HH

@@ -1,0 +1,183 @@
+#include "sim/scenario.hh"
+
+#include <iostream>
+
+#include "common/logging.hh"
+#include "sim/simulation.hh"
+
+namespace iraw {
+namespace sim {
+
+ScenarioContext::ScenarioContext(const OptionMap &opts,
+                                 std::ostream &out)
+    : _opts(opts), _out(out)
+{
+    // Parse the shared overrides eagerly so every scenario binary
+    // accepts them (and so they never show up as "unused").
+    auto insts =
+        static_cast<uint64_t>(opts.getInt("insts", 60000));
+    auto seeds = static_cast<uint32_t>(opts.getInt("seeds", 1));
+    _settings.warmup =
+        static_cast<uint64_t>(opts.getInt("warmup", 40000));
+    int64_t threads = opts.getInt("threads", 0);
+    fatalIf(threads < 0 || threads > 1024,
+            "threads=%lld out of range [0, 1024]",
+            static_cast<long long>(threads));
+    _settings.threads = static_cast<unsigned>(threads);
+    if (opts.getBool("quick", false)) {
+        _settings.suite = quickSuite(insts);
+    } else {
+        _settings.suite = defaultSuite(insts, seeds);
+    }
+}
+
+const Simulator &
+ScenarioContext::simulator()
+{
+    if (!_sim)
+        _sim = std::make_unique<Simulator>();
+    return *_sim;
+}
+
+SweepRunner
+ScenarioContext::runner()
+{
+    return SweepRunner(simulator(),
+                       RunnerConfig{_settings.threads});
+}
+
+SweepConfig
+ScenarioContext::sweepConfig() const
+{
+    SweepConfig cfg;
+    cfg.suite = _settings.suite;
+    cfg.warmupInstructions = _settings.warmup;
+    return cfg;
+}
+
+MachineAtVcc
+ScenarioContext::runMachine(circuit::MilliVolts vcc,
+                            mechanism::IrawMode mode)
+{
+    return runner().runMachine(sweepConfig(), vcc, mode);
+}
+
+std::vector<MachineAtVcc>
+ScenarioContext::runMachines(const std::vector<MachinePoint> &points)
+{
+    return runner().runMachines(sweepConfig(), points);
+}
+
+ScenarioRegistry &
+ScenarioRegistry::instance()
+{
+    static ScenarioRegistry registry;
+    return registry;
+}
+
+void
+ScenarioRegistry::add(Scenario scenario)
+{
+    panicIf(scenario.fn == nullptr, "scenario '%s' has no body",
+            scenario.name.c_str());
+    auto [it, inserted] =
+        _scenarios.emplace(scenario.name, std::move(scenario));
+    panicIf(!inserted, "duplicate scenario name '%s'",
+            it->first.c_str());
+}
+
+const Scenario *
+ScenarioRegistry::find(const std::string &name) const
+{
+    auto it = _scenarios.find(name);
+    return it == _scenarios.end() ? nullptr : &it->second;
+}
+
+std::vector<const Scenario *>
+ScenarioRegistry::all() const
+{
+    std::vector<const Scenario *> out;
+    out.reserve(_scenarios.size());
+    for (const auto &[name, scenario] : _scenarios)
+        out.push_back(&scenario);
+    return out;
+}
+
+ScenarioRegistrar::ScenarioRegistrar(const char *name,
+                                     const char *description,
+                                     ScenarioFn fn)
+{
+    ScenarioRegistry::instance().add(
+        Scenario{name, description, fn});
+}
+
+namespace {
+
+void
+listScenarios(std::ostream &out)
+{
+    out << "registered scenarios:\n";
+    for (const Scenario *s : ScenarioRegistry::instance().all())
+        out << "  " << s->name << "\n      " << s->description
+            << "\n";
+}
+
+} // namespace
+
+int
+scenarioMain(int argc, const char *const *argv)
+{
+    OptionMap opts = OptionMap::parse(argc, argv);
+    const ScenarioRegistry &registry = ScenarioRegistry::instance();
+
+    if (opts.getBool("list", false)) {
+        listScenarios(std::cout);
+        return 0;
+    }
+
+    std::string which = opts.getString("scenario", "");
+    std::vector<const Scenario *> toRun;
+    if (which == "all") {
+        toRun = registry.all();
+    } else if (!which.empty()) {
+        const Scenario *s = registry.find(which);
+        if (!s) {
+            std::cerr << "unknown scenario '" << which << "'\n";
+            listScenarios(std::cerr);
+            return 1;
+        }
+        toRun = {s};
+    } else if (registry.all().size() == 1) {
+        // Single-scenario binaries run their scenario by default.
+        toRun = registry.all();
+    } else {
+        std::cerr << "usage: scenario=<name>|all [list=1] "
+                     "[threads=N] [insts=N] [seeds=N] [quick=1] "
+                     "[warmup=N]\n";
+        listScenarios(std::cerr);
+        return 1;
+    }
+
+    for (const Scenario *s : toRun) {
+        if (toRun.size() > 1)
+            std::cout << "==== " << s->name << " ====\n";
+        int rc = 0;
+        try {
+            ScenarioContext ctx(opts, std::cout);
+            rc = s->fn(ctx);
+        } catch (const FatalError &e) {
+            std::cerr << "scenario '" << s->name
+                      << "' failed: " << e.what() << "\n";
+            return 1;
+        }
+        if (rc != 0)
+            return rc;
+    }
+
+    for (const auto &key : opts.unusedKeys())
+        std::cerr << "warning: unused option '" << key << "'\n";
+    return 0;
+}
+
+} // namespace sim
+} // namespace iraw

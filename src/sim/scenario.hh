@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Scenario registry: every figure/table bench and example registers
+ * itself here and runs through one driver entry point
+ * (scenarioMain), so all of them share the same CLI overrides
+ * (threads=, insts=, seeds=, quick=, warmup=) and the same parallel
+ * sweep runner instead of carrying near-duplicate main()s.
+ */
+
+#ifndef IRAW_SIM_SCENARIO_HH
+#define IRAW_SIM_SCENARIO_HH
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "sim/runner.hh"
+
+namespace iraw {
+namespace sim {
+
+/** Suite/size settings shared by the simulation-driven scenarios. */
+struct ScenarioSettings
+{
+    std::vector<SuiteEntry> suite;
+    uint64_t warmup = 40000;
+    /** Worker threads; 0 means "one per hardware thread". */
+    unsigned threads = 0;
+};
+
+/**
+ * Everything a scenario needs at run time: the parsed options, the
+ * output stream, the shared workload suite, and a lazily built
+ * simulator wired to the parallel runner.
+ */
+class ScenarioContext
+{
+  public:
+    ScenarioContext(const OptionMap &opts, std::ostream &out);
+
+    const OptionMap &opts() const { return _opts; }
+    std::ostream &out() { return _out; }
+    const ScenarioSettings &settings() const { return _settings; }
+
+    /** The shared simulator (built on first use). */
+    const Simulator &simulator();
+
+    /** A sweep runner over the shared simulator. */
+    SweepRunner runner();
+
+    /** A SweepConfig seeded with the context's suite and warmup. */
+    SweepConfig sweepConfig() const;
+
+    /** Aggregate one machine over the suite, in parallel. */
+    MachineAtVcc runMachine(circuit::MilliVolts vcc,
+                            mechanism::IrawMode mode);
+
+    /** Aggregate many machines in one parallel batch. */
+    std::vector<MachineAtVcc>
+    runMachines(const std::vector<MachinePoint> &points);
+
+  private:
+    const OptionMap &_opts;
+    std::ostream &_out;
+    ScenarioSettings _settings;
+    std::unique_ptr<Simulator> _sim;
+};
+
+/** Scenario body; returns a process exit code. */
+using ScenarioFn = int (*)(ScenarioContext &);
+
+/** One registered figure/table/example scenario. */
+struct Scenario
+{
+    std::string name;
+    std::string description;
+    ScenarioFn fn = nullptr;
+};
+
+/** Name-keyed singleton registry of every linked scenario. */
+class ScenarioRegistry
+{
+  public:
+    static ScenarioRegistry &instance();
+
+    /** Register a scenario; duplicate names are a library bug. */
+    void add(Scenario scenario);
+
+    /** Look up by name; nullptr when absent. */
+    const Scenario *find(const std::string &name) const;
+
+    /** All scenarios, name-sorted. */
+    std::vector<const Scenario *> all() const;
+
+  private:
+    std::map<std::string, Scenario> _scenarios;
+};
+
+/** Registers a scenario from a static initializer. */
+struct ScenarioRegistrar
+{
+    ScenarioRegistrar(const char *name, const char *description,
+                      ScenarioFn fn);
+};
+
+/**
+ * The driver main shared by every bench/example binary: runs
+ * `scenario=<name>` (or the only registered scenario, or
+ * `scenario=all`), and lists the registry with `list=1`.
+ */
+int scenarioMain(int argc, const char *const *argv);
+
+} // namespace sim
+} // namespace iraw
+
+/**
+ * Registers @p fn under @p name from this translation unit's static
+ * initializers; linking the TU into a driver binary is enough to
+ * make the scenario runnable.
+ */
+#define IRAW_SCENARIO(name, description, fn)                          \
+    static const ::iraw::sim::ScenarioRegistrar                       \
+        irawScenarioRegistrar_##fn { name, description, fn }
+
+#endif // IRAW_SIM_SCENARIO_HH

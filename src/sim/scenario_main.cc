@@ -1,0 +1,14 @@
+/**
+ * @file
+ * The main() every bench and example binary links: the actual
+ * driver logic lives in sim/scenario.cc so tests can exercise it.
+ * This file is deliberately not part of the iraw library.
+ */
+
+#include "sim/scenario.hh"
+
+int
+main(int argc, char **argv)
+{
+    return iraw::sim::scenarioMain(argc, argv);
+}

@@ -33,8 +33,9 @@ TEST(IqGate, ThresholdScalesWithN)
     IqOccupancyGate gate(32, 2, 2);
     for (uint32_t n = 0; n <= 4; ++n) {
         gate.setStabilizationCycles(n);
-        if (n > 0)
+        if (n > 0) {
             EXPECT_EQ(gate.threshold(), 2 + 2 * n);
+        }
     }
 }
 

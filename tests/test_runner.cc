@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Unit tests for the parallel experiment runner: the thread pool,
+ * thread-count determinism of the sweep aggregates (threads=1 and
+ * threads=N must agree bitwise), and the scenario registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "sim/runner.hh"
+#include "sim/scenario.hh"
+
+namespace iraw {
+namespace sim {
+namespace {
+
+// ------------------------------------------------------- thread pool
+
+TEST(ThreadPool, RunsSubmittedTasksAndReturnsResults)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 32; ++i)
+        futures.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(futures[i].get(), i * i);
+    EXPECT_EQ(pool.tasksSubmitted(), 32u);
+}
+
+TEST(ThreadPool, ZeroThreadRequestStillRunsTasks)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 16; ++i)
+            pool.submit([&ran] { ++ran; });
+        // No explicit wait: the destructor must drain the queue.
+    }
+    EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DefaultThreadsIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+}
+
+// --------------------------------------------- runner determinism
+
+SweepConfig
+smallSweep()
+{
+    SweepConfig cfg;
+    cfg.suite = {{"spec2006int", 1, 6000},
+                 {"multimedia", 2, 6000},
+                 {"kernels", 3, 6000}};
+    cfg.voltages = {600, 500, 450};
+    cfg.warmupInstructions = 4000;
+    return cfg;
+}
+
+void
+expectMachinesIdentical(const MachineAtVcc &a, const MachineAtVcc &b)
+{
+    EXPECT_EQ(a.vcc, b.vcc);
+    EXPECT_EQ(a.irawEnabled, b.irawEnabled);
+    EXPECT_EQ(a.stabilizationCycles, b.stabilizationCycles);
+    EXPECT_EQ(a.cycleTimeAu, b.cycleTimeAu);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.execTimeAu, b.execTimeAu);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.rfIrawStalls, b.rfIrawStalls);
+    EXPECT_EQ(a.iqGateStalls, b.iqGateStalls);
+    EXPECT_EQ(a.dl0IrawStalls, b.dl0IrawStalls);
+    EXPECT_EQ(a.otherIrawStalls, b.otherIrawStalls);
+    EXPECT_EQ(a.rfIrawDelayedInsts, b.rfIrawDelayedInsts);
+}
+
+TEST(SweepRunner, AggregatesAreBitwiseIdenticalAcrossThreadCounts)
+{
+    Simulator sim;
+    SweepConfig cfg = smallSweep();
+    auto serial = SweepRunner(sim, {1}).run(cfg);
+    auto parallel = SweepRunner(sim, {4}).run(cfg);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        const SweepRow &s = serial[i];
+        const SweepRow &p = parallel[i];
+        EXPECT_EQ(s.vcc, p.vcc);
+        expectMachinesIdentical(s.baseline, p.baseline);
+        expectMachinesIdentical(s.iraw, p.iraw);
+        // Bitwise equality of every derived double.
+        EXPECT_EQ(s.frequencyGain, p.frequencyGain);
+        EXPECT_EQ(s.speedup, p.speedup);
+        EXPECT_EQ(s.energyBaseline, p.energyBaseline);
+        EXPECT_EQ(s.energyIraw, p.energyIraw);
+        EXPECT_EQ(s.relativeEnergy, p.relativeEnergy);
+        EXPECT_EQ(s.relativeDelay, p.relativeDelay);
+        EXPECT_EQ(s.relativeEdp, p.relativeEdp);
+    }
+}
+
+TEST(SweepRunner, MatchesSerialVccSweepEngine)
+{
+    Simulator sim;
+    SweepConfig cfg = smallSweep();
+    auto facade = VccSweep(sim).run(cfg);
+    auto parallel = SweepRunner(sim, {3}).run(cfg);
+    ASSERT_EQ(facade.size(), parallel.size());
+    for (size_t i = 0; i < facade.size(); ++i) {
+        EXPECT_EQ(facade[i].speedup, parallel[i].speedup);
+        EXPECT_EQ(facade[i].relativeEdp, parallel[i].relativeEdp);
+        expectMachinesIdentical(facade[i].iraw, parallel[i].iraw);
+    }
+}
+
+TEST(SweepRunner, BatchMatchesIndividualRuns)
+{
+    Simulator sim;
+    SweepConfig cfg = smallSweep();
+    SweepRunner runner(sim, {4});
+    std::vector<MachinePoint> points{
+        {500, mechanism::IrawMode::ForcedOff},
+        {500, mechanism::IrawMode::Auto},
+        {450, mechanism::IrawMode::Auto},
+    };
+    auto batch = runner.runMachines(cfg, points);
+    ASSERT_EQ(batch.size(), points.size());
+    for (size_t i = 0; i < points.size(); ++i) {
+        auto one = runner.runMachine(cfg, points[i].vcc,
+                                     points[i].mode);
+        expectMachinesIdentical(batch[i], one);
+    }
+}
+
+TEST(SweepRunner, MergeIsIndependentOfPartialExecutionOrder)
+{
+    // merge() folds in suite order regardless of which worker
+    // finished first; feeding it the same results must be stable.
+    Simulator sim;
+    SimConfig a, b;
+    a.workload = "spec2006int";
+    a.instructions = 4000;
+    a.warmupInstructions = 2000;
+    a.vcc = 500;
+    b = a;
+    b.workload = "multimedia";
+    b.seed = 9;
+    std::vector<SimResult> results{sim.run(a), sim.run(b)};
+    auto first = SweepRunner::merge(500, results);
+    auto again = SweepRunner::merge(500, results);
+    expectMachinesIdentical(first, again);
+    EXPECT_EQ(first.instructions, 8000u);
+}
+
+TEST(SweepRunner, ZeroThreadsMeansHardwareConcurrency)
+{
+    Simulator sim;
+    SweepRunner runner(sim, {0});
+    EXPECT_EQ(runner.effectiveThreads(),
+              ThreadPool::defaultThreads());
+}
+
+TEST(SweepRunner, EmptyConfigRejected)
+{
+    Simulator sim;
+    SweepRunner runner(sim, {2});
+    SweepConfig cfg;
+    EXPECT_THROW(runner.run(cfg), FatalError);
+    cfg.suite = {{"kernels", 1, 100}};
+    cfg.voltages = {};
+    EXPECT_THROW(runner.run(cfg), FatalError);
+}
+
+// ---------------------------------------------- scenario registry
+
+int
+trivialScenario(ScenarioContext &ctx)
+{
+    ctx.out() << "trivial ran\n";
+    return 0;
+}
+
+IRAW_SCENARIO("test_trivial", "registry lookup fixture",
+              trivialScenario);
+
+TEST(ScenarioRegistry, LookupFindsRegisteredScenario)
+{
+    const Scenario *s =
+        ScenarioRegistry::instance().find("test_trivial");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->name, "test_trivial");
+    EXPECT_EQ(s->description, "registry lookup fixture");
+    EXPECT_EQ(s->fn, &trivialScenario);
+}
+
+TEST(ScenarioRegistry, UnknownNameReturnsNull)
+{
+    EXPECT_EQ(ScenarioRegistry::instance().find("no_such"),
+              nullptr);
+}
+
+TEST(ScenarioRegistry, ListingIsNameSorted)
+{
+    auto all = ScenarioRegistry::instance().all();
+    ASSERT_FALSE(all.empty());
+    for (size_t i = 1; i < all.size(); ++i)
+        EXPECT_LT(all[i - 1]->name, all[i]->name);
+}
+
+TEST(ScenarioRegistry, DuplicateRegistrationPanics)
+{
+    EXPECT_THROW(ScenarioRegistry::instance().add(
+                     {"test_trivial", "dup", trivialScenario}),
+                 PanicError);
+}
+
+TEST(ScenarioMain, RunsSelectedScenario)
+{
+    const char *argv[] = {"driver", "scenario=test_trivial"};
+    EXPECT_EQ(scenarioMain(2, argv), 0);
+}
+
+TEST(ScenarioMain, UnknownScenarioFails)
+{
+    const char *argv[] = {"driver", "scenario=no_such"};
+    EXPECT_EQ(scenarioMain(2, argv), 1);
+}
+
+TEST(ScenarioContext, ParsesSharedOverrides)
+{
+    const char *argv[] = {"driver", "quick=1", "insts=1234",
+                          "threads=3", "warmup=99"};
+    OptionMap opts = OptionMap::parse(5, argv);
+    std::ostringstream out;
+    ScenarioContext ctx(opts, out);
+    EXPECT_EQ(ctx.settings().threads, 3u);
+    EXPECT_EQ(ctx.settings().warmup, 99u);
+    ASSERT_FALSE(ctx.settings().suite.empty());
+    EXPECT_EQ(ctx.settings().suite.front().instructions, 1234u);
+    EXPECT_TRUE(opts.unusedKeys().empty());
+}
+
+TEST(ScenarioContext, RejectsAbsurdThreadCounts)
+{
+    std::ostringstream out;
+    const char *neg[] = {"driver", "threads=-1"};
+    OptionMap negOpts = OptionMap::parse(2, neg);
+    EXPECT_THROW(ScenarioContext(negOpts, out), FatalError);
+
+    const char *huge[] = {"driver", "threads=100000"};
+    OptionMap hugeOpts = OptionMap::parse(2, huge);
+    EXPECT_THROW(ScenarioContext(hugeOpts, out), FatalError);
+}
+
+} // namespace
+} // namespace sim
+} // namespace iraw
