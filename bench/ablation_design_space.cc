@@ -13,7 +13,7 @@
 #include "common/table.hh"
 #include "core/pipeline.hh"
 #include "sim/scenario.hh"
-#include "trace/generator.hh"
+#include "trace/trace_store.hh"
 
 namespace {
 
@@ -25,8 +25,22 @@ struct AblRun
     double delayedFrac = 0.0;
 };
 
+/**
+ * The N- and bypass-sweeps replay one (workload, seed) trace across
+ * many machine configurations; materialize it once instead of
+ * regenerating it per configuration (trace= substitutes a file).
+ */
+trace::TraceBufferPtr
+ablationTrace(sim::ScenarioContext &ctx, const std::string &workload,
+              uint64_t insts)
+{
+    core::CoreConfig cfg;
+    return ctx.materializeTrace(
+        workload, 1, trace::replayLength(insts, cfg.iqEntries));
+}
+
 AblRun
-runConfigured(const std::string &workload, uint32_t n,
+runConfigured(const trace::TraceBufferPtr &buffer, uint32_t n,
               uint32_t bypassLevels, uint64_t insts)
 {
     core::CoreConfig cfg;
@@ -35,11 +49,10 @@ runConfigured(const std::string &workload, uint32_t n,
     // (latency + bypass + N + 1 must fit, Sec. 4.1.2).
     cfg.scoreboardBits = 8 + bypassLevels + 2;
     memory::MemoryConfig mc;
-    trace::SyntheticTraceGenerator gen(
-        trace::profileByName(workload), 1);
+    trace::ReplayTraceSource src(buffer);
     memory::MemoryHierarchy mem(mc);
     mem.setDramLatencyCycles(120);
-    core::Pipeline pipe(cfg, mem, gen);
+    core::Pipeline pipe(cfg, mem, src);
     mechanism::IrawSettings s;
     s.enabled = n > 0;
     s.stabilizationCycles = n;
@@ -56,17 +69,19 @@ int
 runDesignSpace(sim::ScenarioContext &ctx)
 {
     using namespace iraw::sim;
-    uint64_t insts =
-        static_cast<uint64_t>(ctx.opts().getInt("insts", 60000));
+    uint64_t insts = ctx.opts().getUint("insts", 60000);
+
+    trace::TraceBufferPtr trace =
+        ablationTrace(ctx, "spec2006int", insts);
 
     // N sweep: the IPC cost of deeper stabilization windows (other
     // nodes / lower Vcc ranges would need N >= 2).
     TextTable nsweep("Ablation: stabilization cycles N "
                      "(IPC at a fixed clock, spec2006int)");
     nsweep.setHeader({"N", "IPC", "IPC vs N=0", "delayed insts"});
-    AblRun base = runConfigured("spec2006int", 0, 1, insts);
+    AblRun base = runConfigured(trace, 0, 1, insts);
     for (uint32_t n = 0; n <= 4; ++n) {
-        AblRun r = runConfigured("spec2006int", n, 1, insts);
+        AblRun r = runConfigured(trace, n, 1, insts);
         nsweep.addRow({
             std::to_string(n),
             TextTable::num(r.ipc, 3),
@@ -83,7 +98,7 @@ runDesignSpace(sim::ScenarioContext &ctx)
     TextTable bysweep("Ablation: bypass depth under IRAW (N=1)");
     bysweep.setHeader({"bypass levels", "IPC", "delayed insts"});
     for (uint32_t b = 1; b <= 3; ++b) {
-        AblRun r = runConfigured("spec2006int", 1, b, insts);
+        AblRun r = runConfigured(trace, 1, b, insts);
         bysweep.addRow({
             std::to_string(b),
             TextTable::num(r.ipc, 3),
@@ -96,8 +111,11 @@ runDesignSpace(sim::ScenarioContext &ctx)
     bysweep.print(ctx.out());
 
     // Per-workload speedups at 500 mV: all (workload, machine)
-    // simulations run as one parallel wave.
-    const auto names = trace::profileNames();
+    // simulations run as one parallel wave.  With trace= every
+    // workload would replay the same file, so show a single row.
+    std::vector<std::string> names = trace::profileNames();
+    if (!ctx.settings().tracePath.empty())
+        names = {ctx.settings().tracePath};
     std::vector<SimConfig> cfgs;
     cfgs.reserve(2 * names.size());
     for (const auto &name : names) {
@@ -105,6 +123,7 @@ runDesignSpace(sim::ScenarioContext &ctx)
                           mechanism::IrawMode::Auto}) {
             SimConfig sc;
             sc.workload = name;
+            sc.tracePath = ctx.settings().tracePath;
             sc.instructions = insts;
             sc.warmupInstructions = ctx.settings().warmup;
             sc.vcc = 500;

@@ -12,12 +12,14 @@
 #include <chrono>
 #include <ostream>
 
+#include "common/logging.hh"
 #include "common/table.hh"
 #include "core/pipeline.hh"
 #include "iraw/stable.hh"
 #include "memory/cache.hh"
 #include "sim/scenario.hh"
 #include "trace/generator.hh"
+#include "trace/trace_store.hh"
 
 namespace {
 
@@ -48,8 +50,10 @@ nsPerOp(uint64_t reps, Body &&body)
 int
 runMicro(sim::ScenarioContext &ctx)
 {
-    auto reps =
-        static_cast<uint64_t>(ctx.opts().getInt("reps", 2000000));
+    uint64_t reps = ctx.opts().getUint("reps", 2000000);
+    if (!ctx.settings().tracePath.empty())
+        warn("micro_components times the synthetic components "
+             "themselves; trace= is ignored");
 
     TextTable table("Component microbenchmarks (" +
                     std::to_string(reps) + " reps)");
@@ -93,6 +97,25 @@ runMicro(sim::ScenarioContext &ctx)
                nsPerOp(reps, [&gen](uint64_t n) {
                    for (uint64_t i = 0; i < n; ++i)
                        doNotOptimize(gen.next());
+               }));
+    }
+
+    {
+        // The trace store serves sweeps replayed buffers instead of
+        // live generation; this row is the per-op cost it pays.
+        trace::TraceBufferPtr buf = trace::materializeSynthetic(
+            trace::profileByName("spec2006int"), 1, 200000);
+        trace::ReplayTraceSource src(buf);
+        addRow("trace store replay next",
+               nsPerOp(reps, [&src](uint64_t n) {
+                   for (uint64_t i = 0; i < n; ++i) {
+                       auto op = src.next();
+                       if (!op) {
+                           src.reset();
+                           op = src.next();
+                       }
+                       doNotOptimize(op);
+                   }
                }));
     }
 

@@ -15,9 +15,12 @@
 #include "core/pipeline.hh"
 #include "sim/scenario.hh"
 #include "trace/analyzer.hh"
-#include "trace/generator.hh"
+#include "trace/trace_store.hh"
 
 namespace {
+
+/** Ops per workload: covers the 120k-inst runs and the analyzer. */
+constexpr uint64_t kBpRsbTraceOps = 200000;
 
 struct PredRun
 {
@@ -28,19 +31,27 @@ struct PredRun
     double ipc = 0.0;
 };
 
+/** One materialization per workload, shared by every run below. */
+iraw::trace::TraceBufferPtr
+bpRsbTrace(iraw::sim::ScenarioContext &ctx,
+           const std::string &workload)
+{
+    return ctx.materializeTrace(workload, 1, kBpRsbTraceOps);
+}
+
 PredRun
-runOne(const std::string &workload, bool determinism, bool inject)
+runOne(const iraw::trace::TraceBufferPtr &trace, bool determinism,
+       bool inject)
 {
     using namespace iraw;
     core::CoreConfig cfg;
     cfg.determinismMode = determinism;
     cfg.injectPredictionCorruption = inject;
     memory::MemoryConfig mc;
-    trace::SyntheticTraceGenerator gen(
-        trace::profileByName(workload), 1);
+    trace::ReplayTraceSource src(trace);
     memory::MemoryHierarchy mem(mc);
     mem.setDramLatencyCycles(100);
-    core::Pipeline pipe(cfg, mem, gen);
+    core::Pipeline pipe(cfg, mem, src);
     mechanism::IrawSettings s;
     s.enabled = true;
     s.stabilizationCycles = 1;
@@ -65,12 +76,23 @@ runBpRsb(iraw::sim::ScenarioContext &ctx)
     table.setHeader({"workload", "BP conflict rate", "RSB window "
                                                      "pops",
                      "IPC ignore", "IPC inject", "IPC determinism"});
+    // With trace= every workload would replay the same file; show
+    // it as the single row it is.
+    std::vector<std::string> workloads = {"spec2006int", "office",
+                                          "server", "kernels"};
+    std::vector<std::string> rsbWorkloads = {"spec2006int",
+                                             "office", "server"};
+    if (!ctx.settings().tracePath.empty()) {
+        workloads = {ctx.settings().tracePath};
+        rsbWorkloads = workloads;
+    }
+
     double worstConflict = 0.0;
-    for (const char *w :
-         {"spec2006int", "office", "server", "kernels"}) {
-        PredRun ignore = runOne(w, false, false);
-        PredRun inject = runOne(w, false, true);
-        PredRun determ = runOne(w, true, false);
+    for (const std::string &w : workloads) {
+        trace::TraceBufferPtr trace = bpRsbTrace(ctx, w);
+        PredRun ignore = runOne(trace, false, false);
+        PredRun inject = runOne(trace, false, true);
+        PredRun determ = runOne(trace, true, false);
         worstConflict =
             std::max(worstConflict, ignore.bpConflictRate);
         table.addRow({
@@ -96,10 +118,10 @@ runBpRsb(iraw::sim::ScenarioContext &ctx)
     // to race a 1-2 cycle stabilization window).
     TextTable rsb("RSB safety: shortest call->return distance");
     rsb.setHeader({"workload", "min gap (insts)"});
-    for (const char *w : {"spec2006int", "office", "server"}) {
-        trace::SyntheticTraceGenerator gen(
-            trace::profileByName(w), 1);
-        auto stats = trace::TraceAnalyzer::analyze(gen, 200000);
+    for (const std::string &w : rsbWorkloads) {
+        trace::ReplayTraceSource src(bpRsbTrace(ctx, w));
+        auto stats =
+            trace::TraceAnalyzer::analyze(src, kBpRsbTraceOps);
         rsb.addRow({w, std::to_string(stats.minCallReturnGap)});
     }
     rsb.addNote("paper: no function executes call->return within "

@@ -17,7 +17,7 @@
 #include "core/pipeline.hh"
 #include "iraw/controller.hh"
 #include "sim/scenario.hh"
-#include "trace/generator.hh"
+#include "trace/trace_store.hh"
 
 namespace {
 
@@ -32,7 +32,8 @@ struct Outcome
 };
 
 Outcome
-evaluate(const core::CoreConfig &cfg, const std::string &workload,
+evaluate(const core::CoreConfig &cfg,
+         const trace::TraceBufferPtr &trace,
          circuit::MilliVolts vcc, uint64_t insts,
          const sim::Simulator &simulator)
 {
@@ -47,13 +48,12 @@ evaluate(const core::CoreConfig &cfg, const std::string &workload,
             settings.enabled = false;
             settings.cycleTime = settings.baselineCycleTime;
         }
-        trace::SyntheticTraceGenerator gen(
-            trace::profileByName(workload), 1);
+        trace::ReplayTraceSource src(trace);
         memory::MemoryConfig mc;
         memory::MemoryHierarchy mem(mc);
         mem.setDramLatencyCycles(sim::Simulator::dramCyclesAt(
             settings.cycleTime, mc.dramLatencyNs));
-        core::Pipeline pipe(cfg, mem, gen);
+        core::Pipeline pipe(cfg, mem, src);
         pipe.applySettings(settings);
         const auto &st = pipe.run(insts);
         double perf = st.ipc() / settings.cycleTime;
@@ -75,8 +75,7 @@ int
 runCustomCore(sim::ScenarioContext &ctx)
 {
     double vcc = ctx.opts().getDouble("vcc", 450.0);
-    auto insts =
-        static_cast<uint64_t>(ctx.opts().getInt("insts", 60000));
+    uint64_t insts = ctx.opts().getUint("insts", 60000);
     std::string workload =
         ctx.opts().getString("workload", "spec2006int");
 
@@ -88,6 +87,12 @@ runCustomCore(sim::ScenarioContext &ctx)
     fat.bypassLevels = 2;   // deeper bypass hides the IRAW bubble
     fat.iqEntries = 64;     // more slack for the occupancy gate
     fat.predictorKind = "gshare";
+
+    // One materialization feeds all six pipeline runs; trace=
+    // substitutes a real-workload trace file.  Sized for the
+    // largest IQ evaluated below.
+    trace::TraceBufferPtr trace = ctx.materializeTrace(
+        workload, 1, trace::replayLength(insts, fat.iqEntries));
 
     core::CoreConfig lean = stock;
     lean.issueWidth = 1; // single-issue variant
@@ -103,8 +108,7 @@ runCustomCore(sim::ScenarioContext &ctx)
                                                     stock},
           {"fat (bypass=2, IQ=64, gshare)", fat},
           {"lean 1-wide", lean}}) {
-        Outcome out =
-            evaluate(cfg, workload, vcc, insts, simulator);
+        Outcome out = evaluate(cfg, trace, vcc, insts, simulator);
         table.addRow({
             name,
             TextTable::num(out.ipcBase, 3),

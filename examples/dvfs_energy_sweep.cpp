@@ -28,17 +28,16 @@ runDvfs(iraw::sim::ScenarioContext &ctx)
 
     std::string workload =
         ctx.opts().getString("workload", "multimedia");
-    auto insts =
-        static_cast<uint64_t>(ctx.opts().getInt("insts", 50000));
+    uint64_t insts = ctx.opts().getUint("insts", 50000);
     double perfFloor = ctx.opts().getDouble("perf_floor", 0.5);
 
     // One-trace sweep config; point 0 is the 600 mV baseline run
     // that calibrates the energy model.  This sweep defaults to the
-    // longer single-run warm window but still honours warmup=.
+    // longer single-run warm window but still honours warmup= (and
+    // trace=, which replays a file instead of the workload).
     SweepConfig cfg = ctx.sweepConfig();
-    cfg.suite = {{workload, 1, insts}};
-    cfg.warmupInstructions =
-        static_cast<uint64_t>(ctx.opts().getInt("warmup", 80000));
+    cfg.suite = {{workload, 1, insts, ctx.settings().tracePath}};
+    cfg.warmupInstructions = ctx.opts().getUint("warmup", 80000);
 
     const auto voltages = circuit::standardSweep();
     std::vector<MachinePoint> points;

@@ -26,8 +26,8 @@ runQuickstart(iraw::sim::ScenarioContext &ctx)
     cfg.vcc = ctx.opts().getDouble("vcc", 500.0);
     cfg.workload =
         ctx.opts().getString("workload", "spec2006int");
-    cfg.instructions =
-        static_cast<uint64_t>(ctx.opts().getInt("insts", 60000));
+    cfg.tracePath = ctx.settings().tracePath;
+    cfg.instructions = ctx.opts().getUint("insts", 60000);
 
     const sim::Simulator &simulator = ctx.simulator();
 

@@ -4,10 +4,12 @@
  * instruction mix, dependency distances, branch behaviour, memory
  * locality — and optionally round-trip a trace through the binary
  * file format (the ingestion path for users with real traces).
+ * With trace= it characterizes the given trace file instead of the
+ * synthetic workloads.
  *
  * Usage:
  *   workload_studio [workload=all] [insts=50000]
- *                   [dump=/tmp/trace.trc]
+ *                   [dump=/tmp/trace.trc] [trace=real.trc]
  */
 
 #include <ostream>
@@ -15,8 +17,8 @@
 #include "common/table.hh"
 #include "sim/scenario.hh"
 #include "trace/analyzer.hh"
-#include "trace/generator.hh"
 #include "trace/trace_io.hh"
+#include "trace/trace_store.hh"
 
 namespace {
 
@@ -27,12 +29,13 @@ runWorkloadStudio(iraw::sim::ScenarioContext &ctx)
     using namespace iraw::trace;
 
     std::string which = ctx.opts().getString("workload", "all");
-    auto insts =
-        static_cast<uint64_t>(ctx.opts().getInt("insts", 50000));
+    uint64_t insts = ctx.opts().getUint("insts", 50000);
     std::string dump = ctx.opts().getString("dump", "");
 
     std::vector<std::string> names;
-    if (which == "all")
+    if (!ctx.settings().tracePath.empty())
+        names.push_back(ctx.settings().tracePath); // one row: the file
+    else if (which == "all")
         names = profileNames();
     else
         names.push_back(which);
@@ -42,8 +45,11 @@ runWorkloadStudio(iraw::sim::ScenarioContext &ctx)
     table.setHeader({"workload", "loads", "stores", "branches",
                      "taken", "dep<=4", "64B lines", "min c->r"});
     for (const auto &name : names) {
-        SyntheticTraceGenerator gen(profileByName(name), 1);
-        TraceStats s = TraceAnalyzer::analyze(gen, insts);
+        // Materialize through the scenario's store: a later dump= of
+        // the same workload (or a rerun with tracecache=) reuses the
+        // buffer instead of regenerating.
+        ReplayTraceSource src(ctx.materializeTrace(name, 1, insts));
+        TraceStats s = TraceAnalyzer::analyze(src, insts);
         table.addRow({
             name,
             TextTable::pct(s.classFraction(isa::OpClass::Load), 1),
@@ -62,9 +68,11 @@ runWorkloadStudio(iraw::sim::ScenarioContext &ctx)
     table.print(ctx.out());
 
     if (!dump.empty()) {
-        SyntheticTraceGenerator gen(profileByName(names.front()),
-                                    1);
-        uint64_t written = dumpTrace(gen, dump, insts);
+        // A store hit: the characterization loop above already
+        // materialized this (workload, seed, insts) buffer.
+        ReplayTraceSource src(
+            ctx.materializeTrace(names.front(), 1, insts));
+        uint64_t written = dumpTrace(src, dump, insts);
         TraceReader reader(dump);
         ctx.out() << "wrote " << written << " records to " << dump
                   << "; first record: "
@@ -72,11 +80,16 @@ runWorkloadStudio(iraw::sim::ScenarioContext &ctx)
     }
 
     // Show a small disassembly excerpt.
-    SyntheticTraceGenerator gen(profileByName(names.front()), 1);
+    ReplayTraceSource head(
+        ctx.materializeTrace(names.front(), 1, insts));
     ctx.out() << "\nfirst 10 micro-ops of " << names.front()
               << ":\n";
-    for (int i = 0; i < 10; ++i)
-        ctx.out() << "  " << gen.next()->toString() << "\n";
+    for (int i = 0; i < 10; ++i) {
+        auto op = head.next();
+        if (!op)
+            break;
+        ctx.out() << "  " << op->toString() << "\n";
+    }
     return 0;
 }
 

@@ -1,5 +1,6 @@
 #include "common/cli.hh"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/logging.hh"
@@ -47,10 +48,37 @@ OptionMap::getInt(const std::string &key, int64_t def) const
     if (it == _values.end())
         return def;
     char *end = nullptr;
+    errno = 0;
     int64_t v = std::strtoll(it->second.c_str(), &end, 0);
     fatalIf(end == it->second.c_str() || *end != '\0',
             "option %s: '%s' is not an integer", key.c_str(),
             it->second.c_str());
+    fatalIf(errno == ERANGE,
+            "option %s: '%s' is out of range for a 64-bit integer",
+            key.c_str(), it->second.c_str());
+    return v;
+}
+
+uint64_t
+OptionMap::getUint(const std::string &key, uint64_t def) const
+{
+    _queried[key] = true;
+    auto it = _values.find(key);
+    if (it == _values.end())
+        return def;
+    // strtoull would silently wrap "-1" to 2^64-1; reject any sign.
+    fatalIf(it->second.find('-') != std::string::npos,
+            "option %s: '%s' must be a non-negative integer",
+            key.c_str(), it->second.c_str());
+    char *end = nullptr;
+    errno = 0;
+    uint64_t v = std::strtoull(it->second.c_str(), &end, 0);
+    fatalIf(end == it->second.c_str() || *end != '\0',
+            "option %s: '%s' is not an integer", key.c_str(),
+            it->second.c_str());
+    fatalIf(errno == ERANGE,
+            "option %s: '%s' is out of range for a 64-bit integer",
+            key.c_str(), it->second.c_str());
     return v;
 }
 

@@ -31,6 +31,12 @@ class OptionMap
     std::string getString(const std::string &key,
                           const std::string &def) const;
     int64_t getInt(const std::string &key, int64_t def) const;
+    /**
+     * Unsigned integer option.  Rejects negative values and values
+     * that do not fit in 64 bits with a fatal message instead of
+     * silently wrapping or clamping.
+     */
+    uint64_t getUint(const std::string &key, uint64_t def) const;
     double getDouble(const std::string &key, double def) const;
     bool getBool(const std::string &key, bool def) const;
 

@@ -108,7 +108,7 @@ Group::resetAll()
 void
 Group::dump(std::ostream &os) const
 {
-    auto emit = [&](const std::string &stat, double value,
+    auto emit = [&](const std::string &stat, auto value,
                     const std::string &desc) {
         os << _name << '.' << std::left << std::setw(36) << stat
            << ' ' << std::right << std::setw(16) << value;
@@ -117,8 +117,10 @@ Group::dump(std::ostream &os) const
         os << '\n';
     };
 
+    // Counters print exact (a double would turn large event counts
+    // and byte totals into lossy scientific notation).
     for (const auto &s : _scalars)
-        emit(s->name(), static_cast<double>(s->value()), s->desc());
+        emit(s->name(), s->value(), s->desc());
     for (const auto &a : _averages)
         emit(a->name() + ".mean", a->mean(), "");
     for (const auto &h : _histograms) {

@@ -82,6 +82,7 @@ SweepRunner::runMachines(const SweepConfig &cfg,
             sc.core = cfg.core;
             sc.mem = cfg.mem;
             sc.workload = entry.workload;
+            sc.tracePath = entry.tracePath;
             sc.seed = entry.seed;
             sc.instructions = entry.instructions;
             sc.warmupInstructions = cfg.warmupInstructions;

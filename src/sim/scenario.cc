@@ -4,38 +4,97 @@
 
 #include "common/logging.hh"
 #include "sim/simulation.hh"
+#include "sim/stats_report.hh"
 
 namespace iraw {
 namespace sim {
 
-ScenarioContext::ScenarioContext(const OptionMap &opts,
-                                 std::ostream &out)
+ScenarioContext::ScenarioContext(
+    const OptionMap &opts, std::ostream &out,
+    std::shared_ptr<trace::TraceStore> store)
     : _opts(opts), _out(out)
 {
     // Parse the shared overrides eagerly so every scenario binary
     // accepts them (and so they never show up as "unused").
-    auto insts =
-        static_cast<uint64_t>(opts.getInt("insts", 60000));
-    auto seeds = static_cast<uint32_t>(opts.getInt("seeds", 1));
-    _settings.warmup =
-        static_cast<uint64_t>(opts.getInt("warmup", 40000));
-    int64_t threads = opts.getInt("threads", 0);
-    fatalIf(threads < 0 || threads > 1024,
-            "threads=%lld out of range [0, 1024]",
-            static_cast<long long>(threads));
+    // Count-valued options go through getUint, which rejects
+    // negative and out-of-range values instead of wrapping them
+    // (seeds=-1 used to become 4294967295 suites).
+    uint64_t insts = opts.getUint("insts", 60000);
+    uint64_t seeds = opts.getUint("seeds", 1);
+    fatalIf(seeds > 65536, "seeds=%llu out of range [0, 65536]",
+            static_cast<unsigned long long>(seeds));
+    _settings.warmup = opts.getUint("warmup", 40000);
+    uint64_t threads = opts.getUint("threads", 0);
+    fatalIf(threads > 1024, "threads=%llu out of range [0, 1024]",
+            static_cast<unsigned long long>(threads));
     _settings.threads = static_cast<unsigned>(threads);
-    if (opts.getBool("quick", false)) {
+    bool quick = opts.getBool("quick", false);
+    _settings.tracePath = opts.getString("trace", "");
+    if (!_settings.tracePath.empty()) {
+        // A real-workload trace file replaces the synthetic suite.
+        SuiteEntry entry;
+        entry.workload = "file";
+        entry.tracePath = _settings.tracePath;
+        entry.instructions = insts;
+        _settings.suite = {entry};
+    } else if (quick) {
         _settings.suite = quickSuite(insts);
     } else {
-        _settings.suite = defaultSuite(insts, seeds);
+        _settings.suite =
+            defaultSuite(insts, static_cast<uint32_t>(seeds));
     }
+
+    _settings.traceStore = opts.getBool("tracestore", true);
+    _settings.traceCacheDir = opts.getString("tracecache", "");
+    _settings.storeBytes =
+        opts.getUint("storebytes", _settings.storeBytes);
+    if (_settings.traceStore) {
+        if (store) {
+            _store = std::move(store);
+        } else {
+            trace::TraceStore::Config storeCfg;
+            storeCfg.byteCap = _settings.storeBytes;
+            storeCfg.diskDir = _settings.traceCacheDir;
+            _store = std::make_shared<trace::TraceStore>(storeCfg);
+        }
+    } else if (!_settings.traceCacheDir.empty()) {
+        // The disk layer lives inside the store; tracestore=0 wins.
+        warn("tracecache= ignored because tracestore=0");
+    }
+}
+
+trace::TraceBufferPtr
+ScenarioContext::materializeTrace(const std::string &workload,
+                                  uint64_t seed, uint64_t length)
+{
+    if (!_settings.tracePath.empty()) {
+        trace::TraceBufferPtr buffer =
+            _store ? _store->acquireFile(_settings.tracePath)
+                   : trace::materializeFile(_settings.tracePath);
+        // A synthetic buffer always holds `length` ops; demand the
+        // same of a file so the run cannot silently truncate.
+        fatalIf(buffer->records() < length,
+                "trace '%s' has %llu records but this scenario "
+                "needs %llu; lower insts= or supply a longer trace",
+                _settings.tracePath.c_str(),
+                static_cast<unsigned long long>(buffer->records()),
+                static_cast<unsigned long long>(length));
+        return buffer;
+    }
+    const trace::WorkloadProfile &profile =
+        trace::profileByName(workload);
+    return _store
+               ? _store->acquireSynthetic(profile, seed, length)
+               : trace::materializeSynthetic(profile, seed, length);
 }
 
 const Simulator &
 ScenarioContext::simulator()
 {
-    if (!_sim)
+    if (!_sim) {
         _sim = std::make_unique<Simulator>();
+        _sim->setTraceStore(_store);
+    }
     return *_sim;
 }
 
@@ -153,18 +212,41 @@ scenarioMain(int argc, const char *const *argv)
     } else {
         std::cerr << "usage: scenario=<name>|all [list=1] "
                      "[threads=N] [insts=N] [seeds=N] [quick=1] "
-                     "[warmup=N]\n";
+                     "[warmup=N] [trace=file.trc] [tracestore=0|1] "
+                     "[tracecache=dir] [storebytes=N] "
+                     "[storestats=1]\n";
         listScenarios(std::cerr);
         return 1;
     }
 
+    // One trace store for the whole process: scenario=all shares
+    // materialized traces across scenarios instead of starting each
+    // one cold.
+    std::shared_ptr<trace::TraceStore> sharedStore;
+    trace::TraceStore::Stats prevStats;
     for (const Scenario *s : toRun) {
         if (toRun.size() > 1)
             std::cout << "==== " << s->name << " ====\n";
         int rc = 0;
         try {
-            ScenarioContext ctx(opts, std::cout);
+            ScenarioContext ctx(opts, std::cout, sharedStore);
+            sharedStore = ctx.traceStore();
             rc = s->fn(ctx);
+            if (opts.getBool("storestats", false) &&
+                ctx.traceStore()) {
+                // Report this scenario's own traffic: the store is
+                // shared, so event counters must be deltaed against
+                // the previous scenarios (levels stay absolute).
+                trace::TraceStore::Stats stats =
+                    ctx.traceStore()->stats();
+                trace::TraceStore::Stats delta = stats;
+                delta.hits -= prevStats.hits;
+                delta.misses -= prevStats.misses;
+                delta.diskHits -= prevStats.diskHits;
+                delta.evictions -= prevStats.evictions;
+                prevStats = stats;
+                writeTraceStoreReport(std::cout, delta);
+            }
         } catch (const FatalError &e) {
             std::cerr << "scenario '" << s->name
                       << "' failed: " << e.what() << "\n";

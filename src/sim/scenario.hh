@@ -3,8 +3,9 @@
  * Scenario registry: every figure/table bench and example registers
  * itself here and runs through one driver entry point
  * (scenarioMain), so all of them share the same CLI overrides
- * (threads=, insts=, seeds=, quick=, warmup=) and the same parallel
- * sweep runner instead of carrying near-duplicate main()s.
+ * (threads=, insts=, seeds=, quick=, warmup=, trace=, tracestore=,
+ * tracecache=, storebytes=, storestats=) and the same parallel sweep
+ * runner instead of carrying near-duplicate main()s.
  */
 
 #ifndef IRAW_SIM_SCENARIO_HH
@@ -18,6 +19,7 @@
 
 #include "common/cli.hh"
 #include "sim/runner.hh"
+#include "trace/trace_store.hh"
 
 namespace iraw {
 namespace sim {
@@ -29,6 +31,18 @@ struct ScenarioSettings
     uint64_t warmup = 40000;
     /** Worker threads; 0 means "one per hardware thread". */
     unsigned threads = 0;
+    /**
+     * trace= override: scenarios that build their own SimConfig or
+     * pipeline should replay this file instead of a synthetic
+     * workload.  Already applied to the shared suite.
+     */
+    std::string tracePath;
+    /** Share one generate-once trace store across the scenario. */
+    bool traceStore = true;
+    /** Disk-cache directory for the store; empty disables it. */
+    std::string traceCacheDir;
+    /** In-memory byte cap of the trace store. */
+    uint64_t storeBytes = 256ull << 20;
 };
 
 /**
@@ -39,7 +53,14 @@ struct ScenarioSettings
 class ScenarioContext
 {
   public:
-    ScenarioContext(const OptionMap &opts, std::ostream &out);
+    /**
+     * @param store a trace store to share across contexts (e.g. one
+     *        per process for scenario=all); null builds a fresh one
+     *        from the parsed options when the store is enabled.
+     */
+    ScenarioContext(const OptionMap &opts, std::ostream &out,
+                    std::shared_ptr<trace::TraceStore> store =
+                        nullptr);
 
     const OptionMap &opts() const { return _opts; }
     std::ostream &out() { return _out; }
@@ -47,6 +68,25 @@ class ScenarioContext
 
     /** The shared simulator (built on first use). */
     const Simulator &simulator();
+
+    /**
+     * The scenario's shared trace store; null when disabled with
+     * tracestore=0.
+     */
+    const std::shared_ptr<trace::TraceStore> &traceStore() const
+    {
+        return _store;
+    }
+
+    /**
+     * The trace a pipeline-building scenario should replay for
+     * (workload, seed): the whole trace= file when one was given,
+     * otherwise @p length micro-ops of the synthetic workload.
+     * Served through the scenario's store when enabled.
+     */
+    trace::TraceBufferPtr materializeTrace(
+        const std::string &workload, uint64_t seed,
+        uint64_t length);
 
     /** A sweep runner over the shared simulator. */
     SweepRunner runner();
@@ -66,6 +106,7 @@ class ScenarioContext
     const OptionMap &_opts;
     std::ostream &_out;
     ScenarioSettings _settings;
+    std::shared_ptr<trace::TraceStore> _store;
     std::unique_ptr<Simulator> _sim;
 };
 

@@ -3,10 +3,27 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "trace/trace_io.hh"
 #include "trace/workload.hh"
 
 namespace iraw {
 namespace sim {
+
+double
+branchAccuracy(uint64_t predictions, uint64_t mispredictions)
+{
+    if (predictions == 0)
+        return 1.0;
+    return 1.0 - static_cast<double>(mispredictions) / predictions;
+}
+
+double
+missRatio(uint64_t accesses, uint64_t hits)
+{
+    if (accesses == 0)
+        return 0.0;
+    return static_cast<double>(accesses - hits) / accesses;
+}
 
 Simulator::Simulator()
 {
@@ -44,8 +61,7 @@ Simulator::run(const SimConfig &cfg) const
     res.settings = controller.reconfigure(cfg.vcc);
     res.cycleTimeAu = res.settings.cycleTime;
 
-    trace::SyntheticTraceGenerator gen(
-        trace::profileByName(cfg.workload), cfg.seed);
+    std::unique_ptr<trace::TraceSource> src = makeTraceSource(cfg);
 
     memory::MemoryHierarchy mem(cfg.mem);
     res.dramCycles =
@@ -53,7 +69,7 @@ Simulator::run(const SimConfig &cfg) const
     mem.setDramLatencyCycles(
         static_cast<uint32_t>(res.dramCycles));
 
-    core::Pipeline pipe(cfg.core, mem, gen);
+    core::Pipeline pipe(cfg.core, mem, *src);
     pipe.applySettings(res.settings);
 
     // Warm-up window: run, snapshot every counter, then measure.
@@ -99,9 +115,7 @@ Simulator::run(const SimConfig &cfg) const
 
     auto rate = [](uint64_t acc, uint64_t hit, uint64_t acc0,
                    uint64_t hit0) {
-        uint64_t a = acc - acc0;
-        uint64_t h = hit - hit0;
-        return a ? static_cast<double>(a - h) / a : 0.0;
+        return missRatio(acc - acc0, hit - hit0);
     };
     res.il0MissRate = rate(mem.il0().accesses(), mem.il0().hits(),
                            snap.il0Acc, snap.il0Hit);
@@ -109,16 +123,54 @@ Simulator::run(const SimConfig &cfg) const
                            snap.dl0Acc, snap.dl0Hit);
     res.ul1MissRate = rate(mem.ul1().accesses(), mem.ul1().hits(),
                            snap.ul1Acc, snap.ul1Hit);
-    {
-        uint64_t preds =
-            pipe.branchPredictor().predictions() - snap.bpPred;
-        uint64_t miss =
-            pipe.branchPredictor().mispredictions() - snap.bpMiss;
-        res.bpAccuracy =
-            preds ? 1.0 - static_cast<double>(miss) / preds : 0.0;
-    }
+    res.bpAccuracy = branchAccuracy(
+        pipe.branchPredictor().predictions() - snap.bpPred,
+        pipe.branchPredictor().mispredictions() - snap.bpMiss);
     res.bpConflictRate = pipe.bpCorruption().conflictRate();
     return res;
+}
+
+std::unique_ptr<trace::TraceSource>
+Simulator::makeTraceSource(const SimConfig &cfg) const
+{
+    if (!cfg.tracePath.empty()) {
+        // A file shorter than the run budget would exhaust during
+        // warmup and silently measure zero instructions; demand
+        // enough records up front.
+        const uint64_t budget =
+            cfg.warmupInstructions + cfg.instructions;
+        auto checkLength = [&](uint64_t records) {
+            fatalIf(records < budget,
+                    "trace '%s' has %llu records but "
+                    "warmup+insts needs %llu; lower insts=/warmup= "
+                    "or supply a longer trace",
+                    cfg.tracePath.c_str(),
+                    static_cast<unsigned long long>(records),
+                    static_cast<unsigned long long>(budget));
+        };
+        if (_traceStore) {
+            trace::TraceBufferPtr buffer =
+                _traceStore->acquireFile(cfg.tracePath);
+            checkLength(buffer->records());
+            return std::make_unique<trace::ReplayTraceSource>(
+                std::move(buffer));
+        }
+        auto reader =
+            std::make_unique<trace::TraceReader>(cfg.tracePath);
+        checkLength(reader->recordCount());
+        return reader;
+    }
+    if (_traceStore) {
+        uint64_t length = trace::replayLength(
+            cfg.warmupInstructions + cfg.instructions,
+            cfg.core.iqEntries);
+        return std::make_unique<trace::ReplayTraceSource>(
+            _traceStore->acquireSynthetic(
+                trace::profileByName(cfg.workload), cfg.seed,
+                length));
+    }
+    return std::make_unique<trace::SyntheticTraceGenerator>(
+        trace::profileByName(cfg.workload), cfg.seed);
 }
 
 } // namespace sim

@@ -18,6 +18,7 @@
 #include "iraw/controller.hh"
 #include "memory/hierarchy.hh"
 #include "trace/generator.hh"
+#include "trace/trace_store.hh"
 
 namespace iraw {
 namespace sim {
@@ -37,6 +38,11 @@ struct SimConfig
     memory::MemoryConfig mem;
 
     std::string workload = "spec2006int";
+    /**
+     * Replay this binary trace file instead of synthesizing
+     * @ref workload; empty means synthetic.
+     */
+    std::string tracePath;
     uint64_t seed = 1;
     uint64_t instructions = 100000;
     /**
@@ -85,6 +91,16 @@ struct SimResult
     }
 };
 
+/**
+ * Direction-predictor accuracy over a window.  A branchless window
+ * (zero predictions) is perfectly predicted — nothing was ever
+ * mispredicted — not 0% accurate.
+ */
+double branchAccuracy(uint64_t predictions, uint64_t mispredictions);
+
+/** Miss rate over a window; zero accesses means zero misses. */
+double missRatio(uint64_t accesses, uint64_t hits);
+
 /** Builds and runs single simulations against shared circuit models. */
 class Simulator
 {
@@ -93,6 +109,25 @@ class Simulator
 
     /** Run one configuration to completion. */
     SimResult run(const SimConfig &cfg) const;
+
+    /**
+     * Share a trace store across runs: traces are materialized once
+     * per (workload, seed, length) and replayed from the store
+     * instead of being regenerated per run.  Null (the default)
+     * builds a fresh generator per run.  Results are bitwise
+     * identical either way.
+     */
+    void
+    setTraceStore(std::shared_ptr<trace::TraceStore> store)
+    {
+        _traceStore = std::move(store);
+    }
+
+    const std::shared_ptr<trace::TraceStore> &
+    traceStore() const
+    {
+        return _traceStore;
+    }
 
     const circuit::CycleTimeModel &cycleTimeModel() const
     {
@@ -116,10 +151,15 @@ class Simulator
                                  double dramLatencyNs);
 
   private:
+    /** The trace source for @p cfg (store-backed, file, or live). */
+    std::unique_ptr<trace::TraceSource>
+    makeTraceSource(const SimConfig &cfg) const;
+
     std::unique_ptr<circuit::LogicDelayModel> _logic;
     std::unique_ptr<circuit::BitcellModel> _bitcell;
     std::unique_ptr<circuit::SramTimingModel> _sram;
     std::unique_ptr<circuit::CycleTimeModel> _cycleTime;
+    std::shared_ptr<trace::TraceStore> _traceStore;
 };
 
 } // namespace sim

@@ -126,5 +126,27 @@ writeStatsReport(std::ostream &os, const SimResult &result)
     timing.dump(os);
 }
 
+void
+writeTraceStoreReport(std::ostream &os,
+                      const trace::TraceStore::Stats &stats)
+{
+    stats::Group store("trace_store");
+    store.addScalar("hits", "acquisitions served from memory")
+        .set(stats.hits);
+    store.addScalar("misses", "acquisitions that materialized")
+        .set(stats.misses);
+    store.addScalar("disk_hits", "misses served from the disk cache")
+        .set(stats.diskHits);
+    store.addScalar("evictions", "buffers dropped by the LRU cap")
+        .set(stats.evictions);
+    store.addScalar("buffers", "resident trace buffers")
+        .set(stats.buffers);
+    store.addScalar("bytes_in_use", "resident payload bytes")
+        .set(stats.bytesInUse);
+    store.addScalar("byte_cap", "configured in-memory bound")
+        .set(stats.byteCap);
+    store.dump(os);
+}
+
 } // namespace sim
 } // namespace iraw

@@ -22,6 +22,13 @@ namespace sim {
  */
 void writeStatsReport(std::ostream &os, const SimResult &result);
 
+/**
+ * Dump the generate-once trace store's counters (hits, misses, disk
+ * hits, evictions, resident bytes) in the same flat format.
+ */
+void writeTraceStoreReport(std::ostream &os,
+                           const trace::TraceStore::Stats &stats);
+
 } // namespace sim
 } // namespace iraw
 

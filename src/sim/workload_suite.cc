@@ -25,9 +25,9 @@ std::vector<SuiteEntry>
 quickSuite(uint64_t instructions)
 {
     return {
-        {"spec2006int", 1, instructions},
-        {"spec2006fp", 1, instructions},
-        {"multimedia", 1, instructions},
+        {"spec2006int", 1, instructions, ""},
+        {"spec2006fp", 1, instructions, ""},
+        {"multimedia", 1, instructions, ""},
     };
 }
 

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace iraw {
@@ -18,9 +19,20 @@ namespace sim {
 /** One trace of the suite. */
 struct SuiteEntry
 {
+    SuiteEntry() = default;
+    SuiteEntry(std::string workload_, uint64_t seed_,
+               uint64_t instructions_, std::string tracePath_ = "")
+        : workload(std::move(workload_)), seed(seed_),
+          instructions(instructions_),
+          tracePath(std::move(tracePath_))
+    {}
+
     std::string workload;
     uint64_t seed = 1;
     uint64_t instructions = 100000;
+    /** Binary trace file to replay instead of synthesizing
+     *  @ref workload; empty means synthetic. */
+    std::string tracePath;
 };
 
 /**

@@ -3,79 +3,21 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "trace/trace_record.hh"
 
 namespace iraw {
 namespace trace {
-
-namespace {
-
-/** On-disk record layout (packed little-endian, 30 bytes). */
-struct PackedRecord
-{
-    uint64_t pc;
-    uint64_t memAddr;
-    uint64_t target;
-    uint8_t opClass;
-    uint8_t dst;
-    uint8_t src1;
-    uint8_t src2;
-    uint8_t memSize;
-    uint8_t flags; // bit 0: taken
-};
-
-constexpr size_t kRecordBytes = 8 + 8 + 8 + 6;
-
-void
-pack(const isa::MicroOp &op, uint8_t *buf)
-{
-    auto put64 = [&buf](size_t off, uint64_t v) {
-        for (int i = 0; i < 8; ++i)
-            buf[off + i] = static_cast<uint8_t>(v >> (8 * i));
-    };
-    put64(0, op.pc);
-    put64(8, op.memAddr);
-    put64(16, op.target);
-    buf[24] = static_cast<uint8_t>(op.opClass);
-    buf[25] = op.dst;
-    buf[26] = op.src1;
-    buf[27] = op.src2;
-    buf[28] = op.memSize;
-    buf[29] = op.taken ? 1 : 0;
-}
-
-void
-unpack(const uint8_t *buf, isa::MicroOp &op)
-{
-    auto get64 = [&buf](size_t off) {
-        uint64_t v = 0;
-        for (int i = 7; i >= 0; --i)
-            v = (v << 8) | buf[off + i];
-        return v;
-    };
-    op.pc = get64(0);
-    op.memAddr = get64(8);
-    op.target = get64(16);
-    op.opClass = static_cast<isa::OpClass>(buf[24]);
-    op.dst = buf[25];
-    op.src1 = buf[26];
-    op.src2 = buf[27];
-    op.memSize = buf[28];
-    op.taken = (buf[29] & 1) != 0;
-}
-
-} // namespace
 
 TraceWriter::TraceWriter(const std::string &path)
     : _out(path, std::ios::binary), _path(path)
 {
     fatalIf(!_out, "TraceWriter: cannot open '%s'", path.c_str());
     _out.write(kTraceMagic, sizeof(kTraceMagic));
-    uint32_t version = kTraceVersion;
-    _out.write(reinterpret_cast<const char *>(&version),
-               sizeof(version));
-    uint64_t placeholder = 0;
-    _out.write(reinterpret_cast<const char *>(&placeholder),
-               sizeof(placeholder));
+    uint8_t header[4 + 8];
+    putLe32(header, kTraceVersion);
+    putLe64(header + 4, 0); // record-count placeholder
+    _out.write(reinterpret_cast<const char *>(header),
+               sizeof(header));
 }
 
 TraceWriter::~TraceWriter()
@@ -94,10 +36,20 @@ void
 TraceWriter::append(const isa::MicroOp &op)
 {
     panicIf(_closed, "TraceWriter: append after close");
-    uint8_t buf[kRecordBytes];
-    pack(op, buf);
+    uint8_t buf[kTraceRecordBytes];
+    packRecord(op, buf);
     _out.write(reinterpret_cast<const char *>(buf), sizeof(buf));
     ++_count;
+}
+
+void
+TraceWriter::appendPacked(const uint8_t *data, uint64_t records)
+{
+    panicIf(_closed, "TraceWriter: append after close");
+    _out.write(reinterpret_cast<const char *>(data),
+               static_cast<std::streamsize>(records *
+                                            kTraceRecordBytes));
+    _count += records;
 }
 
 void
@@ -107,8 +59,9 @@ TraceWriter::close()
         return;
     _closed = true;
     _out.seekp(sizeof(kTraceMagic) + sizeof(uint32_t));
-    _out.write(reinterpret_cast<const char *>(&_count),
-               sizeof(_count));
+    uint8_t count[8];
+    putLe64(count, _count);
+    _out.write(reinterpret_cast<const char *>(count), sizeof(count));
     _out.close();
     fatalIf(!_out, "TraceWriter: error finalizing '%s'", _path.c_str());
 }
@@ -129,14 +82,33 @@ TraceReader::openAndValidate()
     fatalIf(!_in || std::memcmp(magic, kTraceMagic, sizeof(magic)) != 0,
             "TraceReader: '%s' is not an IRAW trace", _path.c_str());
 
-    uint32_t version = 0;
-    _in.read(reinterpret_cast<char *>(&version), sizeof(version));
-    fatalIf(!_in || version != kTraceVersion,
+    uint8_t header[4 + 8];
+    _in.read(reinterpret_cast<char *>(header), sizeof(header));
+    fatalIf(!_in, "TraceReader: '%s' truncated header", _path.c_str());
+    uint32_t version = getLe32(header);
+    fatalIf(version != kTraceVersion,
             "TraceReader: '%s' has unsupported version %u",
             _path.c_str(), version);
+    _total = getLe64(header + 4);
 
-    _in.read(reinterpret_cast<char *>(&_total), sizeof(_total));
-    fatalIf(!_in, "TraceReader: '%s' truncated header", _path.c_str());
+    // Bound the claimed count by what the file actually holds, so a
+    // corrupt/crafted header can neither oversize downstream buffer
+    // allocations (recordCount() * recordBytes must not overflow)
+    // nor promise records that are not there.
+    const std::streamoff headerBytes =
+        sizeof(kTraceMagic) + sizeof(header);
+    _in.seekg(0, std::ios::end);
+    const std::streamoff fileBytes = _in.tellg();
+    _in.seekg(headerBytes);
+    fatalIf(!_in, "TraceReader: '%s' not seekable", _path.c_str());
+    const uint64_t available =
+        static_cast<uint64_t>(fileBytes - headerBytes) /
+        kTraceRecordBytes;
+    fatalIf(_total > available,
+            "TraceReader: '%s' header claims %llu records but the "
+            "file holds %llu",
+            _path.c_str(), static_cast<unsigned long long>(_total),
+            static_cast<unsigned long long>(available));
     _read = 0;
 }
 
@@ -145,15 +117,16 @@ TraceReader::next()
 {
     if (_read >= _total)
         return std::nullopt;
-    uint8_t buf[kRecordBytes];
+    uint8_t buf[kTraceRecordBytes];
     _in.read(reinterpret_cast<char *>(buf), sizeof(buf));
     fatalIf(!_in, "TraceReader: '%s' truncated at record %llu",
             _path.c_str(),
             static_cast<unsigned long long>(_read));
     isa::MicroOp op;
-    unpack(buf, op);
+    // The record carries the source's sequence number; synthesizing
+    // one here would make replays diverge from the dumped stream.
+    unpackRecord(buf, op);
     ++_read;
-    op.seqNum = _read;
     return op;
 }
 

@@ -4,8 +4,10 @@
  *
  * The paper's methodology is trace-driven; users with real traces can
  * convert them to this format and replay them through the simulator.
- * Layout: an 8-byte magic, a version word, a record count, then fixed
- * 30-byte little-endian records.
+ * Layout: an 8-byte magic, a little-endian version word, a
+ * little-endian record count, then fixed-width little-endian records
+ * (see trace/trace_record.hh).  Every header and payload field is
+ * packed explicitly so trace files are portable across hosts.
  */
 
 #ifndef IRAW_TRACE_TRACE_IO_HH
@@ -24,7 +26,12 @@ namespace trace {
 /** Magic bytes identifying a trace file. */
 constexpr char kTraceMagic[8] = {'I', 'R', 'A', 'W', 'T', 'R', 'C',
                                  '1'};
-constexpr uint32_t kTraceVersion = 1;
+/**
+ * Version 2: header words are packed little-endian (v1 wrote raw
+ * host-endian) and records carry the source's sequence number, so a
+ * dumped trace replays bit-identically on any host.
+ */
+constexpr uint32_t kTraceVersion = 2;
 
 /** Streams micro-ops into a binary trace file. */
 class TraceWriter
@@ -38,6 +45,13 @@ class TraceWriter
 
     /** Append one record. */
     void append(const isa::MicroOp &op);
+
+    /**
+     * Append @p records pre-packed records (kTraceRecordBytes each,
+     * the same layout append() writes) byte-for-byte — the fast path
+     * for flushing an in-memory TraceBuffer.
+     */
+    void appendPacked(const uint8_t *data, uint64_t records);
 
     /** Finalize the header (record count) and close the file. */
     void close();

@@ -1,0 +1,328 @@
+#include "trace/trace_store.hh"
+
+#include <unistd.h>
+
+#include <cctype>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "common/logging.hh"
+#include "trace/generator.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_record.hh"
+
+namespace iraw {
+namespace trace {
+
+namespace fs = std::filesystem;
+
+TraceBuffer::TraceBuffer(std::string name, std::vector<uint8_t> data)
+    : _name(std::move(name)), _data(std::move(data)),
+      _records(_data.size() / kTraceRecordBytes)
+{
+    panicIf(_data.size() % kTraceRecordBytes != 0,
+            "TraceBuffer '%s': %zu bytes is not a whole number of "
+            "records",
+            _name.c_str(), _data.size());
+}
+
+isa::MicroOp
+TraceBuffer::at(uint64_t index) const
+{
+    panicIf(index >= _records,
+            "TraceBuffer '%s': record %llu out of range",
+            _name.c_str(), static_cast<unsigned long long>(index));
+    isa::MicroOp op;
+    unpackRecord(_data.data() + index * kTraceRecordBytes, op);
+    return op;
+}
+
+ReplayTraceSource::ReplayTraceSource(TraceBufferPtr buffer)
+    : _buffer(std::move(buffer))
+{
+    panicIf(!_buffer, "ReplayTraceSource: null buffer");
+}
+
+std::optional<isa::MicroOp>
+ReplayTraceSource::next()
+{
+    if (_pos >= _buffer->records())
+        return std::nullopt;
+    return _buffer->at(_pos++);
+}
+
+void
+ReplayTraceSource::reset()
+{
+    _pos = 0;
+}
+
+std::string
+ReplayTraceSource::name() const
+{
+    return _buffer->name();
+}
+
+TraceBufferPtr
+materializeSynthetic(const WorkloadProfile &profile, uint64_t seed,
+                     uint64_t length)
+{
+    fatalIf(length == 0, "materializeSynthetic: zero length");
+    SyntheticTraceGenerator gen(profile, seed, length);
+    std::vector<uint8_t> data;
+    data.resize(length * kTraceRecordBytes);
+    uint64_t n = 0;
+    while (auto op = gen.next()) {
+        packRecord(*op, data.data() + n * kTraceRecordBytes);
+        ++n;
+    }
+    data.resize(n * kTraceRecordBytes);
+    return std::make_shared<TraceBuffer>(gen.name(),
+                                         std::move(data));
+}
+
+TraceBufferPtr
+materializeFile(const std::string &path)
+{
+    TraceReader reader(path);
+    std::vector<uint8_t> data;
+    data.resize(reader.recordCount() * kTraceRecordBytes);
+    uint64_t n = 0;
+    while (auto op = reader.next()) {
+        packRecord(*op, data.data() + n * kTraceRecordBytes);
+        ++n;
+    }
+    data.resize(n * kTraceRecordBytes);
+    return std::make_shared<TraceBuffer>(reader.name(),
+                                         std::move(data));
+}
+
+namespace {
+
+/**
+ * Content fingerprint of a synthetic trace's inputs: every profile
+ * parameter (bit-exact) plus the generator algorithm version.
+ * Folded into the store key so a persistent disk cache is
+ * invalidated when the workload model changes, not silently
+ * replayed stale.
+ */
+std::string
+profileFingerprint(const WorkloadProfile &p)
+{
+    std::string blob = std::to_string(kGeneratorVersion);
+    blob += '|';
+    blob += p.name;
+    auto addU = [&blob](uint64_t v) {
+        blob += ',';
+        blob += std::to_string(v);
+    };
+    auto addD = [&addU](double v) {
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        addU(bits);
+    };
+    addD(p.wIntAlu);
+    addD(p.wIntMul);
+    addD(p.wIntDiv);
+    addD(p.wFpAdd);
+    addD(p.wFpMul);
+    addD(p.wFpDiv);
+    addD(p.wLoad);
+    addD(p.wStore);
+    addD(p.wBranch);
+    addD(p.wCall);
+    addD(p.depDistGeomP);
+    addD(p.secondSrcProb);
+    addD(p.freshSrcProb);
+    addU(p.staticBranchSites);
+    addD(p.stronglyBiasedFraction);
+    addD(p.weakBias);
+    addU(p.footprintLog2);
+    addD(p.streamingFraction);
+    addD(p.storeForwardProb);
+    addD(p.hotProb);
+    addD(p.warmProb);
+    addU(p.hotBytesLog2);
+    addU(p.warmBytesLog2);
+    addU(p.staticCodeInsts);
+    addU(p.minFunctionBody);
+    addU(p.maxFunctionBody);
+    return std::to_string(std::hash<std::string>{}(blob));
+}
+
+} // namespace
+
+TraceStore::TraceStore() : TraceStore(Config()) {}
+
+TraceStore::TraceStore(Config cfg) : _cfg(std::move(cfg))
+{
+    _stats.byteCap = _cfg.byteCap;
+    if (!_cfg.diskDir.empty()) {
+        std::error_code ec;
+        fs::create_directories(_cfg.diskDir, ec);
+        fatalIf(static_cast<bool>(ec),
+                "TraceStore: cannot create disk cache dir '%s': %s",
+                _cfg.diskDir.c_str(), ec.message().c_str());
+    }
+}
+
+std::string
+TraceStore::diskPathFor(const Key &key) const
+{
+    // Human-readable stem plus a hash of the exact source string, so
+    // sanitizing can never alias two keys onto one file.
+    std::string stem;
+    stem.reserve(key.source.size());
+    for (char c : key.source)
+        stem += (std::isalnum(static_cast<unsigned char>(c)) != 0)
+                    ? c
+                    : '_';
+    size_t h = std::hash<std::string>{}(key.source);
+    return _cfg.diskDir + "/" + stem + "_s" +
+           std::to_string(key.seed) + "_n" +
+           std::to_string(key.length) + "_h" + std::to_string(h) +
+           ".v" + std::to_string(kTraceVersion) + ".trc";
+}
+
+TraceBufferPtr
+TraceStore::acquire(const Key &key,
+                    const std::function<TraceBufferPtr()> &materialize)
+{
+    std::promise<TraceBufferPtr> promise;
+    std::shared_future<TraceBufferPtr> future;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        auto it = _entries.find(key);
+        if (it != _entries.end()) {
+            ++_stats.hits;
+            if (it->second.ready)
+                _lru.splice(_lru.begin(), _lru, it->second.lruIt);
+            future = it->second.future;
+        } else {
+            ++_stats.misses;
+            owner = true;
+            Entry entry;
+            entry.future = promise.get_future().share();
+            future = entry.future;
+            _entries.emplace(key, std::move(entry));
+        }
+    }
+
+    if (owner) {
+        // Materialize outside the lock: workers needing other keys
+        // proceed; workers needing this key block on the future.
+        try {
+            TraceBufferPtr buffer = materialize();
+            finalize(key, buffer);
+            promise.set_value(std::move(buffer));
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(_mutex);
+                _entries.erase(key);
+            }
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get();
+}
+
+void
+TraceStore::finalize(const Key &key, const TraceBufferPtr &buffer)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto it = _entries.find(key);
+    panicIf(it == _entries.end(),
+            "TraceStore: finalizing an evicted key");
+    _lru.push_front(key);
+    it->second.lruIt = _lru.begin();
+    it->second.bytes = buffer->bytes();
+    it->second.ready = true;
+    _stats.bytesInUse += buffer->bytes();
+    _stats.buffers = _entries.size();
+
+    // Evict from the cold end; the newly finalized buffer (at the
+    // front) survives even when it alone exceeds the cap, so a
+    // too-small cap degrades to "no reuse", never to failure.
+    while (_stats.bytesInUse > _cfg.byteCap && _lru.size() > 1) {
+        const Key victim = _lru.back();
+        auto vit = _entries.find(victim);
+        panicIf(vit == _entries.end(),
+                "TraceStore: LRU entry without a map entry");
+        _stats.bytesInUse -= vit->second.bytes;
+        ++_stats.evictions;
+        _entries.erase(vit);
+        _lru.pop_back();
+    }
+    _stats.buffers = _entries.size();
+}
+
+TraceBufferPtr
+TraceStore::acquireSynthetic(const WorkloadProfile &profile,
+                             uint64_t seed, uint64_t length)
+{
+    Key key{"synth:" + profile.name + "@" +
+                profileFingerprint(profile),
+            seed, length};
+    return acquire(key, [this, &key, &profile, seed, length] {
+        if (_cfg.diskDir.empty())
+            return materializeSynthetic(profile, seed, length);
+
+        const std::string path = diskPathFor(key);
+        if (fs::exists(path)) {
+            try {
+                TraceBufferPtr buffer = materializeFile(path);
+                std::lock_guard<std::mutex> lock(_mutex);
+                ++_stats.diskHits;
+                return buffer;
+            } catch (const FatalError &e) {
+                // A truncated/corrupt cache file (crash, disk
+                // error) must not brick the run; regenerate and
+                // overwrite it.
+                warn("TraceStore: ignoring bad cache file '%s' "
+                     "(%s); regenerating",
+                     path.c_str(), e.what());
+            }
+        }
+
+        TraceBufferPtr buffer =
+            materializeSynthetic(profile, seed, length);
+        // Write-then-rename so concurrent processes sharing the
+        // cache directory never observe a half-written trace.
+        const std::string tmp =
+            path + ".tmp." + std::to_string(::getpid());
+        TraceWriter writer(tmp);
+        writer.appendPacked(buffer->data().data(),
+                            buffer->records());
+        writer.close();
+        std::error_code ec;
+        fs::rename(tmp, path, ec);
+        if (ec) {
+            warn("TraceStore: cannot publish '%s': %s", path.c_str(),
+                 ec.message().c_str());
+            fs::remove(tmp, ec);
+        }
+        return buffer;
+    });
+}
+
+TraceBufferPtr
+TraceStore::acquireFile(const std::string &path)
+{
+    // File traces are already on disk; only the in-memory layer
+    // applies.
+    Key key{"file:" + path, 0, 0};
+    return acquire(key, [&path] { return materializeFile(path); });
+}
+
+TraceStore::Stats
+TraceStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _stats;
+}
+
+} // namespace trace
+} // namespace iraw

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Generate-once trace store for sweeps.
+ *
+ * A Vcc sweep replays the *same* (workload, seed) instruction stream
+ * for every (voltage, machine) point — hundreds of points per sweep.
+ * Regenerating the synthetic trace per point wastes most of the hot
+ * path, so the store materializes each distinct trace exactly once
+ * into an immutable, shareable buffer of packed records and hands
+ * concurrent sweep workers a cheap cursor (ReplayTraceSource) over
+ * it:
+ *
+ *  - generation is once-per-key and thread-safe: the first worker to
+ *    request a key materializes it, later workers block only until
+ *    that first materialization finishes;
+ *  - the in-memory footprint is bounded by an LRU byte cap (evicted
+ *    buffers stay alive for workers still holding them — eviction
+ *    only drops the store's reference);
+ *  - an optional disk layer round-trips buffers through the
+ *    TraceWriter/TraceReader binary format, so traces persist across
+ *    processes and real-workload trace files plug in as scenarios.
+ */
+
+#ifndef IRAW_TRACE_TRACE_STORE_HH
+#define IRAW_TRACE_TRACE_STORE_HH
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "trace/trace_source.hh"
+#include "trace/workload.hh"
+
+namespace iraw {
+namespace trace {
+
+/** An immutable trace: packed records in one flat buffer. */
+class TraceBuffer
+{
+  public:
+    TraceBuffer(std::string name, std::vector<uint8_t> data);
+
+    /** Record count. */
+    uint64_t records() const { return _records; }
+    /** Payload footprint in bytes. */
+    uint64_t bytes() const { return _data.size(); }
+    const std::string &name() const { return _name; }
+
+    /** Decode record @p index (must be < records()). */
+    isa::MicroOp at(uint64_t index) const;
+
+    /** Raw packed records (for dumping to disk). */
+    const std::vector<uint8_t> &data() const { return _data; }
+
+  private:
+    std::string _name;
+    std::vector<uint8_t> _data;
+    uint64_t _records;
+};
+
+using TraceBufferPtr = std::shared_ptr<const TraceBuffer>;
+
+/** A cheap per-worker cursor over a shared TraceBuffer. */
+class ReplayTraceSource : public TraceSource
+{
+  public:
+    explicit ReplayTraceSource(TraceBufferPtr buffer);
+
+    std::optional<isa::MicroOp> next() override;
+    void reset() override;
+    std::string name() const override;
+
+    const TraceBufferPtr &buffer() const { return _buffer; }
+
+  private:
+    TraceBufferPtr _buffer;
+    uint64_t _pos = 0;
+};
+
+/**
+ * Micro-ops to materialize so a bounded replay is indistinguishable
+ * from an unbounded live generator: the pipeline consumes at most
+ * the commit budget plus whatever fits in flight (IQ entries + the
+ * fetch lookahead), so this margin guarantees the replay never hits
+ * end-of-trace — and its drain-NOP path — before the run completes.
+ */
+inline uint64_t
+replayLength(uint64_t instBudget, uint32_t iqEntries)
+{
+    return instBudget + iqEntries + 64;
+}
+
+/** Materialize @p length micro-ops of the synthetic generator. */
+TraceBufferPtr materializeSynthetic(const WorkloadProfile &profile,
+                                    uint64_t seed, uint64_t length);
+
+/** Load a whole binary trace file into a buffer. */
+TraceBufferPtr materializeFile(const std::string &path);
+
+/**
+ * Thread-safe, LRU-bounded cache of materialized traces keyed by
+ * (source, seed, length).
+ */
+class TraceStore
+{
+  public:
+    struct Config
+    {
+        /** In-memory footprint bound; at least one buffer is kept. */
+        uint64_t byteCap = 256ull << 20;
+        /** Disk-cache directory; empty disables the disk layer. */
+        std::string diskDir;
+    };
+
+    struct Stats
+    {
+        uint64_t hits = 0;     //!< acquisitions served from memory
+        uint64_t misses = 0;   //!< acquisitions that materialized
+        uint64_t diskHits = 0; //!< misses served from the disk layer
+        uint64_t evictions = 0;
+        uint64_t buffers = 0;    //!< resident buffer count
+        uint64_t bytesInUse = 0; //!< resident payload bytes
+        uint64_t byteCap = 0;
+    };
+
+    TraceStore();
+    explicit TraceStore(Config cfg);
+
+    /**
+     * The trace of (profile, seed) truncated at @p length micro-ops.
+     * Profiles are identified by name, so distinct profiles must be
+     * distinctly named.
+     */
+    TraceBufferPtr acquireSynthetic(const WorkloadProfile &profile,
+                                    uint64_t seed, uint64_t length);
+
+    /** The full contents of trace file @p path. */
+    TraceBufferPtr acquireFile(const std::string &path);
+
+    Stats stats() const;
+
+    const Config &config() const { return _cfg; }
+
+  private:
+    struct Key
+    {
+        std::string source; //!< "synth:<profile>" or "file:<path>"
+        uint64_t seed = 0;
+        uint64_t length = 0;
+
+        bool
+        operator<(const Key &o) const
+        {
+            if (source != o.source)
+                return source < o.source;
+            if (seed != o.seed)
+                return seed < o.seed;
+            return length < o.length;
+        }
+    };
+
+    struct Entry
+    {
+        std::shared_future<TraceBufferPtr> future;
+        uint64_t bytes = 0;
+        bool ready = false;
+        std::list<Key>::iterator lruIt{};
+    };
+
+    TraceBufferPtr
+    acquire(const Key &key,
+            const std::function<TraceBufferPtr()> &materialize);
+    /** Account a finished materialization and enforce the byte cap. */
+    void finalize(const Key &key, const TraceBufferPtr &buffer);
+    std::string diskPathFor(const Key &key) const;
+
+    Config _cfg;
+    mutable std::mutex _mutex;
+    std::map<Key, Entry> _entries;
+    std::list<Key> _lru; //!< front = most recently used
+    Stats _stats;
+};
+
+} // namespace trace
+} // namespace iraw
+
+#endif // IRAW_TRACE_TRACE_STORE_HH

@@ -45,6 +45,33 @@ TEST(OptionMap, RejectsMalformedNumbers)
     EXPECT_THROW(opts.getDouble("d", 0.0), FatalError);
 }
 
+TEST(OptionMap, IntRejectsOutOfRange)
+{
+    // Values past INT64_MAX used to clamp silently via strtoll.
+    auto opts = parse({"big=99999999999999999999",
+                       "small=-99999999999999999999"});
+    EXPECT_THROW(opts.getInt("big", 0), FatalError);
+    EXPECT_THROW(opts.getInt("small", 0), FatalError);
+}
+
+TEST(OptionMap, UintParsesAndDefaults)
+{
+    auto opts = parse({"n=123", "hex=0x10"});
+    EXPECT_EQ(opts.getUint("n", 0), 123u);
+    EXPECT_EQ(opts.getUint("hex", 0), 16u);
+    EXPECT_EQ(opts.getUint("missing", 7), 7u);
+}
+
+TEST(OptionMap, UintRejectsNegativeAndOutOfRange)
+{
+    // seeds=-1 used to wrap through strtoull to 2^64-1.
+    auto opts = parse({"neg=-1", "big=99999999999999999999",
+                       "junk=12x"});
+    EXPECT_THROW(opts.getUint("neg", 0), FatalError);
+    EXPECT_THROW(opts.getUint("big", 0), FatalError);
+    EXPECT_THROW(opts.getUint("junk", 0), FatalError);
+}
+
 TEST(OptionMap, RejectsMalformedBool)
 {
     auto opts = parse({"b=maybe"});

@@ -113,6 +113,34 @@ TEST(Simulation, ResultsReproducible)
     EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
 }
 
+TEST(Simulation, BranchlessWindowIsPerfectlyPredicted)
+{
+    // A window with zero predictions has nothing mispredicted; it
+    // must report 100% accuracy, not 0%.
+    EXPECT_DOUBLE_EQ(branchAccuracy(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(branchAccuracy(100, 0), 1.0);
+    EXPECT_DOUBLE_EQ(branchAccuracy(100, 25), 0.75);
+}
+
+TEST(Simulation, MissRatioGuardsZeroAccesses)
+{
+    EXPECT_DOUBLE_EQ(missRatio(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(missRatio(10, 10), 0.0);
+    EXPECT_DOUBLE_EQ(missRatio(10, 7), 0.3);
+}
+
+TEST(Simulation, BpAccuracyPositiveOnRealRuns)
+{
+    Simulator s;
+    SimConfig cfg;
+    cfg.instructions = 10000;
+    cfg.warmupInstructions = 2000;
+    cfg.vcc = 500;
+    SimResult r = s.run(cfg);
+    EXPECT_GT(r.bpAccuracy, 0.0);
+    EXPECT_LE(r.bpAccuracy, 1.0);
+}
+
 TEST(WorkloadSuite, DefaultCoversAllProfiles)
 {
     auto suite = defaultSuite(1000, 2);

@@ -57,6 +57,50 @@ TEST_F(TraceIoTest, RoundTripPreservesEverything)
     EXPECT_FALSE(reader.next().has_value());
 }
 
+TEST_F(TraceIoTest, SeqNumsSurviveRoundTripVerbatim)
+{
+    // A dumped trace must replay bit-identically to its source; the
+    // reader must not clobber stored sequence numbers with its own
+    // counter (they are not sequential for sliced/merged traces).
+    const uint64_t seqNums[] = {7, 42, 41, 1000000000001ULL};
+    {
+        TraceWriter writer(_path);
+        for (uint64_t s : seqNums)
+            writer.append(isa::makeNop(s, 0x400000 + 4 * s));
+        writer.close();
+    }
+    TraceReader reader(_path);
+    for (uint64_t s : seqNums) {
+        auto op = reader.next();
+        ASSERT_TRUE(op);
+        EXPECT_EQ(op->seqNum, s);
+    }
+    EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST_F(TraceIoTest, HeaderIsLittleEndian)
+{
+    {
+        TraceWriter writer(_path);
+        writer.append(isa::makeNop(1, 0));
+        writer.append(isa::makeNop(2, 4));
+        writer.close();
+    }
+    std::ifstream in(_path, std::ios::binary);
+    char header[8 + 4 + 8];
+    in.read(header, sizeof(header));
+    ASSERT_TRUE(in);
+    // Version word, little-endian.
+    EXPECT_EQ(static_cast<uint8_t>(header[8]), kTraceVersion);
+    EXPECT_EQ(header[9], 0);
+    EXPECT_EQ(header[10], 0);
+    EXPECT_EQ(header[11], 0);
+    // Record count, little-endian.
+    EXPECT_EQ(static_cast<uint8_t>(header[12]), 2);
+    for (int i = 13; i < 20; ++i)
+        EXPECT_EQ(header[i], 0) << "count byte " << i;
+}
+
 TEST_F(TraceIoTest, ReaderResetReplays)
 {
     SyntheticTraceGenerator gen(profileByName("kernels"), 2);
@@ -98,10 +142,27 @@ TEST_F(TraceIoTest, RejectsTruncatedRecords)
     trunc.close();
     std::filesystem::resize_file(_path,
                                  static_cast<uintmax_t>(size) - 7);
-    TraceReader reader(_path);
-    for (int i = 0; i < 9; ++i)
-        EXPECT_NO_THROW(reader.next());
-    EXPECT_THROW(reader.next(), FatalError);
+    // The reader bounds the header's record count by the actual file
+    // size, so truncation is detected at open, not mid-replay.
+    EXPECT_THROW(TraceReader reader(_path), FatalError);
+}
+
+TEST_F(TraceIoTest, RejectsOverstatedRecordCount)
+{
+    // A corrupt/crafted header count must not oversize downstream
+    // allocations (count * recordBytes could wrap uint64).
+    SyntheticTraceGenerator gen(profileByName("kernels"), 2);
+    dumpTrace(gen, _path, 10);
+    std::fstream f(_path, std::ios::binary | std::ios::in |
+                              std::ios::out);
+    f.seekp(12); // count field, after magic + version
+    const uint64_t huge = ~0ULL / 37;
+    char buf[8];
+    for (int i = 0; i < 8; ++i)
+        buf[i] = static_cast<char>(huge >> (8 * i));
+    f.write(buf, sizeof(buf));
+    f.close();
+    EXPECT_THROW(TraceReader reader(_path), FatalError);
 }
 
 TEST_F(TraceIoTest, WriterCountsRecords)

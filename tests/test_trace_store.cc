@@ -1,0 +1,307 @@
+/** @file
+ * The generate-once trace store: replay fidelity, once-per-key
+ * thread-safe materialization, LRU byte-cap eviction, the disk-cache
+ * layer, and bitwise determinism of sweep aggregates with the store
+ * on vs off and across thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "trace/generator.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_store.hh"
+
+namespace iraw {
+namespace trace {
+namespace {
+
+TEST(TraceBuffer, ReplayMatchesLiveGenerator)
+{
+    const WorkloadProfile &profile = profileByName("spec2006int");
+    const uint64_t length = 20000;
+    TraceBufferPtr buffer = materializeSynthetic(profile, 7, length);
+    ASSERT_EQ(buffer->records(), length);
+
+    SyntheticTraceGenerator gen(profile, 7);
+    ReplayTraceSource replay(buffer);
+    for (uint64_t i = 0; i < length; ++i) {
+        auto expect = gen.next();
+        auto got = replay.next();
+        ASSERT_TRUE(expect && got) << "at record " << i;
+        EXPECT_EQ(got->seqNum, expect->seqNum);
+        EXPECT_EQ(got->pc, expect->pc);
+        EXPECT_EQ(got->opClass, expect->opClass);
+        EXPECT_EQ(got->dst, expect->dst);
+        EXPECT_EQ(got->src1, expect->src1);
+        EXPECT_EQ(got->src2, expect->src2);
+        EXPECT_EQ(got->memAddr, expect->memAddr);
+        EXPECT_EQ(got->memSize, expect->memSize);
+        EXPECT_EQ(got->target, expect->target);
+        EXPECT_EQ(got->taken, expect->taken);
+    }
+    EXPECT_FALSE(replay.next().has_value());
+
+    replay.reset();
+    auto first = replay.next();
+    ASSERT_TRUE(first);
+    EXPECT_EQ(first->seqNum, 1u);
+}
+
+TEST(TraceStore, HitMissAccounting)
+{
+    TraceStore store;
+    const WorkloadProfile &profile = profileByName("kernels");
+    TraceBufferPtr a = store.acquireSynthetic(profile, 1, 1000);
+    TraceBufferPtr b = store.acquireSynthetic(profile, 1, 1000);
+    EXPECT_EQ(a.get(), b.get());
+
+    TraceStore::Stats stats = store.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.buffers, 1u);
+    EXPECT_EQ(stats.bytesInUse, a->bytes());
+
+    // A different length is a different trace.
+    store.acquireSynthetic(profile, 1, 2000);
+    stats = store.stats();
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.buffers, 2u);
+}
+
+TEST(TraceStore, ConcurrentAcquiresMaterializeOnce)
+{
+    TraceStore store;
+    const WorkloadProfile &profile = profileByName("spec2006fp");
+    constexpr unsigned kThreads = 8;
+    std::vector<TraceBufferPtr> buffers(kThreads);
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&store, &profile, &buffers, t] {
+            buffers[t] = store.acquireSynthetic(profile, 3, 30000);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    for (unsigned t = 1; t < kThreads; ++t)
+        EXPECT_EQ(buffers[t].get(), buffers[0].get());
+    TraceStore::Stats stats = store.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, kThreads - 1u);
+}
+
+TEST(TraceStore, LruEvictsAtByteCap)
+{
+    const WorkloadProfile &profile = profileByName("multimedia");
+    const uint64_t length = 1000;
+    const uint64_t bytesPer =
+        materializeSynthetic(profile, 1, length)->bytes();
+
+    // Room for two buffers, not three.
+    TraceStore::Config cfg;
+    cfg.byteCap = 2 * bytesPer + bytesPer / 2;
+    TraceStore store(cfg);
+
+    store.acquireSynthetic(profile, 1, length);
+    store.acquireSynthetic(profile, 2, length);
+    EXPECT_EQ(store.stats().evictions, 0u);
+
+    // Touch seed 1 so seed 2 is the LRU victim.
+    store.acquireSynthetic(profile, 1, length);
+    store.acquireSynthetic(profile, 3, length);
+
+    TraceStore::Stats stats = store.stats();
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.buffers, 2u);
+    EXPECT_LE(stats.bytesInUse, cfg.byteCap);
+
+    // Seed 1 survived (it was touched); seed 2 must rematerialize.
+    store.acquireSynthetic(profile, 1, length);
+    EXPECT_EQ(store.stats().misses, 3u);
+    store.acquireSynthetic(profile, 2, length);
+    EXPECT_EQ(store.stats().misses, 4u);
+}
+
+TEST(TraceStore, EvictedBufferStaysAliveForHolders)
+{
+    const WorkloadProfile &profile = profileByName("kernels");
+    TraceStore::Config cfg;
+    cfg.byteCap = 1; // evict on every new buffer
+    TraceStore store(cfg);
+
+    TraceBufferPtr held = store.acquireSynthetic(profile, 1, 500);
+    store.acquireSynthetic(profile, 2, 500);
+    EXPECT_EQ(store.stats().evictions, 1u);
+    // The store dropped its reference; ours still decodes.
+    EXPECT_EQ(held->records(), 500u);
+    EXPECT_EQ(held->at(0).seqNum, 1u);
+}
+
+class TraceStoreDiskTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        _dir = ::testing::TempDir() + "iraw_store_" +
+               ::testing::UnitTest::GetInstance()
+                   ->current_test_info()
+                   ->name();
+        std::filesystem::remove_all(_dir);
+    }
+    void TearDown() override { std::filesystem::remove_all(_dir); }
+    std::string _dir;
+};
+
+TEST_F(TraceStoreDiskTest, DiskCacheRoundTrip)
+{
+    const WorkloadProfile &profile = profileByName("server");
+    TraceStore::Config cfg;
+    cfg.diskDir = _dir;
+
+    TraceBufferPtr fresh;
+    {
+        TraceStore store(cfg);
+        fresh = store.acquireSynthetic(profile, 4, 5000);
+        EXPECT_EQ(store.stats().diskHits, 0u);
+    }
+    // The materialization was published as a trace file.
+    ASSERT_FALSE(std::filesystem::is_empty(_dir));
+
+    // A fresh store (fresh process) hits the disk layer.
+    TraceStore store2(cfg);
+    TraceBufferPtr cached = store2.acquireSynthetic(profile, 4, 5000);
+    TraceStore::Stats stats = store2.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.diskHits, 1u);
+
+    ASSERT_EQ(cached->records(), fresh->records());
+    EXPECT_EQ(cached->data(), fresh->data());
+}
+
+TEST_F(TraceStoreDiskTest, AcquireFileServesWholeTrace)
+{
+    const WorkloadProfile &profile = profileByName("office");
+    std::filesystem::create_directories(_dir);
+    const std::string path = _dir + "/input.trc";
+    SyntheticTraceGenerator gen(profile, 11);
+    dumpTrace(gen, path, 3000);
+
+    TraceStore store;
+    TraceBufferPtr buffer = store.acquireFile(path);
+    ASSERT_EQ(buffer->records(), 3000u);
+
+    gen.reset();
+    ReplayTraceSource replay(buffer);
+    for (uint64_t i = 0; i < 3000; ++i) {
+        auto expect = gen.next();
+        auto got = replay.next();
+        ASSERT_TRUE(expect && got);
+        EXPECT_EQ(got->seqNum, expect->seqNum);
+        EXPECT_EQ(got->pc, expect->pc);
+    }
+
+    EXPECT_EQ(store.acquireFile(path).get(), buffer.get());
+    EXPECT_EQ(store.stats().hits, 1u);
+}
+
+} // namespace
+} // namespace trace
+
+namespace sim {
+namespace {
+
+SweepConfig
+smallSweep()
+{
+    SweepConfig cfg;
+    cfg.suite = quickSuite(4000);
+    cfg.warmupInstructions = 2000;
+    return cfg;
+}
+
+std::vector<MachinePoint>
+smallPoints()
+{
+    return {{500.0, mechanism::IrawMode::ForcedOff},
+            {500.0, mechanism::IrawMode::Auto},
+            {550.0, mechanism::IrawMode::Auto}};
+}
+
+void
+expectMachinesBitwiseEqual(const std::vector<MachineAtVcc> &a,
+                           const std::vector<MachineAtVcc> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].instructions, b[i].instructions);
+        EXPECT_EQ(a[i].cycles, b[i].cycles);
+        EXPECT_EQ(a[i].ipc, b[i].ipc);
+        EXPECT_EQ(a[i].execTimeAu, b[i].execTimeAu);
+        EXPECT_EQ(a[i].rfIrawStalls, b[i].rfIrawStalls);
+        EXPECT_EQ(a[i].iqGateStalls, b[i].iqGateStalls);
+        EXPECT_EQ(a[i].dl0IrawStalls, b[i].dl0IrawStalls);
+        EXPECT_EQ(a[i].otherIrawStalls, b[i].otherIrawStalls);
+        EXPECT_EQ(a[i].rfIrawDelayedInsts, b[i].rfIrawDelayedInsts);
+    }
+}
+
+TEST(TraceStoreSweep, StoreOnOffAggregatesBitwiseIdentical)
+{
+    Simulator plain;
+    Simulator stored;
+    stored.setTraceStore(std::make_shared<trace::TraceStore>());
+
+    auto off = SweepRunner(plain).runMachines(smallSweep(),
+                                              smallPoints());
+    auto on = SweepRunner(stored).runMachines(smallSweep(),
+                                              smallPoints());
+    expectMachinesBitwiseEqual(off, on);
+
+    // The store actually served the sweep: 3 traces materialized,
+    // every other acquisition a hit.
+    auto stats = stored.traceStore()->stats();
+    EXPECT_EQ(stats.misses, 3u);
+    EXPECT_EQ(stats.hits, 3u * 3u - 3u);
+}
+
+TEST(TraceStoreSweep, CrossThreadAggregatesBitwiseIdentical)
+{
+    Simulator sim;
+    sim.setTraceStore(std::make_shared<trace::TraceStore>());
+
+    auto serial = SweepRunner(sim, RunnerConfig{1})
+                      .runMachines(smallSweep(), smallPoints());
+    auto parallel = SweepRunner(sim, RunnerConfig{8})
+                        .runMachines(smallSweep(), smallPoints());
+    expectMachinesBitwiseEqual(serial, parallel);
+}
+
+TEST(TraceStoreSweep, FileTraceSuiteEntryReplays)
+{
+    const std::string path =
+        ::testing::TempDir() + "iraw_store_suite.trc";
+    trace::SyntheticTraceGenerator gen(
+        trace::profileByName("spec2006int"), 1);
+    trace::dumpTrace(gen, path, 10000);
+
+    Simulator sim;
+    sim.setTraceStore(std::make_shared<trace::TraceStore>());
+    SweepConfig cfg;
+    cfg.suite = {SuiteEntry("file", 1, 4000, path)};
+    cfg.warmupInstructions = 2000;
+    auto machines = SweepRunner(sim).runMachines(
+        cfg, {{500.0, mechanism::IrawMode::Auto}});
+    ASSERT_EQ(machines.size(), 1u);
+    EXPECT_EQ(machines[0].instructions, 4000u);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace sim
+} // namespace iraw
