@@ -28,6 +28,7 @@ runQuickstart(iraw::sim::ScenarioContext &ctx)
         ctx.opts().getString("workload", "spec2006int");
     cfg.tracePath = ctx.settings().tracePath;
     cfg.instructions = ctx.opts().getUint("insts", 60000);
+    cfg.profile = ctx.settings().profile;
 
     const sim::Simulator &simulator = ctx.simulator();
 

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Calendar-wheel event scheduler for the cycle loop.
+ *
+ * The pipeline used to keep pending write completions in a
+ * std::multimap<Cycle, ...>, paying a red-black-tree node allocation
+ * per in-flight instruction and a tree walk per cycle.  Almost every
+ * event lands within a bounded horizon (the largest encodable
+ * execution latency plus a DRAM round trip), so a fixed-size bucket
+ * wheel indexed by `cycle & mask` serves them with no per-event
+ * allocation in steady state: each slot is a vector that keeps its
+ * capacity across reuse.  The rare event beyond the horizon (e.g. a
+ * miss lengthened by chained stabilization stalls) goes to a small
+ * overflow list and is promoted into the wheel once it comes within
+ * range.
+ *
+ * Contract: service() must be called for every cycle in ascending
+ * order (the cycle loop does exactly that).  Within one cycle, events
+ * fire in the order they were scheduled, matching the stable
+ * equal-key ordering of the multimap it replaces.
+ */
+
+#ifndef IRAW_CORE_EVENT_WHEEL_HH
+#define IRAW_CORE_EVENT_WHEEL_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "memory/iraw_guard.hh" // memory::Cycle
+
+namespace iraw {
+namespace core {
+
+/** Fixed-horizon calendar wheel with an overflow list. */
+template <typename T>
+class EventWheel
+{
+  public:
+    /** @param minHorizon largest due-now distance the wheel itself
+     *  must cover; rounded up to a power of two.  Larger distances
+     *  still work through the overflow list, just slower. */
+    explicit EventWheel(memory::Cycle minHorizon = 1024)
+    {
+        resizeHorizon(minHorizon);
+    }
+
+    /**
+     * Re-size the wheel for a new horizon (e.g. after the DRAM
+     * latency of an operating point is known).  Only legal while no
+     * events are pending.
+     */
+    void
+    resizeHorizon(memory::Cycle minHorizon)
+    {
+        panicIf(_pending != 0,
+                "EventWheel: resize with %llu events pending",
+                static_cast<unsigned long long>(_pending));
+        fatalIf(minHorizon == 0 || minHorizon > (1u << 24),
+                "EventWheel: horizon %llu outside (0, 2^24]",
+                static_cast<unsigned long long>(minHorizon));
+        uint64_t slots = 1;
+        while (slots < minHorizon + 1)
+            slots <<= 1;
+        _slots.assign(static_cast<size_t>(slots),
+                      std::vector<T>{});
+        _mask = slots - 1;
+        _overflow.clear();
+    }
+
+    /** Schedule @p item to fire when service(@p due) runs. */
+    void
+    schedule(memory::Cycle now, memory::Cycle due, T item)
+    {
+        ++_pending;
+        if (due > now && due - now <= _mask) {
+            _slots[due & _mask].push_back(std::move(item));
+        } else {
+            // Beyond the horizon (or, defensively, overdue): the
+            // overflow list holds it until promote() can place it.
+            ++_overflowed;
+            _overflow.push_back({due, std::move(item)});
+        }
+    }
+
+    /** Fire every event due at @p cycle, in scheduling order. */
+    template <typename Fn>
+    void
+    service(memory::Cycle cycle, Fn &&fn)
+    {
+        if (!_overflow.empty())
+            promote(cycle);
+        std::vector<T> &bucket = _slots[cycle & _mask];
+        if (bucket.empty())
+            return;
+        _pending -= bucket.size();
+        for (T &item : bucket)
+            fn(item);
+        bucket.clear(); // keeps capacity: no steady-state allocation
+    }
+
+    /** Drop every pending event. */
+    void
+    clear()
+    {
+        for (std::vector<T> &bucket : _slots)
+            bucket.clear();
+        _overflow.clear();
+        _pending = 0;
+    }
+
+    bool empty() const { return _pending == 0; }
+    uint64_t pending() const { return _pending; }
+    /** Wheel capacity in slots (power of two). */
+    uint64_t slots() const { return _mask + 1; }
+    /** Events that ever took the overflow path (diagnostics). */
+    uint64_t overflowed() const { return _overflowed; }
+    size_t overflowPending() const { return _overflow.size(); }
+
+  private:
+    struct OverflowEvent
+    {
+        memory::Cycle due;
+        T item;
+    };
+
+    /** Move overflow events that are now within the horizon into
+     *  their slot; overdue ones fire at the current cycle. */
+    void
+    promote(memory::Cycle cycle)
+    {
+        size_t keep = 0;
+        for (OverflowEvent &ev : _overflow) {
+            if (ev.due <= cycle + _mask) {
+                memory::Cycle slot =
+                    ev.due > cycle ? ev.due : cycle;
+                _slots[slot & _mask].push_back(
+                    std::move(ev.item));
+            } else {
+                _overflow[keep++] = std::move(ev);
+            }
+        }
+        _overflow.resize(keep);
+    }
+
+    std::vector<std::vector<T>> _slots;
+    std::vector<OverflowEvent> _overflow;
+    uint64_t _mask = 0;
+    uint64_t _pending = 0;
+    uint64_t _overflowed = 0;
+};
+
+} // namespace core
+} // namespace iraw
+
+#endif // IRAW_CORE_EVENT_WHEEL_HH

@@ -1,5 +1,7 @@
 #include "core/instruction_queue.hh"
 
+#include <utility>
+
 #include "common/bitutils.hh"
 #include "common/logging.hh"
 
@@ -10,13 +12,16 @@ InstructionQueue::InstructionQueue(uint32_t size) : _size(size)
 {
     fatalIf(!isPowerOf2(size),
             "InstructionQueue: size must be a power of two");
+    _entries.assign(size, IqEntry{});
 }
 
 void
 InstructionQueue::allocate(IqEntry entry)
 {
     panicIf(full(), "InstructionQueue: allocate() on a full queue");
-    _entries.push_back(std::move(entry));
+    if (isReal(entry))
+        ++_realCount;
+    _entries[_tail & (_size - 1)] = std::move(entry);
     _tail = (_tail + 1) & (2 * _size - 1);
     ++_allocations;
 }
@@ -25,7 +30,8 @@ void
 InstructionQueue::popFront()
 {
     panicIf(empty(), "InstructionQueue: popFront() on empty queue");
-    _entries.pop_front();
+    if (isReal(_entries[_head & (_size - 1)]))
+        --_realCount;
     _head = (_head + 1) & (2 * _size - 1);
 }
 
@@ -33,16 +39,17 @@ void
 InstructionQueue::popBack()
 {
     panicIf(empty(), "InstructionQueue: popBack() on empty queue");
-    _entries.pop_back();
     _tail = (_tail + 2 * _size - 1) & (2 * _size - 1);
+    if (isReal(_entries[_tail & (_size - 1)]))
+        --_realCount;
 }
 
 void
 InstructionQueue::clear()
 {
-    _entries.clear();
     _head = 0;
     _tail = 0;
+    _realCount = 0;
 }
 
 } // namespace core

@@ -11,8 +11,9 @@
 #define IRAW_CORE_INSTRUCTION_QUEUE_HH
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
+#include "common/logging.hh"
 #include "isa/microop.hh"
 #include "memory/iraw_guard.hh"
 
@@ -42,19 +43,43 @@ class InstructionQueue
   public:
     explicit InstructionQueue(uint32_t size);
 
-    bool full() const { return _entries.size() >= _size; }
-    bool empty() const { return _entries.empty(); }
-    uint32_t occupancy() const
+    bool full() const { return occupancy() >= _size; }
+    bool empty() const { return _head == _tail; }
+    /** Derived from the hardware pointers (the Figure 9 identity). */
+    uint32_t
+    occupancy() const
     {
-        return static_cast<uint32_t>(_entries.size());
+        return (_tail - _head) & (2 * _size - 1);
     }
+
+    /**
+     * Entries that are neither drain NOOPs nor wrong-path filler,
+     * maintained incrementally so the drain logic's "anything real
+     * left?" checks are O(1) instead of an O(occupancy) scan per
+     * cycle.  Relies on the flags being immutable after allocate().
+     */
+    uint32_t realEntries() const { return _realCount; }
 
     /** Allocate at the tail; the queue must not be full. */
     void allocate(IqEntry entry);
 
-    /** i-th oldest entry (0 == head). */
-    const IqEntry &at(uint32_t i) const { return _entries.at(i); }
-    IqEntry &at(uint32_t i) { return _entries.at(i); }
+    /** i-th oldest entry (0 == head); @p i must be < occupancy. */
+    const IqEntry &
+    at(uint32_t i) const
+    {
+        panicIf(i >= occupancy(),
+                "InstructionQueue: at(%u) with occupancy %u", i,
+                occupancy());
+        return _entries[(_head + i) & (_size - 1)];
+    }
+    IqEntry &
+    at(uint32_t i)
+    {
+        panicIf(i >= occupancy(),
+                "InstructionQueue: at(%u) with occupancy %u", i,
+                occupancy());
+        return _entries[(_head + i) & (_size - 1)];
+    }
 
     /** Remove the oldest entry. */
     void popFront();
@@ -73,10 +98,21 @@ class InstructionQueue
     uint64_t allocations() const { return _allocations; }
 
   private:
+    static bool
+    isReal(const IqEntry &entry)
+    {
+        return !entry.isDrainNop && !entry.isWrongPath;
+    }
+
     uint32_t _size;
-    std::deque<IqEntry> _entries;
+    /** Fixed ring of _size slots (power of two): allocate/pop are
+     *  index arithmetic, never container reshaping.  Slot of the
+     *  i-th oldest entry is (_head + i) & (_size - 1): the mod-2N
+     *  hardware pointers are the single source of truth. */
+    std::vector<IqEntry> _entries;
     uint32_t _head = 0;
     uint32_t _tail = 0;
+    uint32_t _realCount = 0;
     uint64_t _allocations = 0;
 };
 

@@ -58,9 +58,8 @@ Pipeline::Pipeline(const CoreConfig &cfg,
       _stable(cfg.commitStoresPerCycle * cfg.maxStabilizationCycles,
               hierarchy.config().dl0.lineBytes,
               hierarchy.config().dl0.numSets()),
-      _bp(predictor::makePredictor(cfg.predictorKind,
-                                   cfg.predictorEntries,
-                                   cfg.predictorHistoryBits)),
+      _bp(cfg.predictorKind, cfg.predictorEntries,
+          cfg.predictorHistoryBits),
       _rsb(cfg.rsbDepth), _rng(cfg.corruptionSeed)
 {
     _cfg.validate();
@@ -79,6 +78,19 @@ Pipeline::applySettings(const mechanism::IrawSettings &settings)
     _stable.setActiveEntries(_n * _cfg.commitStoresPerCycle);
     _mem.setStabilizationCycles(_n);
     _bpCorruption.setStabilizationCycles(_n);
+
+    // Size the write-event wheel so every ordinary completion — up
+    // to a TLB walk plus an off-chip miss plus the encodable
+    // execution latency — lands inside the wheel; anything longer
+    // (chained stabilization stalls) goes to the overflow list.
+    const memory::MemoryConfig &mc = _mem.config();
+    memory::Cycle horizon =
+        _mem.dramLatencyCycles() + mc.ul1HitLatency +
+        mc.itlb.missPenalty + mc.dtlb.missPenalty +
+        mc.wcbDrainLatency + _cfg.loadMissForwardDelay +
+        _cfg.scoreboardBits + 64;
+    if (_writeWheel.empty() && horizon > _writeWheel.slots())
+        _writeWheel.resizeHorizon(horizon);
 }
 
 void
@@ -89,16 +101,15 @@ Pipeline::reset()
     _units.reset();
     _stable.flush();
     _stable.resetStats();
-    // Predictor tables retrain from scratch (fresh silicon state).
-    _bp = predictor::makePredictor(_cfg.predictorKind,
-                                   _cfg.predictorEntries,
-                                   _cfg.predictorHistoryBits);
+    // Predictor tables retrain from scratch (fresh silicon state);
+    // reset() reinitializes in place instead of re-allocating.
+    _bp.reset();
     _rsb.flush();
     _rng.reseed(_cfg.corruptionSeed);
     _bpCorruption.reset();
     _stats = PipelineStats{};
     _cycle = 0;
-    _writeEvents.clear();
+    _writeWheel.clear();
     _pendingWrites.assign(isa::kNumLogicalRegs, 0);
     _nextOp.reset();
     _traceDone = false;
@@ -135,11 +146,11 @@ Pipeline::setDestination(isa::RegId dst, uint32_t latency)
 {
     if (latency <= _scoreboard.maxEncodableLatency()) {
         _scoreboard.setProducer(dst, latency);
-        _writeEvents.emplace(_cycle + latency,
+        _writeWheel.schedule(_cycle, _cycle + latency,
                              InflightWrite{dst, false});
     } else {
         _scoreboard.setLongLatencyProducer(dst);
-        _writeEvents.emplace(_cycle + latency,
+        _writeWheel.schedule(_cycle, _cycle + latency,
                              InflightWrite{dst, true});
     }
     ++_pendingWrites[dst];
@@ -362,14 +373,7 @@ Pipeline::fetchStage()
             // the last *real* instructions can issue (Sec. 4.2).
             // Once only NOOPs remain the queue may simply sit below
             // the threshold; injecting more would recurse forever.
-            bool hasReal = false;
-            for (uint32_t i = 0; i < _iq.occupancy(); ++i) {
-                const IqEntry &e = _iq.at(i);
-                if (!e.isDrainNop && !e.isWrongPath) {
-                    hasReal = true;
-                    break;
-                }
-            }
+            bool hasReal = _iq.realEntries() > 0;
             if (_n > 0 && hasReal &&
                 !_gate.issueAllowed(_iq.occupancy())) {
                 IqEntry nop;
@@ -409,19 +413,22 @@ Pipeline::fetchStage()
         if (op.isBranch()) {
             ++_stats.branches;
             if (op.opClass == OpClass::Branch) {
-                uint32_t idx = _bp->entryIndex(op.pc);
-                bool conflict = _bpCorruption.noteRead(idx, _cycle);
-                if (conflict)
-                    ++_stats.bpConflictReads;
-                bool pred = _bp->predict(op.pc);
                 // Train immediately with the fetch-time state (the
                 // real machine trains at execute with a checkpointed
                 // history); the update's array write lands roughly a
                 // frontend-depth later, which is what the corruption
-                // window tracks.
-                bool flipped = _bp->update(op.pc, op.taken);
+                // window tracks.  One fused, devirtualized dispatch
+                // yields the (pre-update-history) entry index, the
+                // prediction, and the direction-bit flip.
+                predictor::PredictOutcome out =
+                    _bp.predictAndTrain(op.pc, op.taken);
+                bool conflict =
+                    _bpCorruption.noteRead(out.index, _cycle);
+                if (conflict)
+                    ++_stats.bpConflictReads;
+                bool pred = out.taken;
                 _bpCorruption.noteUpdate(
-                    idx, _cycle + kBpUpdateDelay, flipped);
+                    out.index, _cycle + kBpUpdateDelay, out.flipped);
                 if (conflict && _cfg.injectPredictionCorruption &&
                     _rng.chance(0.5)) {
                     pred = !pred;
@@ -480,19 +487,26 @@ Pipeline::tick()
     _units.newCycle();
 
     // Event wakeups and write completions scheduled for this cycle.
-    auto range = _writeEvents.equal_range(_cycle);
-    for (auto it = range.first; it != range.second; ++it) {
-        const InflightWrite &w = it->second;
-        if (w.longLatency)
-            _scoreboard.completeLongLatency(w.dst);
-        panicIf(_pendingWrites[w.dst] == 0,
+    {
+        ScopedStageTimer t(_profiler, StageProfiler::Stage::Events);
+        _writeWheel.service(_cycle, [this](const InflightWrite &w) {
+            if (w.longLatency)
+                _scoreboard.completeLongLatency(w.dst);
+            panicIf(
+                _pendingWrites[w.dst] == 0,
                 "Pipeline: write completion without pending write");
-        --_pendingWrites[w.dst];
+            --_pendingWrites[w.dst];
+        });
     }
-    _writeEvents.erase(range.first, range.second);
 
-    issueStage();
-    fetchStage();
+    {
+        ScopedStageTimer t(_profiler, StageProfiler::Stage::Issue);
+        issueStage();
+    }
+    {
+        ScopedStageTimer t(_profiler, StageProfiler::Stage::Fetch);
+        fetchStage();
+    }
 }
 
 const PipelineStats &
@@ -506,15 +520,7 @@ Pipeline::run(uint64_t maxInsts)
             // Done when nothing real is left: trailing drain NOOPs
             // below the Eq. (1) threshold never need to issue (the
             // real machine redirects at the drain event).
-            bool onlyFiller = true;
-            for (uint32_t i = 0; i < _iq.occupancy(); ++i) {
-                const IqEntry &e = _iq.at(i);
-                if (!e.isDrainNop && !e.isWrongPath) {
-                    onlyFiller = false;
-                    break;
-                }
-            }
-            if (onlyFiller)
+            if (_iq.realEntries() == 0)
                 break;
         }
         tick();

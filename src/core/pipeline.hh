@@ -22,13 +22,13 @@
 #define IRAW_CORE_PIPELINE_HH
 
 #include <cstdint>
-#include <map>
-#include <memory>
 #include <optional>
 #include <vector>
 
+#include "common/profiler.hh"
 #include "common/rng.hh"
 #include "core/core_config.hh"
+#include "core/event_wheel.hh"
 #include "core/exec_units.hh"
 #include "core/instruction_queue.hh"
 #include "core/scoreboard.hh"
@@ -36,8 +36,8 @@
 #include "iraw/iq_gate.hh"
 #include "iraw/stable.hh"
 #include "memory/hierarchy.hh"
-#include "predictor/branch_predictor.hh"
 #include "predictor/iraw_corruption.hh"
+#include "predictor/predictor_dispatch.hh"
 #include "predictor/rsb.hh"
 #include "trace/trace_source.hh"
 
@@ -133,9 +133,9 @@ class Pipeline
     const Scoreboard &scoreboard() const { return _scoreboard; }
     const mechanism::StoreTable &storeTable() const { return _stable; }
     const mechanism::IqOccupancyGate &iqGate() const { return _gate; }
-    const predictor::BranchPredictor &branchPredictor() const
+    const predictor::InlinePredictor &branchPredictor() const
     {
-        return *_bp;
+        return _bp;
     }
     const predictor::ReturnStackBuffer &rsb() const { return _rsb; }
     const predictor::CorruptionTracker &bpCorruption() const
@@ -147,6 +147,16 @@ class Pipeline
 
     /** Reset all machine state (keeps configuration). */
     void reset();
+
+    /**
+     * Attach a per-stage wall-time profiler (null detaches).  Purely
+     * observational: simulated results are bitwise identical with or
+     * without it.
+     */
+    void setProfiler(StageProfiler *profiler)
+    {
+        _profiler = profiler;
+    }
 
   private:
     struct InflightWrite
@@ -189,7 +199,7 @@ class Pipeline
     ExecUnits _units;
     mechanism::IqOccupancyGate _gate;
     mechanism::StoreTable _stable;
-    std::unique_ptr<predictor::BranchPredictor> _bp;
+    predictor::InlinePredictor _bp;
     predictor::ReturnStackBuffer _rsb;
     predictor::CorruptionTracker _bpCorruption;
     Pcg32 _rng;
@@ -200,9 +210,14 @@ class Pipeline
     uint32_t _n = 0; //!< active stabilization cycles
     uint64_t _instBudget = 0; //!< run() stops exactly at this count
 
-    // Event wakeups and WAW tracking.
-    std::multimap<memory::Cycle, InflightWrite> _writeEvents;
+    // Event wakeups and WAW tracking.  The wheel replaces the old
+    // std::multimap<Cycle, InflightWrite>: no allocation per write,
+    // O(1) service per cycle; re-sized in applySettings() once the
+    // operating point's DRAM latency is known.
+    EventWheel<InflightWrite> _writeWheel;
     std::vector<uint32_t> _pendingWrites; //!< per-register count
+
+    StageProfiler *_profiler = nullptr;
 
     // Frontend state.
     std::optional<isa::MicroOp> _nextOp;

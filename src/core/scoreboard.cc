@@ -21,24 +21,59 @@ Scoreboard::Scoreboard(uint32_t bits, uint32_t bypassLevels)
     fatalIf(bypassLevels + 2 >= bits,
             "Scoreboard: %u bypass levels leave no room in %u bits",
             bypassLevels, bits);
+    _ones = buildBaselinePattern(_bits, 0);
+    rebuildPatternLut();
     reset();
+}
+
+void
+Scoreboard::rebuildPatternLut()
+{
+    // Valid producer latencies are [0, maxEncodableLatency]; when N
+    // leaves no encodable latency the tables stay empty and
+    // setProducer()'s panic fires first.
+    _producerLut.clear();
+    _baselineLut.clear();
+    if (_bypassLevels + _n + 1 >= _bits)
+        return;
+    uint32_t maxLatency = _bits - 1 - _bypassLevels - _n;
+    _producerLut.reserve(maxLatency + 1);
+    _baselineLut.reserve(maxLatency + 1);
+    for (uint32_t latency = 0; latency <= maxLatency; ++latency) {
+        _producerLut.push_back(
+            buildReadyPattern(_bits, latency, _bypassLevels, _n));
+        _baselineLut.push_back(buildBaselinePattern(_bits, latency));
+    }
 }
 
 void
 Scoreboard::reset()
 {
-    ReadyPattern ones = buildBaselinePattern(_bits, 0);
-    _regs.assign(isa::kNumLogicalRegs, ones);
-    _shadow.assign(isa::kNumLogicalRegs, ones);
+    _regs.assign(isa::kNumLogicalRegs, _ones);
+    _shadow.assign(isa::kNumLogicalRegs, _ones);
     _longLatency.assign(isa::kNumLogicalRegs, false);
+    _active.clear();
+    _isActive.assign(isa::kNumLogicalRegs, 0);
 }
 
 void
 Scoreboard::tick()
 {
-    for (size_t r = 0; r < _regs.size(); ++r) {
+    // Only in-flight registers shift; a quiescent (all-ones) pattern
+    // shifts to itself, so skipping it changes nothing.
+    size_t i = 0;
+    while (i < _active.size()) {
+        isa::RegId r = _active[i];
         _regs[r] = shiftPattern(_regs[r], _bits);
         _shadow[r] = shiftPattern(_shadow[r], _bits);
+        if (!_longLatency[r] && _regs[r] == _ones &&
+            _shadow[r] == _ones) {
+            _isActive[r] = 0;
+            _active[i] = _active.back();
+            _active.pop_back();
+        } else {
+            ++i;
+        }
     }
 }
 
@@ -71,10 +106,18 @@ Scoreboard::setProducer(isa::RegId reg, uint32_t latency)
             "Scoreboard: latency %u exceeds encodable %u; use "
             "setLongLatencyProducer()",
             latency, maxEncodableLatency());
-    _regs[reg] =
-        buildReadyPattern(_bits, latency, _bypassLevels, _n);
-    _shadow[reg] = buildBaselinePattern(_bits, latency);
+    if (latency < _producerLut.size()) {
+        _regs[reg] = _producerLut[latency];
+        _shadow[reg] = _baselineLut[latency];
+    } else {
+        // Degenerate N (no encodable latency): keep the original
+        // path so buildReadyPattern() reports the misconfiguration.
+        _regs[reg] =
+            buildReadyPattern(_bits, latency, _bypassLevels, _n);
+        _shadow[reg] = buildBaselinePattern(_bits, latency);
+    }
     _longLatency[reg] = false;
+    activate(reg);
 }
 
 void
@@ -85,6 +128,7 @@ Scoreboard::setLongLatencyProducer(isa::RegId reg)
     _regs[reg] = 0;
     _shadow[reg] = 0;
     _longLatency[reg] = true;
+    activate(reg);
 }
 
 void
@@ -97,9 +141,15 @@ Scoreboard::completeLongLatency(isa::RegId reg)
             "long-latency producer on r%u", reg);
     // Value available this cycle: consumers may issue now (bypass)
     // but not in the stabilization window that follows the RF write.
-    _regs[reg] = buildReadyPattern(_bits, 0, _bypassLevels, _n);
-    _shadow[reg] = buildBaselinePattern(_bits, 0);
+    if (!_producerLut.empty()) {
+        _regs[reg] = _producerLut[0];
+        _shadow[reg] = _baselineLut[0];
+    } else {
+        _regs[reg] = buildReadyPattern(_bits, 0, _bypassLevels, _n);
+        _shadow[reg] = buildBaselinePattern(_bits, 0);
+    }
     _longLatency[reg] = false;
+    activate(reg);
 }
 
 bool

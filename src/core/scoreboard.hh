@@ -43,7 +43,12 @@ class Scoreboard
      * Patterns already in flight keep their old timing, exactly as
      * the hardware would behave across a DVFS transition.
      */
-    void setStabilizationCycles(uint32_t n) { _n = n; }
+    void
+    setStabilizationCycles(uint32_t n)
+    {
+        _n = n;
+        rebuildPatternLut();
+    }
     uint32_t stabilizationCycles() const { return _n; }
 
     /** Shift every register one position (call once per cycle). */
@@ -95,6 +100,19 @@ class Scoreboard
     mechanism::ReadyPattern rawPattern(isa::RegId reg) const;
 
   private:
+    /** Rebuild the per-latency pattern tables for the current N. */
+    void rebuildPatternLut();
+
+    /** Put @p reg on the active (shifting) list if it is not. */
+    void
+    activate(isa::RegId reg)
+    {
+        if (!_isActive[reg]) {
+            _isActive[reg] = 1;
+            _active.push_back(reg);
+        }
+    }
+
     uint32_t _bits;
     uint32_t _bypassLevels;
     uint32_t _n = 0;
@@ -102,6 +120,22 @@ class Scoreboard
     std::vector<mechanism::ReadyPattern> _regs;
     std::vector<mechanism::ReadyPattern> _shadow;
     std::vector<bool> _longLatency; //!< awaiting event wakeup
+
+    /**
+     * Registers whose pattern (real or shadow) is not yet all-ones.
+     * Shifting a quiescent register is the identity, so tick() only
+     * walks this list — O(in-flight producers), not O(registers) —
+     * with results bitwise identical to shifting everything.
+     */
+    std::vector<isa::RegId> _active;
+    std::vector<uint8_t> _isActive; //!< per-register membership flag
+    mechanism::ReadyPattern _ones = 0; //!< the quiescent pattern
+
+    // buildReadyPattern() per producer was measurable in the issue
+    // loop; both pattern families are precomputed per latency and
+    // rebuilt when N changes.
+    std::vector<mechanism::ReadyPattern> _producerLut;
+    std::vector<mechanism::ReadyPattern> _baselineLut;
 };
 
 } // namespace core

@@ -35,22 +35,13 @@ Cache::Cache(const CacheParams &params) : _params(params)
     fatalIf(!isPowerOf2(_params.numSets()),
             "cache %s: number of sets must be a power of two",
             _params.name.c_str());
+    _lineShift = floorLog2(_params.lineBytes);
+    _setShift = floorLog2(_params.numSets());
+    _tagShift = _lineShift + _setShift;
+    _setMask = _params.numSets() - 1;
     _lines.assign(static_cast<size_t>(_params.numSets()) *
                       _params.assoc,
                   Line{});
-}
-
-uint32_t
-Cache::setIndex(uint64_t addr) const
-{
-    return static_cast<uint32_t>(
-        (addr / _params.lineBytes) & (_params.numSets() - 1));
-}
-
-uint64_t
-Cache::tagOf(uint64_t addr) const
-{
-    return addr / _params.lineBytes / _params.numSets();
 }
 
 Cache::Line *
@@ -123,8 +114,8 @@ Cache::fill(uint64_t addr, bool dirty)
         evicted.valid = true;
         evicted.dirty = victim->dirty;
         evicted.lineAddr =
-            (victim->tag * _params.numSets() + setIndex(addr)) *
-            _params.lineBytes;
+            ((victim->tag << _setShift) | setIndex(addr))
+            << _lineShift;
         if (evicted.dirty)
             ++_dirtyEvictions;
     }

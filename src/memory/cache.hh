@@ -78,6 +78,17 @@ class Cache
         return addr & ~static_cast<uint64_t>(_params.lineBytes - 1);
     }
 
+    /** Set index of @p addr (shift/mask; hot path). */
+    uint32_t
+    setIndex(uint64_t addr) const
+    {
+        return static_cast<uint32_t>((addr >> _lineShift) &
+                                     _setMask);
+    }
+
+    /** Tag of @p addr (single shift; hot path). */
+    uint64_t tagOf(uint64_t addr) const { return addr >> _tagShift; }
+
     const CacheParams &params() const { return _params; }
 
     uint64_t accesses() const { return _accesses; }
@@ -103,12 +114,16 @@ class Cache
         uint64_t lru = 0; //!< higher == more recently used
     };
 
-    uint32_t setIndex(uint64_t addr) const;
-    uint64_t tagOf(uint64_t addr) const;
     Line *findLine(uint64_t addr);
     const Line *findLine(uint64_t addr) const;
 
     CacheParams _params;
+    // Shift/mask values precomputed from the power-of-two geometry
+    // so set/tag extraction costs shifts, not integer divisions.
+    uint32_t _lineShift = 0; //!< log2(lineBytes)
+    uint32_t _setShift = 0;  //!< log2(numSets)
+    uint32_t _tagShift = 0;  //!< _lineShift + _setShift
+    uint64_t _setMask = 0;   //!< numSets - 1
     std::vector<Line> _lines; //!< numSets x assoc, row-major
     uint64_t _lruClock = 0;
 

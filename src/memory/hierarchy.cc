@@ -42,21 +42,26 @@ MemoryHierarchy::retireFills(Cycle cycle)
 {
     if (_pending.empty())
         return;
-    auto it = _pending.begin();
-    while (it != _pending.end()) {
-        if (it->fillCycle <= cycle) {
-            Cache &l0 = it->toIl0 ? _il0 : _dl0;
+    // Stable ready-partition: install ready fills in arrival order
+    // (install order drives LRU state and WCB contents) and compact
+    // the not-yet-ready tail in place — one pass, no middle-of-the-
+    // vector erases.
+    size_t keep = 0;
+    for (size_t i = 0; i < _pending.size(); ++i) {
+        const PendingFill &fill = _pending[i];
+        if (fill.fillCycle <= cycle) {
+            Cache &l0 = fill.toIl0 ? _il0 : _dl0;
             IrawPortGuard &guard =
-                it->toIl0 ? _il0Guard : _dl0Guard;
-            Victim victim = l0.fill(it->lineAddr, it->dirty);
-            guard.noteWrite(it->fillCycle);
+                fill.toIl0 ? _il0Guard : _dl0Guard;
+            Victim victim = l0.fill(fill.lineAddr, fill.dirty);
+            guard.noteWrite(fill.fillCycle);
             if (victim.valid && victim.dirty)
-                _wcb.push(victim.lineAddr, it->fillCycle);
-            it = _pending.erase(it);
+                _wcb.push(victim.lineAddr, fill.fillCycle);
         } else {
-            ++it;
+            _pending[keep++] = fill;
         }
     }
+    _pending.resize(keep);
     _fb.retire(cycle);
 }
 

@@ -1,5 +1,6 @@
 #include "memory/tlb.hh"
 
+#include "common/bitutils.hh"
 #include "common/logging.hh"
 
 namespace iraw {
@@ -12,6 +13,8 @@ Tlb::Tlb(const TlbParams &params) : _params(params)
     fatalIf(_params.pageBytes == 0,
             "tlb %s: pageBytes must be positive",
             _params.name.c_str());
+    if (isPowerOf2(_params.pageBytes))
+        _pageShift = floorLog2(_params.pageBytes);
     _entries.assign(_params.entries, Entry{});
 }
 
@@ -20,9 +23,17 @@ Tlb::lookup(uint64_t addr)
 {
     ++_accesses;
     uint64_t vpn = vpnOf(addr);
-    for (auto &entry : _entries) {
+    // Fast path: repeated accesses to the last page that hit.
+    Entry &mru = _entries[_mru];
+    if (mru.valid && mru.vpn == vpn) {
+        mru.lru = ++_lruClock;
+        return true;
+    }
+    for (size_t i = 0; i < _entries.size(); ++i) {
+        Entry &entry = _entries[i];
         if (entry.valid && entry.vpn == vpn) {
             entry.lru = ++_lruClock;
+            _mru = static_cast<uint32_t>(i);
             return true;
         }
     }

@@ -69,11 +69,19 @@ class Tlb
 
     uint64_t vpnOf(uint64_t addr) const
     {
-        return addr / _params.pageBytes;
+        // Power-of-two pages (the common case) translate with one
+        // shift; odd page sizes keep the division.
+        return _pageShift ? addr >> _pageShift
+                          : addr / _params.pageBytes;
     }
 
     TlbParams _params;
+    uint32_t _pageShift = 0; //!< log2(pageBytes); 0 = not a pow2
     std::vector<Entry> _entries;
+    /** Most-recently-hit slot, probed first: successive accesses to
+     *  the same page skip the associative scan.  Purely a software
+     *  fast path — hit/miss results and LRU updates are unchanged. */
+    uint32_t _mru = 0;
     uint64_t _lruClock = 0;
     uint64_t _accesses = 0;
     uint64_t _misses = 0;

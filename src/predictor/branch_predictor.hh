@@ -44,15 +44,25 @@ class BranchPredictor
     virtual uint32_t entryIndex(uint64_t pc) const = 0;
     virtual uint32_t numEntries() const = 0;
 
+    /**
+     * Restore the power-on state: tables to their initial counters,
+     * history cleared, statistics zeroed.  Sweep-point resets call
+     * this instead of re-allocating a fresh predictor.
+     */
+    virtual void reset() = 0;
+
     uint64_t predictions() const { return _predictions; }
     uint64_t mispredictions() const { return _mispredictions; }
+    /** Fraction of predictions that were correct.  A branchless
+     *  window (zero predictions) is perfectly predicted — nothing
+     *  was ever mispredicted — matching sim::branchAccuracy(). */
     double
     accuracy() const
     {
         return _predictions
                    ? 1.0 - static_cast<double>(_mispredictions) /
                                _predictions
-                   : 0.0;
+                   : 1.0;
     }
     void
     resetStats()
@@ -76,7 +86,7 @@ class BranchPredictor
 };
 
 /** Classic 2-bit-counter bimodal predictor. */
-class BimodalPredictor : public BranchPredictor
+class BimodalPredictor final : public BranchPredictor
 {
   public:
     explicit BimodalPredictor(uint32_t entries = 4096);
@@ -93,13 +103,14 @@ class BimodalPredictor : public BranchPredictor
     {
         return static_cast<uint32_t>(_counters.size());
     }
+    void reset() override;
 
   private:
     std::vector<uint8_t> _counters; //!< 2-bit saturating counters
 };
 
 /** Global-history gshare predictor. */
-class GsharePredictor : public BranchPredictor
+class GsharePredictor final : public BranchPredictor
 {
   public:
     GsharePredictor(uint32_t entries = 4096,
@@ -118,6 +129,7 @@ class GsharePredictor : public BranchPredictor
     {
         return static_cast<uint32_t>(_counters.size());
     }
+    void reset() override;
 
   private:
     std::vector<uint8_t> _counters;
@@ -126,7 +138,7 @@ class GsharePredictor : public BranchPredictor
 };
 
 /** Tournament hybrid: bimodal + gshare with a 2-bit chooser. */
-class HybridPredictor : public BranchPredictor
+class HybridPredictor final : public BranchPredictor
 {
   public:
     HybridPredictor(uint32_t entries = 4096,
@@ -138,6 +150,7 @@ class HybridPredictor : public BranchPredictor
     uint64_t totalBits() const override;
     uint32_t entryIndex(uint64_t pc) const override;
     uint32_t numEntries() const override;
+    void reset() override;
 
   private:
     BimodalPredictor _bimodal;

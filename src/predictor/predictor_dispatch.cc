@@ -1,0 +1,30 @@
+#include "predictor/predictor_dispatch.hh"
+
+#include "common/logging.hh"
+
+namespace iraw {
+namespace predictor {
+
+InlinePredictor::Impl
+InlinePredictor::makeImpl(const std::string &kind, uint32_t entries,
+                          uint32_t historyBits)
+{
+    if (kind == "bimodal")
+        return Impl(std::in_place_type<BimodalPredictor>, entries);
+    if (kind == "gshare")
+        return Impl(std::in_place_type<GsharePredictor>, entries,
+                    historyBits);
+    if (kind == "hybrid")
+        return Impl(std::in_place_type<HybridPredictor>, entries,
+                    historyBits);
+    fatal("unknown branch predictor kind '%s'", kind.c_str());
+}
+
+InlinePredictor::InlinePredictor(const std::string &kind,
+                                 uint32_t entries,
+                                 uint32_t historyBits)
+    : _impl(makeImpl(kind, entries, historyBits))
+{}
+
+} // namespace predictor
+} // namespace iraw

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Devirtualized branch-predictor dispatch for the fetch hot path.
+ *
+ * The pipeline used to hold a std::unique_ptr<BranchPredictor> and
+ * pay three virtual calls per branch (entryIndex, predict, update).
+ * InlinePredictor instead stores the concrete predictor in a
+ * std::variant and dispatches with one switch; because the concrete
+ * classes are `final`, the calls inside the visitor devirtualize and
+ * inline.  predictAndTrain() additionally fuses the per-branch
+ * entryIndex/predict/update triple into a single dispatch.
+ *
+ * The polymorphic makePredictor() factory remains the construction
+ * path for code that wants a heap-allocated interface (area
+ * accounting, tests); the simulated behaviour is bit-identical
+ * either way because both wrap the same concrete classes.
+ */
+
+#ifndef IRAW_PREDICTOR_PREDICTOR_DISPATCH_HH
+#define IRAW_PREDICTOR_PREDICTOR_DISPATCH_HH
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "predictor/branch_predictor.hh"
+
+namespace iraw {
+namespace predictor {
+
+/** Everything the fetch stage needs from one branch lookup. */
+struct PredictOutcome
+{
+    uint32_t index = 0;   //!< table entry read (for IRAW analysis)
+    bool taken = false;   //!< predicted direction
+    bool flipped = false; //!< update flipped the direction bit
+};
+
+/** Value-semantics predictor with inline (non-virtual) dispatch. */
+class InlinePredictor
+{
+  public:
+    /** Same kinds as makePredictor: bimodal, gshare, hybrid. */
+    explicit InlinePredictor(const std::string &kind,
+                             uint32_t entries = 4096,
+                             uint32_t historyBits = 12);
+
+    bool
+    predict(uint64_t pc)
+    {
+        return std::visit(
+            [&](auto &p) { return p.predict(pc); }, _impl);
+    }
+
+    bool
+    update(uint64_t pc, bool taken)
+    {
+        return std::visit(
+            [&](auto &p) { return p.update(pc, taken); }, _impl);
+    }
+
+    uint32_t
+    entryIndex(uint64_t pc) const
+    {
+        return std::visit(
+            [&](const auto &p) { return p.entryIndex(pc); }, _impl);
+    }
+
+    /**
+     * The fetch stage's per-branch sequence — the entry index with
+     * the pre-update history, the fetch-time prediction, and whether
+     * training flipped the direction bit — in one dispatch.
+     */
+    PredictOutcome
+    predictAndTrain(uint64_t pc, bool actualTaken)
+    {
+        return std::visit(
+            [&](auto &p) {
+                PredictOutcome o;
+                o.index = p.entryIndex(pc);
+                o.taken = p.predict(pc);
+                o.flipped = p.update(pc, actualTaken);
+                return o;
+            },
+            _impl);
+    }
+
+    std::string
+    name() const
+    {
+        return std::visit(
+            [](const auto &p) { return p.name(); }, _impl);
+    }
+
+    uint64_t
+    totalBits() const
+    {
+        return std::visit(
+            [](const auto &p) { return p.totalBits(); }, _impl);
+    }
+
+    uint32_t
+    numEntries() const
+    {
+        return std::visit(
+            [](const auto &p) { return p.numEntries(); }, _impl);
+    }
+
+    uint64_t
+    predictions() const
+    {
+        return std::visit(
+            [](const auto &p) { return p.predictions(); }, _impl);
+    }
+
+    uint64_t
+    mispredictions() const
+    {
+        return std::visit(
+            [](const auto &p) { return p.mispredictions(); },
+            _impl);
+    }
+
+    double
+    accuracy() const
+    {
+        return std::visit(
+            [](const auto &p) { return p.accuracy(); }, _impl);
+    }
+
+    void
+    resetStats()
+    {
+        std::visit([](auto &p) { p.resetStats(); }, _impl);
+    }
+
+    /** Power-on state: tables, history, and stats — no allocation. */
+    void
+    reset()
+    {
+        std::visit([](auto &p) { p.reset(); }, _impl);
+    }
+
+  private:
+    using Impl = std::variant<BimodalPredictor, GsharePredictor,
+                              HybridPredictor>;
+
+    static Impl makeImpl(const std::string &kind, uint32_t entries,
+                         uint32_t historyBits);
+
+    Impl _impl;
+};
+
+} // namespace predictor
+} // namespace iraw
+
+#endif // IRAW_PREDICTOR_PREDICTOR_DISPATCH_HH

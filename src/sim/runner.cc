@@ -88,6 +88,7 @@ SweepRunner::runMachines(const SweepConfig &cfg,
             sc.warmupInstructions = cfg.warmupInstructions;
             sc.vcc = pt.vcc;
             sc.mode = pt.mode;
+            sc.profile = cfg.profile;
             configs.push_back(sc);
         }
     }

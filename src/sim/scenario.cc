@@ -44,6 +44,7 @@ ScenarioContext::ScenarioContext(
             defaultSuite(insts, static_cast<uint32_t>(seeds));
     }
 
+    _settings.profile = opts.getBool("profile", false);
     _settings.traceStore = opts.getBool("tracestore", true);
     _settings.traceCacheDir = opts.getString("tracecache", "");
     _settings.storeBytes =
@@ -111,6 +112,7 @@ ScenarioContext::sweepConfig() const
     SweepConfig cfg;
     cfg.suite = _settings.suite;
     cfg.warmupInstructions = _settings.warmup;
+    cfg.profile = _settings.profile;
     return cfg;
 }
 
@@ -214,7 +216,7 @@ scenarioMain(int argc, const char *const *argv)
                      "[threads=N] [insts=N] [seeds=N] [quick=1] "
                      "[warmup=N] [trace=file.trc] [tracestore=0|1] "
                      "[tracecache=dir] [storebytes=N] "
-                     "[storestats=1]\n";
+                     "[storestats=1] [profile=0|1]\n";
         listScenarios(std::cerr);
         return 1;
     }

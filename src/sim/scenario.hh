@@ -4,8 +4,8 @@
  * itself here and runs through one driver entry point
  * (scenarioMain), so all of them share the same CLI overrides
  * (threads=, insts=, seeds=, quick=, warmup=, trace=, tracestore=,
- * tracecache=, storebytes=, storestats=) and the same parallel sweep
- * runner instead of carrying near-duplicate main()s.
+ * tracecache=, storebytes=, storestats=, profile=) and the same
+ * parallel sweep runner instead of carrying near-duplicate main()s.
  */
 
 #ifndef IRAW_SIM_SCENARIO_HH
@@ -39,6 +39,8 @@ struct ScenarioSettings
     std::string tracePath;
     /** Share one generate-once trace store across the scenario. */
     bool traceStore = true;
+    /** profile=1: per-stage wall-time counters on every run. */
+    bool profile = false;
     /** Disk-cache directory for the store; empty disables it. */
     std::string traceCacheDir;
     /** In-memory byte cap of the trace store. */

@@ -1,5 +1,6 @@
 #include "sim/simulation.hh"
 
+#include <chrono>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -72,6 +73,13 @@ Simulator::run(const SimConfig &cfg) const
     core::Pipeline pipe(cfg.core, mem, *src);
     pipe.applySettings(res.settings);
 
+    // Host profiling: wall time is always measured (two clock reads
+    // per run); the per-stage breakdown only when asked for.
+    StageProfiler stageProfiler;
+    if (cfg.profile)
+        pipe.setProfiler(&stageProfiler);
+    auto wallStart = std::chrono::steady_clock::now();
+
     // Warm-up window: run, snapshot every counter, then measure.
     core::PipelineStats warm;
     struct MemSnapshot
@@ -100,6 +108,13 @@ Simulator::run(const SimConfig &cfg) const
 
     core::PipelineStats total =
         pipe.run(cfg.warmupInstructions + cfg.instructions);
+
+    auto wallEnd = std::chrono::steady_clock::now();
+    res.host.wallSeconds =
+        std::chrono::duration<double>(wallEnd - wallStart).count();
+    res.host.instructions = total.committedInsts;
+    res.host.stages = stageProfiler;
+
     res.pipeline = total.minus(warm);
     res.ipc = res.pipeline.ipc();
     res.execTimeAu =

@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "common/profiler.hh"
 #include "circuit/cycle_time.hh"
 #include "core/core_config.hh"
 #include "core/pipeline.hh"
@@ -55,6 +56,37 @@ struct SimConfig
 
     circuit::MilliVolts vcc = 500.0;
     mechanism::IrawMode mode = mechanism::IrawMode::Auto;
+
+    /**
+     * Collect per-stage wall-time counters for this run (the
+     * scenario option profile=1).  Observational only: simulated
+     * aggregates are bitwise identical with profiling on or off.
+     */
+    bool profile = false;
+};
+
+/** Host-side (wall-clock) measurements of one run. */
+struct HostProfile
+{
+    /** Wall seconds spent inside Pipeline::run (always measured). */
+    double wallSeconds = 0.0;
+    /** Instructions actually committed inside that wall time
+     *  (warmup + measured window; a trace that drains early commits
+     *  fewer than the configured budget). */
+    uint64_t instructions = 0;
+    /** Per-stage breakdown; populated only when SimConfig::profile. */
+    StageProfiler stages;
+
+    /** Simulation throughput in million committed instructions per
+     *  wall second. */
+    double
+    minstsPerSecond() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(instructions) / 1e6 /
+                         wallSeconds
+                   : 0.0;
+    }
 };
 
 /** Results of one run. */
@@ -79,6 +111,9 @@ struct SimResult
     double ul1MissRate = 0.0;
     double bpAccuracy = 0.0;
     double bpConflictRate = 0.0; //!< potential extra mispredictions
+
+    /** Host wall-clock cost of the run (never part of aggregates). */
+    HostProfile host;
 
     /** Instructions per a.u. of wall time (performance). */
     double

@@ -124,6 +124,37 @@ writeStatsReport(std::ostream &os, const SimResult &result)
     mem.dump(os);
     pred.dump(os);
     timing.dump(os);
+
+    // Host-side profiling (profile=1 only): wall-clock numbers are
+    // nondeterministic, so they stay out of default reports to keep
+    // output diffs (threads=1 vs N, store on/off) byte-identical.
+    if (result.config.profile) {
+        const HostProfile &host = result.host;
+        stats::Group perf("perf");
+        perf.addFormula(
+            "sim_wall_seconds",
+            [&host]() { return host.wallSeconds; },
+            "host wall time inside the cycle loop");
+        perf.addFormula(
+            "minsts_per_sec",
+            [&host]() { return host.minstsPerSecond(); },
+            "committed Minsts per wall second (incl. warmup)");
+        for (size_t i = 0; i < StageProfiler::kStages; ++i) {
+            auto stage = static_cast<StageProfiler::Stage>(i);
+            const auto &s = host.stages.stage(stage);
+            perf.addScalar(std::string("stage_") +
+                               StageProfiler::stageName(stage) +
+                               "_calls",
+                           "stage invocations")
+                .set(s.calls);
+            perf.addScalar(std::string("stage_") +
+                               StageProfiler::stageName(stage) +
+                               "_ns",
+                           "wall nanoseconds in stage")
+                .set(s.ns);
+        }
+        perf.dump(os);
+    }
 }
 
 void

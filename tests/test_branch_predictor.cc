@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "predictor/branch_predictor.hh"
+#include "predictor/predictor_dispatch.hh"
 
 namespace iraw {
 namespace predictor {
@@ -94,6 +95,74 @@ TEST(Predictors, AccuracyStatTracks)
     EXPECT_EQ(bp.predictions(), 100u);
     bp.resetStats();
     EXPECT_EQ(bp.predictions(), 0u);
+}
+
+TEST(Predictors, AccuracyIsPerfectWithoutPredictions)
+{
+    // A branchless window mispredicted nothing; matching the
+    // sim::branchAccuracy convention this reads as 1.0, not 0.0.
+    BimodalPredictor bp(256);
+    EXPECT_EQ(bp.predictions(), 0u);
+    EXPECT_DOUBLE_EQ(bp.accuracy(), 1.0);
+}
+
+TEST(Predictors, ResetRestoresPowerOnBehaviour)
+{
+    for (const char *kind : {"bimodal", "gshare", "hybrid"}) {
+        auto fresh = makePredictor(kind, 512, 8);
+        auto used = makePredictor(kind, 512, 8);
+        Pcg32 rng(7);
+        for (int i = 0; i < 2000; ++i)
+            used->update(0x400000 + (i % 37) * 4, rng.chance(0.6));
+        used->reset();
+        EXPECT_EQ(used->predictions(), 0u) << kind;
+        // After reset the trained predictor must track a pristine
+        // one decision-for-decision.
+        Pcg32 replay(13);
+        for (int i = 0; i < 2000; ++i) {
+            uint64_t pc = 0x500000 + (i % 53) * 4;
+            bool taken = replay.chance(0.5);
+            EXPECT_EQ(used->predict(pc), fresh->predict(pc))
+                << kind << " diverged at step " << i;
+            EXPECT_EQ(used->update(pc, taken),
+                      fresh->update(pc, taken))
+                << kind << " diverged at step " << i;
+        }
+    }
+}
+
+TEST(InlineDispatch, MatchesPolymorphicPredictorExactly)
+{
+    for (const char *kind : {"bimodal", "gshare", "hybrid"}) {
+        auto poly = makePredictor(kind, 512, 8);
+        InlinePredictor inl(kind, 512, 8);
+        EXPECT_EQ(inl.name(), poly->name());
+        EXPECT_EQ(inl.totalBits(), poly->totalBits());
+        EXPECT_EQ(inl.numEntries(), poly->numEntries());
+        Pcg32 rng(21);
+        for (int i = 0; i < 3000; ++i) {
+            uint64_t pc = 0x600000 + (i % 97) * 4;
+            bool taken = rng.chance(0.55);
+            // The fused per-branch sequence must replicate the
+            // pipeline's historical entryIndex/predict/update order.
+            uint32_t index = poly->entryIndex(pc);
+            bool pred = poly->predict(pc);
+            bool flipped = poly->update(pc, taken);
+            PredictOutcome out = inl.predictAndTrain(pc, taken);
+            EXPECT_EQ(out.index, index) << kind << " step " << i;
+            EXPECT_EQ(out.taken, pred) << kind << " step " << i;
+            EXPECT_EQ(out.flipped, flipped)
+                << kind << " step " << i;
+        }
+        EXPECT_EQ(inl.predictions(), poly->predictions());
+        EXPECT_EQ(inl.mispredictions(), poly->mispredictions());
+        EXPECT_EQ(inl.accuracy(), poly->accuracy());
+    }
+}
+
+TEST(InlineDispatch, FactoryRejectsUnknown)
+{
+    EXPECT_THROW(InlinePredictor p("neural"), FatalError);
 }
 
 TEST(Predictors, EntryIndexWithinRange)
