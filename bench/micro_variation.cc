@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Process-variation microbench: host-side throughput of the Monte
+ * Carlo machinery — chip sampling (chips/sec), stabilization-map
+ * derivation (maps/sec), and a small simulated yield point — with a
+ * machine-readable BENCH_variation.json for the CI perf trajectory
+ * (uploaded next to BENCH_pipeline.json).  The sampled aggregates
+ * it prints are deterministic; only wall-clock columns vary.
+ */
+
+#include <chrono>
+#include <fstream>
+#include <ostream>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "iraw/controller.hh"
+#include "sim/yield_analysis.hh"
+
+namespace {
+
+using namespace iraw;
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+int
+runMicroVariation(sim::ScenarioContext &ctx)
+{
+    const bool quick = ctx.opts().getBool("quick", false);
+    const uint32_t chips =
+        ctx.populationChips(quick ? 64 : 256);
+    const std::string outPath = ctx.opts().getString(
+        "benchout", "BENCH_variation.json");
+
+    variation::VariationParams params;
+    params.sigma = ctx.opts().getDouble("sigma", 0.08);
+    params.systematicSigma = ctx.opts().getDouble("syssigma", 0.02);
+    params.voltageExponent = ctx.opts().getDouble("gamma", 3.0);
+    const uint64_t chipSeed = ctx.opts().getUint("chipseed", 1);
+    const variation::VariationModel model(params);
+    const core::CoreConfig core;
+    const memory::MemoryConfig mem;
+    const variation::ChipGeometry geometry =
+        variation::ChipGeometry::from(core, mem);
+    const sim::Simulator &sim = ctx.simulator();
+
+    // Chip sampling throughput (every line of every structure).
+    uint64_t lines = 0;
+    for (uint32_t s = 0; s < variation::kNumStructures; ++s)
+        lines += geometry.lines[s];
+    auto t0 = std::chrono::steady_clock::now();
+    double sink = 0.0;
+    for (uint32_t c = 0; c < chips; ++c) {
+        variation::ChipSample chip =
+            variation::ChipSample::sample(model, chipSeed, c, geometry);
+        sink += chip.maxZ();
+    }
+    const double sampleSeconds = secondsSince(t0);
+
+    // Stabilization-map derivation throughput at a low-Vcc point.
+    mechanism::IrawController controller(
+        sim.cycleTimeModel(), mechanism::IrawMode::ForcedOn);
+    const mechanism::IrawSettings settings =
+        controller.reconfigure(450.0);
+    variation::ChipSample probe =
+        variation::ChipSample::sample(model, chipSeed, 0, geometry);
+    const uint32_t mapReps = quick ? 32 : 128;
+    t0 = std::chrono::steady_clock::now();
+    for (uint32_t i = 0; i < mapReps; ++i) {
+        variation::StabilizationMaps maps =
+            probe.stabilizationMaps(sim.cycleTimeModel(), settings);
+        sink += maps.worst;
+    }
+    const double mapSeconds = secondsSince(t0);
+
+    // One small simulated yield point end to end.
+    variation::PopulationConfig popCfg;
+    popCfg.chips = quick ? 2 : 4;
+    popCfg.populationSeed = chipSeed;
+    popCfg.params = params;
+    popCfg.voltages = {500.0};
+    popCfg.suite = sim::quickSuite(quick ? 3000 : 10000);
+    popCfg.warmupInstructions = 2000;
+    popCfg.simulate = variation::SimulateMode::AllOperable;
+    variation::ChipPopulation population(
+        sim, sim::RunnerConfig{ctx.settings().threads});
+    t0 = std::chrono::steady_clock::now();
+    variation::PopulationResult pop = population.run(popCfg);
+    const double popSeconds = secondsSince(t0);
+
+    const double chipsPerSec =
+        sampleSeconds > 0.0 ? chips / sampleSeconds : 0.0;
+    const double mapsPerSec =
+        mapSeconds > 0.0 ? mapReps / mapSeconds : 0.0;
+
+    TextTable table("Variation microbench (" +
+                    std::to_string(chips) + " chips, " +
+                    std::to_string(lines) + " lines/chip)");
+    table.setHeader({"metric", "value"});
+    table.addRow({"sampling chips/s", TextTable::num(chipsPerSec, 1)});
+    table.addRow({"map derivations/s", TextTable::num(mapsPerSec, 1)});
+    table.addRow({"yield-point wall s", TextTable::num(popSeconds, 3)});
+    table.addRow({"yield-point chips",
+                  std::to_string(pop.totalChips)});
+    table.addRow({"yield @500mV",
+                  TextTable::pct(pop.yieldAt.empty()
+                                     ? 0.0
+                                     : pop.yieldAt.front())});
+    table.addNote("machine-readable copy: " + outPath);
+    table.addNote("wall-clock rows vary by host; yield rows are "
+                  "deterministic");
+    table.print(ctx.out());
+    (void)sink;
+
+    std::ofstream os(outPath);
+    if (!os) {
+        warn("micro_variation: cannot write '%s'", outPath.c_str());
+        return 0;
+    }
+    os << "{\n";
+    os << "  \"bench\": \"variation\",\n";
+    os << "  \"chips\": " << chips << ",\n";
+    os << "  \"lines_per_chip\": " << lines << ",\n";
+    os << "  \"sampling_chips_per_sec\": " << chipsPerSec << ",\n";
+    os << "  \"map_derivations_per_sec\": " << mapsPerSec << ",\n";
+    os << "  \"yield_point_wall_s\": " << popSeconds << ",\n";
+    os << "  \"yield_point_chips\": " << pop.totalChips << ",\n";
+    os << "  \"yield_at_500mV\": "
+       << (pop.yieldAt.empty() ? 0.0 : pop.yieldAt.front()) << "\n";
+    os << "}\n";
+    return 0;
+}
+
+} // namespace
+
+IRAW_SCENARIO("micro_variation",
+              "Monte Carlo machinery throughput: chips/sec "
+              "sampling, maps/sec, one simulated yield point; "
+              "emits BENCH_variation.json",
+              runMicroVariation);

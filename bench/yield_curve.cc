@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Yield versus Vcc: the fraction of a Monte Carlo chip population
+ * that operates at each voltage of the standard sweep, with the
+ * population-mean IPC and performance of the surviving chips from
+ * full pipeline simulation of every operable (chip, Vcc) point.
+ */
+
+#include <ostream>
+
+#include "sim/stats_report.hh"
+#include "sim/yield_analysis.hh"
+
+namespace {
+
+int
+runYieldCurve(iraw::sim::ScenarioContext &ctx)
+{
+    using namespace iraw;
+
+    const bool quick = ctx.opts().getBool("quick", false);
+    variation::PopulationConfig cfg = sim::parsePopulationConfig(
+        ctx, quick ? 6 : 16, variation::SimulateMode::AllOperable);
+    if (quick) {
+        // The quick grid keeps CI wall time bounded: the top of the
+        // sweep is uniformly operable and adds nothing but runs.
+        cfg.voltages = {600.0, 550.0, 500.0, 450.0, 400.0};
+    }
+
+    variation::PopulationResult result =
+        sim::runPopulation(ctx, cfg);
+    sim::writeYieldCurve(ctx.out(), result);
+    sim::writeVariationReport(ctx.out(), result);
+    return 0;
+}
+
+} // namespace
+
+IRAW_SCENARIO("yield_curve",
+              "Yield and population-mean performance vs Vcc from "
+              "Monte Carlo chip instances (chips=, sigma=, "
+              "syssigma=, gamma=, chipseed=, simulate=)",
+              runYieldCurve);

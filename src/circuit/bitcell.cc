@@ -58,13 +58,36 @@ BitcellModel::BitcellModel(const LogicDelayModel &logic, const Params &p)
             "BitcellModel: interruptFraction must be in (0, 1)");
     fatalIf(p.stabilizeFraction <= 0.0,
             "BitcellModel: stabilizeFraction must be positive");
+    fatalIf(!(p.writeDelayScale > 0.0) ||
+                !std::isfinite(p.writeDelayScale),
+            "BitcellModel: writeDelayScale must be finite and > 0");
+
+    // Empty Params tables select the built-in calibration; custom
+    // tables (variation/sensitivity studies) replace it wholesale.
+    const std::vector<MilliVolts> &grid =
+        p.writeGrid.empty() ? kGrid : p.writeGrid;
+    const std::vector<double> &write =
+        p.writeDelays.empty() ? kWrite : p.writeDelays;
+    fatalIf(grid.size() != write.size(),
+            "BitcellModel: %zu grid knots but %zu write delays",
+            grid.size(), write.size());
+    fatalIf(grid.size() < 2,
+            "BitcellModel: calibration needs >= 2 knots");
+    for (size_t i = 0; i < grid.size(); ++i) {
+        fatalIf(write[i] <= 0.0,
+                "BitcellModel: write delay at knot %zu must be > 0",
+                i);
+        fatalIf(i > 0 && grid[i] >= grid[i - 1],
+                "BitcellModel: calibration grid must be strictly "
+                "descending (the paper's figure order)");
+    }
 
     // MonotoneCubic wants ascending abscissae; the calibration table
     // is written in the paper's descending figure order.
-    std::vector<double> xs(kGrid.rbegin(), kGrid.rend());
+    std::vector<double> xs(grid.rbegin(), grid.rend());
     std::vector<double> ys;
-    ys.reserve(kWrite.size());
-    for (auto it = kWrite.rbegin(); it != kWrite.rend(); ++it)
+    ys.reserve(write.size());
+    for (auto it = write.rbegin(); it != write.rend(); ++it)
         ys.push_back(std::log(*it));
     _logWrite = MonotoneCubic(std::move(xs), std::move(ys));
 }
@@ -75,7 +98,9 @@ BitcellModel::writeDelay(MilliVolts vcc) const
     fatalIf(!inModelRange(vcc),
             "BitcellModel: Vcc %.0f mV outside calibrated range "
             "[%.0f, %.0f]", vcc, kMinVcc, kMaxVcc);
-    return std::exp(_logWrite.eval(vcc));
+    // Multiplying by the default scale of exactly 1.0 is a bitwise
+    // identity on the (positive, finite) delay.
+    return std::exp(_logWrite.eval(vcc)) * _params.writeDelayScale;
 }
 
 double

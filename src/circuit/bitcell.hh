@@ -55,6 +55,25 @@ class BitcellModel
          * bitline assistance, hence slower) — lambda in DESIGN.md.
          */
         double stabilizeFraction = 0.55;
+
+        /**
+         * Write-delay calibration table: Vcc knots (descending, the
+         * paper's figure order) and the write delay at each knot
+         * (a.u.).  Empty vectors select the built-in calibration
+         * (calibrationGrid()/calibrationWriteDelays()) and are
+         * bit-identical to it.  Exposed as parameters so variation
+         * and sensitivity studies can perturb the table without
+         * patching the nominal constants.
+         */
+        std::vector<MilliVolts> writeGrid;
+        std::vector<double> writeDelays;
+
+        /**
+         * Uniform multiplier on the calibrated write delay (a
+         * process-corner knob; per-line variation multiplies on top
+         * of this).  1.0 is bit-identical to the nominal model.
+         */
+        double writeDelayScale = 1.0;
     };
 
     explicit BitcellModel(const LogicDelayModel &logic)

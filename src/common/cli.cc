@@ -1,6 +1,7 @@
 #include "common/cli.hh"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "common/logging.hh"
@@ -90,10 +91,20 @@ OptionMap::getDouble(const std::string &key, double def) const
     if (it == _values.end())
         return def;
     char *end = nullptr;
+    errno = 0;
     double v = std::strtod(it->second.c_str(), &end);
     fatalIf(end == it->second.c_str() || *end != '\0',
-            "option %s: '%s' is not a number", key.c_str(),
-            it->second.c_str());
+            "option %s: '%s' is not a number (trailing garbage?)",
+            key.c_str(), it->second.c_str());
+    // Overflow saturates strtod to +/-HUGE_VAL with ERANGE; a
+    // silently accepted infinity would poison every downstream
+    // computation.  (Gradual underflow to a denormal also reports
+    // ERANGE on some libcs; the value is usable, so only magnitude
+    // overflow is fatal.)
+    fatalIf(errno == ERANGE &&
+                (v == HUGE_VAL || v == -HUGE_VAL),
+            "option %s: '%s' is out of range for a double",
+            key.c_str(), it->second.c_str());
     return v;
 }
 

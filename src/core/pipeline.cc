@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "variation/chip_sample.hh"
 
 namespace iraw {
 namespace core {
@@ -91,6 +92,26 @@ Pipeline::applySettings(const mechanism::IrawSettings &settings)
         _cfg.scoreboardBits + 64;
     if (_writeWheel.empty() && horizon > _writeWheel.slots())
         _writeWheel.resizeHorizon(horizon);
+}
+
+void
+Pipeline::applyStabilizationMaps(
+    std::shared_ptr<const variation::StabilizationMaps> maps)
+{
+    fatalIf(!maps || !maps->active,
+            "Pipeline: applyStabilizationMaps needs active maps "
+            "(IRAW operation)");
+    _n = maps->worst;
+    fatalIf(_n > _cfg.maxStabilizationCycles,
+            "Pipeline: chip's worst line needs N=%u, hardware is "
+            "sized for %u — this chip does not operate here",
+            _n, _cfg.maxStabilizationCycles);
+    _scoreboard.setStabilizationMap(
+        maps->of(variation::StructureId::RegisterFile), maps->worst);
+    _gate.setStabilizationCycles(_n);
+    _stable.setActiveEntries(_n * _cfg.commitStoresPerCycle);
+    _bpCorruption.setStabilizationCycles(_n);
+    _mem.setStabilizationMaps(std::move(maps));
 }
 
 void

@@ -22,6 +22,7 @@
 #define IRAW_CORE_PIPELINE_HH
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -42,6 +43,11 @@
 #include "trace/trace_source.hh"
 
 namespace iraw {
+
+namespace variation {
+struct StabilizationMaps;
+}
+
 namespace core {
 
 /** Everything the simulation measures. */
@@ -125,6 +131,19 @@ class Pipeline
      * prediction-block trackers.
      */
     void applySettings(const mechanism::IrawSettings &settings);
+
+    /**
+     * Process-variation mode (call after applySettings): the
+     * scoreboard takes the chip's per-register RF map, the memory
+     * hierarchy its per-line block maps, and the structures without
+     * per-entry maps (IQ gate, STable sizing, BP/RSB windows)
+     * reconfigure to the chip's worst-case count — the hardware
+     * provisions for the weakest line it must cover.  With an
+     * all-nominal map (sigma = 0) results are bitwise identical to
+     * the unvaried machine.
+     */
+    void applyStabilizationMaps(
+        std::shared_ptr<const variation::StabilizationMaps> maps);
 
     /** Run until @p maxInsts commit (or the trace ends). */
     const PipelineStats &run(uint64_t maxInsts);

@@ -29,21 +29,26 @@ Scoreboard::Scoreboard(uint32_t bits, uint32_t bypassLevels)
 void
 Scoreboard::rebuildPatternLut()
 {
-    // Valid producer latencies are [0, maxEncodableLatency]; when N
-    // leaves no encodable latency the tables stay empty and
-    // setProducer()'s panic fires first.
-    _producerLut.clear();
-    _baselineLut.clear();
-    if (_bypassLevels + _n + 1 >= _bits)
-        return;
-    uint32_t maxLatency = _bits - 1 - _bypassLevels - _n;
-    _producerLut.reserve(maxLatency + 1);
-    _baselineLut.reserve(maxLatency + 1);
-    for (uint32_t latency = 0; latency <= maxLatency; ++latency) {
-        _producerLut.push_back(
-            buildReadyPattern(_bits, latency, _bypassLevels, _n));
-        _baselineLut.push_back(buildBaselinePattern(_bits, latency));
-    }
+    // Valid producer latencies are [0, maxEncodableLatency]; N
+    // values that leave no encodable latency get empty rows and
+    // setProducer()'s checked path reports the misconfiguration.
+    _lut.build(_bits, _bypassLevels, _n);
+}
+
+void
+Scoreboard::setStabilizationMap(const std::vector<uint32_t> &perRegN,
+                                uint32_t worst)
+{
+    fatalIf(perRegN.size() != isa::kNumLogicalRegs,
+            "Scoreboard: stabilization map covers %zu of %u "
+            "registers", perRegN.size(), isa::kNumLogicalRegs);
+    for (uint32_t n : perRegN)
+        fatalIf(n > worst,
+                "Scoreboard: map entry %u exceeds declared worst %u",
+                n, worst);
+    _n = worst;
+    _lineN = perRegN;
+    rebuildPatternLut();
 }
 
 void
@@ -106,16 +111,13 @@ Scoreboard::setProducer(isa::RegId reg, uint32_t latency)
             "Scoreboard: latency %u exceeds encodable %u; use "
             "setLongLatencyProducer()",
             latency, maxEncodableLatency());
-    if (latency < _producerLut.size()) {
-        _regs[reg] = _producerLut[latency];
-        _shadow[reg] = _baselineLut[latency];
-    } else {
-        // Degenerate N (no encodable latency): keep the original
-        // path so buildReadyPattern() reports the misconfiguration.
-        _regs[reg] =
-            buildReadyPattern(_bits, latency, _bypassLevels, _n);
-        _shadow[reg] = buildBaselinePattern(_bits, latency);
-    }
+    // Under a per-register map (process variation) the producer
+    // encodes its destination's own stabilization count; the map
+    // maximum bounds maxEncodableLatency, so the per-register row
+    // always covers this latency.
+    uint32_t n = stabilizationCyclesFor(reg);
+    _regs[reg] = _lut.producer(n, latency);
+    _shadow[reg] = _lut.baseline(latency);
     _longLatency[reg] = false;
     activate(reg);
 }
@@ -141,13 +143,9 @@ Scoreboard::completeLongLatency(isa::RegId reg)
             "long-latency producer on r%u", reg);
     // Value available this cycle: consumers may issue now (bypass)
     // but not in the stabilization window that follows the RF write.
-    if (!_producerLut.empty()) {
-        _regs[reg] = _producerLut[0];
-        _shadow[reg] = _baselineLut[0];
-    } else {
-        _regs[reg] = buildReadyPattern(_bits, 0, _bypassLevels, _n);
-        _shadow[reg] = buildBaselinePattern(_bits, 0);
-    }
+    uint32_t n = stabilizationCyclesFor(reg);
+    _regs[reg] = _lut.producer(n, 0);
+    _shadow[reg] = _lut.baseline(0);
     _longLatency[reg] = false;
     activate(reg);
 }

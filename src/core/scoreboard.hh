@@ -41,15 +41,36 @@ class Scoreboard
      * Reconfigure for a Vcc level (Sec. 4.1.3): number of
      * stabilization cycles N encoded in newly set patterns.
      * Patterns already in flight keep their old timing, exactly as
-     * the hardware would behave across a DVFS transition.
+     * the hardware would behave across a DVFS transition.  Clears
+     * any per-register stabilization map.
      */
     void
     setStabilizationCycles(uint32_t n)
     {
         _n = n;
+        _lineN.clear();
         rebuildPatternLut();
     }
     uint32_t stabilizationCycles() const { return _n; }
+
+    /**
+     * Process-variation mode: one stabilization count per register
+     * (a ChipSample's RF map).  Newly set producer patterns encode
+     * the destination register's own N; @p worst (the map maximum)
+     * becomes the configured N for capacity accounting
+     * (maxEncodableLatency).  An empty map returns to uniform
+     * operation.  A map whose entries all equal the uniform N is
+     * bitwise identical to uniform operation.
+     */
+    void setStabilizationMap(const std::vector<uint32_t> &perRegN,
+                             uint32_t worst);
+
+    /** Stabilization count applied to producers of @p reg. */
+    uint32_t
+    stabilizationCyclesFor(isa::RegId reg) const
+    {
+        return _lineN.empty() ? _n : _lineN[reg];
+    }
 
     /** Shift every register one position (call once per cycle). */
     void tick();
@@ -121,6 +142,9 @@ class Scoreboard
     std::vector<mechanism::ReadyPattern> _shadow;
     std::vector<bool> _longLatency; //!< awaiting event wakeup
 
+    /** Per-register stabilization counts (empty = uniform _n). */
+    std::vector<uint32_t> _lineN;
+
     /**
      * Registers whose pattern (real or shadow) is not yet all-ones.
      * Shifting a quiescent register is the identity, so tick() only
@@ -132,10 +156,9 @@ class Scoreboard
     mechanism::ReadyPattern _ones = 0; //!< the quiescent pattern
 
     // buildReadyPattern() per producer was measurable in the issue
-    // loop; both pattern families are precomputed per latency and
-    // rebuilt when N changes.
-    std::vector<mechanism::ReadyPattern> _producerLut;
-    std::vector<mechanism::ReadyPattern> _baselineLut;
+    // loop; both pattern families are precomputed per (N, latency)
+    // and rebuilt when N (or the per-register map) changes.
+    mechanism::ReadyPatternLut _lut;
 };
 
 } // namespace core

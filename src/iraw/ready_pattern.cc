@@ -38,6 +38,38 @@ buildReadyPattern(uint32_t bits, uint32_t latency,
     return p;
 }
 
+void
+ReadyPatternLut::build(uint32_t bits, uint32_t bypassLevels,
+                       uint32_t maxStabilization)
+{
+    fatalIf(bits < 2 || bits > kMaxPatternBits,
+            "ReadyPatternLut: width %u outside [2, %u]", bits,
+            kMaxPatternBits);
+    _bits = bits;
+    _bypassLevels = bypassLevels;
+    _producer.assign(maxStabilization + 1, {});
+    _baseline.clear();
+
+    for (uint32_t n = 0; n <= maxStabilization; ++n) {
+        if (bypassLevels + n + 1 >= bits)
+            continue; // no encodable latency at this N
+        uint32_t maxLatency = bits - 1 - bypassLevels - n;
+        std::vector<ReadyPattern> &row = _producer[n];
+        row.reserve(maxLatency + 1);
+        for (uint32_t latency = 0; latency <= maxLatency; ++latency)
+            row.push_back(
+                buildReadyPattern(bits, latency, bypassLevels, n));
+    }
+
+    if (bypassLevels + 1 < bits) {
+        uint32_t maxLatency = bits - 1 - bypassLevels;
+        _baseline.reserve(maxLatency + 1);
+        for (uint32_t latency = 0; latency <= maxLatency; ++latency)
+            _baseline.push_back(
+                buildBaselinePattern(bits, latency));
+    }
+}
+
 std::string
 patternToString(ReadyPattern p, uint32_t bits)
 {

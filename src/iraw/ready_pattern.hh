@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace iraw {
 namespace mechanism {
@@ -85,6 +86,68 @@ patternQuiescent(ReadyPattern p, uint32_t bits)
 
 /** Render as a bit string, MSB first (for diagnostics/tests). */
 std::string patternToString(ReadyPattern p, uint32_t bits);
+
+/**
+ * Precomputed pattern tables for every (stabilization, latency)
+ * pair up to a provisioned maximum N.
+ *
+ * The nominal machine needs one table per latency at the single
+ * per-Vcc N; under process variation each register carries its own
+ * per-line N (a line of the RF stabilization map), so producers
+ * look their pattern up by (N, latency).  Building a pattern per
+ * issue was measurable in the issue loop — this keeps the mapped
+ * path as cheap as the uniform one.
+ */
+class ReadyPatternLut
+{
+  public:
+    ReadyPatternLut() = default;
+
+    /**
+     * Build tables for all stabilization counts in
+     * [0, maxStabilization] and every latency each count can encode
+     * (latency + bypassLevels + N < bits).  Counts that leave no
+     * encodable latency get an empty row; producer() then reports
+     * the misconfiguration through buildReadyPattern's own check.
+     */
+    void build(uint32_t bits, uint32_t bypassLevels,
+               uint32_t maxStabilization);
+
+    /** Producer pattern for (stabilization @p n, @p latency). */
+    ReadyPattern
+    producer(uint32_t n, uint32_t latency) const
+    {
+        if (n < _producer.size() &&
+            latency < _producer[n].size())
+            return _producer[n][latency];
+        // Degenerate configuration: take the checked slow path so
+        // the misconfiguration is reported, not masked.
+        return buildReadyPattern(_bits, latency, _bypassLevels, n);
+    }
+
+    /** Conventional (IRAW-off) pattern for @p latency. */
+    ReadyPattern
+    baseline(uint32_t latency) const
+    {
+        if (latency < _baseline.size())
+            return _baseline[latency];
+        return buildBaselinePattern(_bits, latency);
+    }
+
+    bool empty() const { return _producer.empty(); }
+    uint32_t maxStabilization() const
+    {
+        return _producer.empty()
+                   ? 0
+                   : static_cast<uint32_t>(_producer.size()) - 1;
+    }
+
+  private:
+    uint32_t _bits = 0;
+    uint32_t _bypassLevels = 0;
+    std::vector<std::vector<ReadyPattern>> _producer; //!< [n][lat]
+    std::vector<ReadyPattern> _baseline;              //!< [lat]
+};
 
 } // namespace mechanism
 } // namespace iraw

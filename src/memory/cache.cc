@@ -95,7 +95,9 @@ Cache::fill(uint64_t addr, bool dirty)
     if (Line *hit = findLine(addr)) {
         hit->lru = ++_lruClock;
         hit->dirty = hit->dirty || dirty;
-        return Victim{};
+        Victim none;
+        none.frame = static_cast<uint32_t>(hit - _lines.data());
+        return none;
     }
 
     Line *victim = nullptr;
@@ -110,6 +112,7 @@ Cache::fill(uint64_t addr, bool dirty)
     }
 
     Victim evicted;
+    evicted.frame = static_cast<uint32_t>(victim - _lines.data());
     if (victim->valid) {
         evicted.valid = true;
         evicted.dirty = victim->dirty;

@@ -43,6 +43,11 @@ struct Victim
     bool valid = false;
     bool dirty = false;
     uint64_t lineAddr = 0;
+    /**
+     * Physical frame the fill landed in (set * assoc + way) —
+     * process variation keys per-line stabilization maps on it.
+     */
+    uint32_t frame = 0;
 };
 
 /** Tag-array model of a set-associative, write-back cache. */

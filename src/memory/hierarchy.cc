@@ -3,9 +3,12 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "variation/chip_sample.hh"
 
 namespace iraw {
 namespace memory {
+
+using variation::StructureId;
 
 MemoryHierarchy::MemoryHierarchy(const MemoryConfig &cfg)
     : _cfg(cfg), _il0(cfg.il0), _dl0(cfg.dl0), _ul1(cfg.ul1),
@@ -22,12 +25,61 @@ MemoryHierarchy::MemoryHierarchy(const MemoryConfig &cfg)
 void
 MemoryHierarchy::setStabilizationCycles(uint32_t n)
 {
+    _maps.reset();
     _il0Guard.setStabilizationCycles(n);
     _dl0Guard.setStabilizationCycles(n);
     _ul1Guard.setStabilizationCycles(n);
     _itlbGuard.setStabilizationCycles(n);
     _dtlbGuard.setStabilizationCycles(n);
     _fbGuard.setStabilizationCycles(n);
+}
+
+void
+MemoryHierarchy::setStabilizationMaps(
+    std::shared_ptr<const variation::StabilizationMaps> maps)
+{
+    if (maps) {
+        fatalIf(!maps->active,
+                "MemoryHierarchy: inactive stabilization maps");
+        for (StructureId s : {StructureId::Il0, StructureId::Dl0,
+                              StructureId::Ul1, StructureId::Itlb,
+                              StructureId::Dtlb}) {
+            const Cache *cache = nullptr;
+            uint32_t expect = 0;
+            switch (s) {
+              case StructureId::Il0:  cache = &_il0; break;
+              case StructureId::Dl0:  cache = &_dl0; break;
+              case StructureId::Ul1:  cache = &_ul1; break;
+              case StructureId::Itlb:
+                expect = _itlb.params().entries;
+                break;
+              default:
+                expect = _dtlb.params().entries;
+                break;
+            }
+            if (cache)
+                expect = static_cast<uint32_t>(
+                    cache->params().sizeBytes /
+                    cache->params().lineBytes);
+            fatalIf(maps->of(s).size() != expect,
+                    "MemoryHierarchy: %s map has %zu lines, block "
+                    "has %u", variation::structureName(s),
+                    maps->of(s).size(), expect);
+        }
+    }
+    _maps = std::move(maps);
+}
+
+uint32_t
+MemoryHierarchy::mapN(StructureId s, uint32_t frame) const
+{
+    return _maps->of(s)[frame];
+}
+
+uint32_t
+MemoryHierarchy::mapWorst(StructureId s) const
+{
+    return _maps->worstOf(s);
 }
 
 void
@@ -54,7 +106,13 @@ MemoryHierarchy::retireFills(Cycle cycle)
             IrawPortGuard &guard =
                 fill.toIl0 ? _il0Guard : _dl0Guard;
             Victim victim = l0.fill(fill.lineAddr, fill.dirty);
-            guard.noteWrite(fill.fillCycle);
+            if (_maps)
+                guard.noteWrite(fill.fillCycle,
+                                mapN(fill.toIl0 ? StructureId::Il0
+                                                : StructureId::Dl0,
+                                     victim.frame));
+            else
+                guard.noteWrite(fill.fillCycle);
             if (victim.valid && victim.dirty)
                 _wcb.push(victim.lineAddr, fill.fillCycle);
         } else {
@@ -116,7 +174,11 @@ MemoryHierarchy::serviceMiss(Cache &l0, IrawPortGuard &l0Guard,
         res.ul1Hit = false;
         fillReady = when + _cfg.ul1HitLatency + _dramCycles;
         Victim v = _ul1.fill(lineAddr, false);
-        _ul1Guard.noteWrite(fillReady);
+        if (_maps)
+            _ul1Guard.noteWrite(fillReady,
+                                mapN(StructureId::Ul1, v.frame));
+        else
+            _ul1Guard.noteWrite(fillReady);
         if (v.valid && v.dirty)
             _wcb.push(v.lineAddr, fillReady);
     }
@@ -124,7 +186,13 @@ MemoryHierarchy::serviceMiss(Cache &l0, IrawPortGuard &l0Guard,
     _fb.allocate(lineAddr, fillReady);
     // The FB's heavy SRAM write is the line data arriving from the
     // next level; the allocation itself only sets a few state bits.
-    _fbGuard.noteWrite(fillReady);
+    // (Entries rotate through the whole small buffer, so variation
+    // mode applies the FB's worst-case line count.)
+    if (_maps)
+        _fbGuard.noteWrite(fillReady,
+                           mapWorst(StructureId::FillBuffer));
+    else
+        _fbGuard.noteWrite(fillReady);
     _pending.push_back(
         {lineAddr, fillReady, &l0 == &_il0, dirtyFill});
     return fillReady;
@@ -144,8 +212,12 @@ MemoryHierarchy::instFetch(uint64_t pc, Cycle cycle)
     if (!_itlb.lookup(pc)) {
         res.tlbMiss = true;
         when += _itlb.params().missPenalty;
-        _itlb.fill(pc);
-        _itlbGuard.noteWrite(when);
+        uint32_t slot = _itlb.fill(pc);
+        if (_maps)
+            _itlbGuard.noteWrite(when,
+                                 mapN(StructureId::Itlb, slot));
+        else
+            _itlbGuard.noteWrite(when);
     }
 
     // IL0.
@@ -176,8 +248,12 @@ MemoryHierarchy::dataLoad(uint64_t addr, Cycle cycle)
     if (!_dtlb.lookup(addr)) {
         res.tlbMiss = true;
         when += _dtlb.params().missPenalty;
-        _dtlb.fill(addr);
-        _dtlbGuard.noteWrite(when);
+        uint32_t slot = _dtlb.fill(addr);
+        if (_maps)
+            _dtlbGuard.noteWrite(when,
+                                 mapN(StructureId::Dtlb, slot));
+        else
+            _dtlbGuard.noteWrite(when);
     }
 
     // DL0 fill-stall guard: a load arriving while a line fill
@@ -212,8 +288,12 @@ MemoryHierarchy::dataStore(uint64_t addr, Cycle cycle)
     if (!_dtlb.lookup(addr)) {
         res.tlbMiss = true;
         when += _dtlb.params().missPenalty;
-        _dtlb.fill(addr);
-        _dtlbGuard.noteWrite(when);
+        uint32_t slot = _dtlb.fill(addr);
+        if (_maps)
+            _dtlbGuard.noteWrite(when,
+                                 mapN(StructureId::Dtlb, slot));
+        else
+            _dtlbGuard.noteWrite(when);
     }
 
     // Stores must also respect the fill guard: the tag match reads

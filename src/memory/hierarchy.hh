@@ -29,6 +29,12 @@
 #include "memory/tlb.hh"
 
 namespace iraw {
+
+namespace variation {
+struct StabilizationMaps;
+enum class StructureId : uint32_t;
+}
+
 namespace memory {
 
 /** Full hierarchy configuration (Silverthorne-class defaults). */
@@ -69,9 +75,24 @@ class MemoryHierarchy
 
     /**
      * Set the per-Vcc stabilization cycle count on every block guard
-     * (0 turns the IRAW fill-stall mechanism off).
+     * (0 turns the IRAW fill-stall mechanism off).  Clears any
+     * per-line stabilization maps.
      */
     void setStabilizationCycles(uint32_t n);
+
+    /**
+     * Process-variation mode: fills consult the chip's per-line
+     * stabilization maps, so a write into a weak frame blocks the
+     * block's ports longer than one into a strong frame.  The FB
+     * (tiny, fully-busy) uses its structure's worst-case count.
+     * The WCB arms no write guard here — exactly as in nominal
+     * operation, where drains are background traffic and forwards
+     * resolve against the shared FB guard — so its sampled map
+     * only contributes to chip operability.  Null returns to
+     * uniform operation.
+     */
+    void setStabilizationMaps(
+        std::shared_ptr<const variation::StabilizationMaps> maps);
 
     /** Set the DRAM latency in core cycles for this operating point. */
     void setDramLatencyCycles(uint32_t cycles);
@@ -140,7 +161,15 @@ class MemoryHierarchy
     IrawPortGuard _dtlbGuard{"dtlb"};
     IrawPortGuard _fbGuard{"fb"};
 
+    /** Stabilization count for a fill into @p frame of @p s. */
+    uint32_t mapN(variation::StructureId s, uint32_t frame) const;
+    /** Worst-case stabilization count of structure @p s. */
+    uint32_t mapWorst(variation::StructureId s) const;
+
     uint32_t _dramCycles = 160;
+
+    /** Per-line stabilization maps (null = uniform operation). */
+    std::shared_ptr<const variation::StabilizationMaps> _maps;
 
     /** Pending L0 installs: (lineAddr, fillCycle, icache?, dirty). */
     struct PendingFill

@@ -48,9 +48,21 @@ class IrawPortGuard
     void
     noteWrite(Cycle cycle)
     {
-        if (_n == 0)
+        noteWrite(cycle, _n);
+    }
+
+    /**
+     * Per-line variant (process variation): the written line needs
+     * @p n stabilization cycles instead of the block-uniform count.
+     * Ignored while the guard is disabled (uniform N == 0): the
+     * chip is not in IRAW operation.
+     */
+    void
+    noteWrite(Cycle cycle, uint32_t n)
+    {
+        if (_n == 0 || n == 0)
             return;
-        _writeCycles.push_back(cycle);
+        _windows.push_back({cycle, n});
         ++_writes;
     }
 
@@ -60,8 +72,8 @@ class IrawPortGuard
     {
         if (_n == 0)
             return false;
-        for (Cycle w : _writeCycles)
-            if (w < cycle && cycle <= w + _n)
+        for (const Window &w : _windows)
+            if (w.cycle < cycle && cycle <= w.cycle + w.n)
                 return true;
         return false;
     }
@@ -81,9 +93,9 @@ class IrawPortGuard
         bool moved = true;
         while (moved) {
             moved = false;
-            for (Cycle w : _writeCycles) {
-                if (w < granted && granted <= w + _n) {
-                    granted = w + _n + 1;
+            for (const Window &w : _windows) {
+                if (w.cycle < granted && granted <= w.cycle + w.n) {
+                    granted = w.cycle + w.n + 1;
                     moved = true;
                 }
             }
@@ -98,7 +110,7 @@ class IrawPortGuard
     void
     reset()
     {
-        _writeCycles.clear();
+        _windows.clear();
         _writes = 0;
         _stallCycles = 0;
         _stallEvents = 0;
@@ -110,23 +122,30 @@ class IrawPortGuard
     const std::string &name() const { return _name; }
 
   private:
+    /** One stabilization window: (cycle, cycle + n]. */
+    struct Window
+    {
+        Cycle cycle;
+        uint32_t n;
+    };
+
     /** Drop windows that ended well before @p cycle. */
     void
     prune(Cycle cycle)
     {
-        if (_writeCycles.size() < 16)
+        if (_windows.size() < 16)
             return;
-        _writeCycles.erase(
-            std::remove_if(_writeCycles.begin(), _writeCycles.end(),
-                           [this, cycle](Cycle w) {
-                               return w + _n < cycle;
+        _windows.erase(
+            std::remove_if(_windows.begin(), _windows.end(),
+                           [cycle](const Window &w) {
+                               return w.cycle + w.n < cycle;
                            }),
-            _writeCycles.end());
+            _windows.end());
     }
 
     std::string _name;
     uint32_t _n = 0;
-    std::vector<Cycle> _writeCycles;
+    std::vector<Window> _windows;
     uint64_t _writes = 0;
     uint64_t _stallCycles = 0;
     uint64_t _stallEvents = 0;

@@ -41,7 +41,7 @@ Tlb::lookup(uint64_t addr)
     return false;
 }
 
-void
+uint32_t
 Tlb::fill(uint64_t addr)
 {
     uint64_t vpn = vpnOf(addr);
@@ -49,7 +49,8 @@ Tlb::fill(uint64_t addr)
     for (auto &entry : _entries) {
         if (entry.valid && entry.vpn == vpn) {
             entry.lru = ++_lruClock;
-            return; // already present (racing refill)
+            // Already present (racing refill).
+            return static_cast<uint32_t>(&entry - _entries.data());
         }
         if (!entry.valid) {
             if (!victim || victim->valid)
@@ -62,6 +63,7 @@ Tlb::fill(uint64_t addr)
     victim->valid = true;
     victim->vpn = vpn;
     victim->lru = ++_lruClock;
+    return static_cast<uint32_t>(victim - _entries.data());
 }
 
 void

@@ -41,8 +41,12 @@ class Tlb
     /** Look up @p addr; updates LRU on hit.  Returns true on hit. */
     bool lookup(uint64_t addr);
 
-    /** Install the translation for @p addr (after a walk). */
-    void fill(uint64_t addr);
+    /**
+     * Install the translation for @p addr (after a walk).  Returns
+     * the slot index written — process variation keys per-entry
+     * stabilization maps on it.
+     */
+    uint32_t fill(uint64_t addr);
 
     /** Drop everything (context switch). */
     void flush();

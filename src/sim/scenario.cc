@@ -89,6 +89,23 @@ ScenarioContext::materializeTrace(const std::string &workload,
                : trace::materializeSynthetic(profile, seed, length);
 }
 
+uint32_t
+ScenarioContext::populationChips(uint32_t def)
+{
+    uint64_t chips = _opts.getUint("chips", def);
+    fatalIf(chips == 0 || chips > 65536,
+            "chips=%llu out of range [1, 65536]",
+            static_cast<unsigned long long>(chips));
+    if (_populationCap > 0 && chips > _populationCap) {
+        _out << "note: scenario=all caps chips=" << chips << " to "
+             << _populationCap
+             << " (run the scenario standalone for larger "
+                "populations)\n";
+        chips = _populationCap;
+    }
+    return static_cast<uint32_t>(chips);
+}
+
 const Simulator &
 ScenarioContext::simulator()
 {
@@ -216,7 +233,8 @@ scenarioMain(int argc, const char *const *argv)
                      "[threads=N] [insts=N] [seeds=N] [quick=1] "
                      "[warmup=N] [trace=file.trc] [tracestore=0|1] "
                      "[tracecache=dir] [storebytes=N] "
-                     "[storestats=1] [profile=0|1]\n";
+                     "[storestats=1] [profile=0|1] "
+                     "[chips=N] [sigma=S] [chipseed=N]\n";
         listScenarios(std::cerr);
         return 1;
     }
@@ -233,6 +251,11 @@ scenarioMain(int argc, const char *const *argv)
         try {
             ScenarioContext ctx(opts, std::cout, sharedStore);
             sharedStore = ctx.traceStore();
+            // Multi-scenario runs bound Monte Carlo population
+            // sizes so scenario=all stays CI-sized; standalone
+            // runs are uncapped.
+            if (toRun.size() > 1)
+                ctx.setPopulationCap(4);
             rc = s->fn(ctx);
             if (opts.getBool("storestats", false) &&
                 ctx.traceStore()) {

@@ -4,8 +4,10 @@
  * itself here and runs through one driver entry point
  * (scenarioMain), so all of them share the same CLI overrides
  * (threads=, insts=, seeds=, quick=, warmup=, trace=, tracestore=,
- * tracecache=, storebytes=, storestats=, profile=) and the same
- * parallel sweep runner instead of carrying near-duplicate main()s.
+ * tracecache=, storebytes=, storestats=, profile=, and for the
+ * Monte Carlo population scenarios chips=, sigma=, syssigma=,
+ * chipseed=) and the same parallel sweep runner instead of carrying
+ * near-duplicate main()s.
  */
 
 #ifndef IRAW_SIM_SCENARIO_HH
@@ -104,12 +106,27 @@ class ScenarioContext
     std::vector<MachineAtVcc>
     runMachines(const std::vector<MachinePoint> &points);
 
+    /**
+     * Cap Monte Carlo population sizes (scenario=all: CI wall time
+     * stays bounded even though the yield scenarios are included).
+     * 0 means uncapped.
+     */
+    void setPopulationCap(uint32_t cap) { _populationCap = cap; }
+
+    /**
+     * The chips= option with @p def as default, clamped to the
+     * population cap when one is active.  Prints a one-line note
+     * when the cap reduces the requested population.
+     */
+    uint32_t populationChips(uint32_t def);
+
   private:
     const OptionMap &_opts;
     std::ostream &_out;
     ScenarioSettings _settings;
     std::shared_ptr<trace::TraceStore> _store;
     std::unique_ptr<Simulator> _sim;
+    uint32_t _populationCap = 0;
 };
 
 /** Scenario body; returns a process exit code. */

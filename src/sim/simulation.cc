@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "trace/trace_io.hh"
 #include "trace/workload.hh"
+#include "variation/chip_sample.hh"
 
 namespace iraw {
 namespace sim {
@@ -72,6 +73,29 @@ Simulator::run(const SimConfig &cfg) const
 
     core::Pipeline pipe(cfg.core, mem, *src);
     pipe.applySettings(res.settings);
+
+    if (cfg.chip) {
+        const variation::ChipSample &chip = *cfg.chip;
+        fatalIf(chip.geometry() !=
+                    variation::ChipGeometry::from(cfg.core, cfg.mem),
+                "Simulator: chip sample geometry does not match the "
+                "machine configuration");
+        res.variation.enabled = true;
+        res.variation.chipIndex = chip.chipIndex();
+        res.variation.chipSeed = chip.chipSeed();
+        res.variation.sigma = chip.params().sigma;
+        res.variation.systematicSigma = chip.params().systematicSigma;
+        res.variation.maxMultiplier = chip.maxMultiplier(cfg.vcc);
+        res.variation.nominalN = res.settings.stabilizationCycles;
+        if (res.settings.enabled) {
+            auto maps =
+                std::make_shared<const variation::StabilizationMaps>(
+                    chip.stabilizationMaps(*_cycleTime,
+                                           res.settings));
+            res.variation.worstN = maps->worst;
+            pipe.applyStabilizationMaps(std::move(maps));
+        }
+    }
 
     // Host profiling: wall time is always measured (two clock reads
     // per run); the per-stage breakdown only when asked for.

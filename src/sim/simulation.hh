@@ -22,6 +22,11 @@
 #include "trace/trace_store.hh"
 
 namespace iraw {
+
+namespace variation {
+class ChipSample;
+}
+
 namespace sim {
 
 /**
@@ -63,6 +68,32 @@ struct SimConfig
      * aggregates are bitwise identical with profiling on or off.
      */
     bool profile = false;
+
+    /**
+     * Process-variation mode: run this sampled chip instance
+     * instead of the nominal machine.  Whenever the operating point
+     * runs IRAW, every structure takes the chip's per-line
+     * stabilization maps.  Null (the default) is the nominal
+     * machine; a sigma=0 chip is bitwise identical to it.  The
+     * chip's geometry must match core/mem.
+     */
+    std::shared_ptr<const variation::ChipSample> chip;
+};
+
+/** Per-run variation facts (stats reporting). */
+struct VariationInfo
+{
+    bool enabled = false; //!< a chip sample was attached
+    uint32_t chipIndex = 0;
+    uint64_t chipSeed = 0;
+    double sigma = 0.0;
+    double systematicSigma = 0.0;
+    /** Worst delay multiplier on the chip at this Vcc. */
+    double maxMultiplier = 1.0;
+    /** Worst per-line N applied (0 when IRAW was off here). */
+    uint32_t worstN = 0;
+    /** The unvaried machine's uniform N at this point. */
+    uint32_t nominalN = 0;
 };
 
 /** Host-side (wall-clock) measurements of one run. */
@@ -114,6 +145,9 @@ struct SimResult
 
     /** Host wall-clock cost of the run (never part of aggregates). */
     HostProfile host;
+
+    /** Process-variation facts (enabled=false on nominal runs). */
+    VariationInfo variation;
 
     /** Instructions per a.u. of wall time (performance). */
     double

@@ -1,6 +1,7 @@
 #include "sim/stats_report.hh"
 
 #include "common/stats.hh"
+#include "variation/population.hh"
 
 namespace iraw {
 namespace sim {
@@ -125,6 +126,29 @@ writeStatsReport(std::ostream &os, const SimResult &result)
     pred.dump(os);
     timing.dump(os);
 
+    // Process variation (population runs only): absent on nominal
+    // runs so default outputs stay byte-identical.
+    if (result.variation.enabled) {
+        const VariationInfo &v = result.variation;
+        stats::Group var("variation");
+        var.addScalar("chip_index", "Monte Carlo chip instance")
+            .set(v.chipIndex);
+        var.addFormula(
+            "sigma", [&v]() { return v.sigma; },
+            "per-line lognormal sigma at nominal Vcc");
+        var.addFormula(
+            "max_multiplier",
+            [&v]() { return v.maxMultiplier; },
+            "worst bitcell-delay multiplier at this Vcc");
+        var.addScalar("worst_n",
+                      "worst per-line stabilization cycles applied")
+            .set(v.worstN);
+        var.addScalar("nominal_n",
+                      "the unvaried machine's uniform N here")
+            .set(v.nominalN);
+        var.dump(os);
+    }
+
     // Host-side profiling (profile=1 only): wall-clock numbers are
     // nondeterministic, so they stay out of default reports to keep
     // output diffs (threads=1 vs N, store on/off) byte-identical.
@@ -177,6 +201,48 @@ writeTraceStoreReport(std::ostream &os,
     store.addScalar("byte_cap", "configured in-memory bound")
         .set(stats.byteCap);
     store.dump(os);
+}
+
+void
+writeVariationReport(std::ostream &os,
+                     const variation::PopulationResult &result)
+{
+    stats::Group var("variation");
+    var.addScalar("chips", "sampled chip instances")
+        .set(result.totalChips);
+    var.addScalar("yielding_chips",
+                  "chips operable somewhere on the grid")
+        .set(result.yieldingChips);
+    var.addFormula(
+        "yield",
+        [&result]() {
+            return result.totalChips
+                       ? static_cast<double>(result.yieldingChips) /
+                             result.totalChips
+                       : 0.0;
+        },
+        "fraction of chips operable somewhere on the grid");
+    var.addFormula(
+        "mean_vccmin_mV",
+        [&result]() { return result.meanVccmin; },
+        "mean Vccmin over yielding chips");
+    var.addFormula(
+        "sigma", [&result]() { return result.params.sigma; },
+        "per-line lognormal sigma at nominal Vcc");
+    var.addFormula(
+        "systematic_sigma",
+        [&result]() { return result.params.systematicSigma; },
+        "per-structure lognormal sigma at nominal Vcc");
+    var.addScalar("chipseed", "population master seed")
+        .set(result.populationSeed);
+    if (!result.voltages.empty()) {
+        const double lowYield = result.yieldAt.back();
+        var.addFormula(
+            "yield_at_min_vcc",
+            [lowYield]() { return lowYield; },
+            "yield at the lowest grid voltage");
+    }
+    var.dump(os);
 }
 
 } // namespace sim

@@ -13,6 +13,11 @@
 #include "sim/simulation.hh"
 
 namespace iraw {
+
+namespace variation {
+struct PopulationResult;
+}
+
 namespace sim {
 
 /**
@@ -28,6 +33,16 @@ void writeStatsReport(std::ostream &os, const SimResult &result);
  */
 void writeTraceStoreReport(std::ostream &os,
                            const trace::TraceStore::Stats &stats);
+
+/**
+ * Dump a chip population's yield aggregates as a flat `variation.*`
+ * group.  Only the population scenarios call this (and
+ * writeStatsReport only emits its per-run variation group when a
+ * chip sample was attached), so every nominal output stays
+ * byte-identical.
+ */
+void writeVariationReport(std::ostream &os,
+                          const variation::PopulationResult &result);
 
 } // namespace sim
 } // namespace iraw

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Monte Carlo chip-population driver: samples N chip instances,
+ * scans each one's operability over a Vcc grid, and fans the
+ * resulting (chip, Vcc, trace) simulations out over the parallel
+ * sweep runner.
+ *
+ * Determinism: chip sampling is a pure function of
+ * (chipseed, chipIndex) — see variation_model.hh — and the
+ * simulation results are folded in fixed (chip, voltage, trace)
+ * order, so every aggregate is bitwise identical at threads=1 and
+ * threads=N and across repeated runs.
+ *
+ * Vccmin of a chip is the lowest grid voltage V such that the chip
+ * operates at V *and every grid voltage above it* (operability is
+ * monotone in practice — weaker cells need more stabilization
+ * cycles as Vcc falls — and the prefix rule makes the CDF monotone
+ * by construction even if a pathological parameterization breaks
+ * that).  A chip that cannot operate at the highest grid voltage
+ * does not yield at all.
+ */
+
+#ifndef IRAW_VARIATION_POPULATION_HH
+#define IRAW_VARIATION_POPULATION_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "variation/chip_sample.hh"
+
+namespace iraw {
+namespace variation {
+
+/** Which (chip, Vcc) points get full pipeline simulations. */
+enum class SimulateMode
+{
+    None,        //!< operability/Vccmin analysis only (fast)
+    AtVccmin,    //!< each yielding chip simulated at its own Vccmin
+    AllOperable, //!< every operable (chip, Vcc) point simulated
+};
+
+/** Everything one population experiment needs. */
+struct PopulationConfig
+{
+    uint32_t chips = 32;
+    /** Master seed; chip i uses chipSeedFor(populationSeed, i). */
+    uint64_t populationSeed = 1;
+    VariationParams params;
+
+    /** Evaluation grid (sorted to descending internally). */
+    std::vector<circuit::MilliVolts> voltages;
+
+    std::vector<sim::SuiteEntry> suite;
+    core::CoreConfig core;
+    memory::MemoryConfig mem;
+    uint64_t warmupInstructions = 40000;
+
+    SimulateMode simulate = SimulateMode::AtVccmin;
+
+    /**
+     * Population runs keep interrupted writes on at every voltage:
+     * under variation the stabilization window is what covers weak
+     * cells, so the mechanism cannot be clocked away.
+     */
+    mechanism::IrawMode mode = mechanism::IrawMode::ForcedOn;
+};
+
+/** One chip at one grid voltage. */
+struct ChipAtVcc
+{
+    circuit::MilliVolts vcc = 0.0;
+    bool operable = false;
+    uint32_t requiredN = 0; //!< worst per-line stabilization need
+    bool simulated = false;
+    sim::MachineAtVcc machine; //!< valid iff simulated
+};
+
+/** Per-chip outcome. */
+struct ChipSummary
+{
+    uint32_t chipIndex = 0;
+    uint64_t chipSeed = 0;
+    double maxZ = 0.0; //!< worst standard-normal draw on the chip
+    bool yields = false;
+    circuit::MilliVolts vccmin = 0.0; //!< valid iff yields
+    size_t vccminIndex = 0; //!< index into voltages; valid iff yields
+    uint32_t requiredNAtVccmin = 0;
+    std::vector<ChipAtVcc> points; //!< one per grid voltage
+};
+
+/** Population aggregates. */
+struct PopulationResult
+{
+    // Experiment echo (report headers and stats keys).
+    uint32_t totalChips = 0;
+    uint64_t populationSeed = 0;
+    VariationParams params;
+    SimulateMode simulate = SimulateMode::None;
+
+    std::vector<circuit::MilliVolts> voltages; //!< descending grid
+    std::vector<ChipSummary> chips;
+
+    uint32_t yieldingChips = 0;
+    /** Fraction of chips operable at voltages[i] (and above). */
+    std::vector<double> yieldAt;
+    /** Vccmin of every yielding chip, ascending (the CDF domain). */
+    std::vector<circuit::MilliVolts> sortedVccmin;
+    double meanVccmin = 0.0; //!< over yielding chips
+};
+
+/** Runs chip populations on the parallel sweep runner. */
+class ChipPopulation
+{
+  public:
+    explicit ChipPopulation(const sim::Simulator &sim,
+                            sim::RunnerConfig runner = {})
+        : _sim(sim), _runner(runner)
+    {}
+
+    PopulationResult run(const PopulationConfig &cfg) const;
+
+  private:
+    const sim::Simulator &_sim;
+    sim::RunnerConfig _runner;
+};
+
+} // namespace variation
+} // namespace iraw
+
+#endif // IRAW_VARIATION_POPULATION_HH

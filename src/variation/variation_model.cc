@@ -1,0 +1,190 @@
+#include "variation/variation_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace iraw {
+namespace variation {
+
+namespace {
+
+// Salts of the seed-derivation contract (README "Process variation
+// & yield").  Changing any of these changes every sampled chip, so
+// they are part of the persistent format, like the trace fingerprint.
+constexpr uint64_t kSaltChip = 0x9d39247e33776d41ULL;
+constexpr uint64_t kSaltStruct = 0x6a2b5cf5a1f7c2e9ULL;
+constexpr uint64_t kSaltLine = 0xd45f3dd6f0a1b2c3ULL;
+constexpr uint64_t kSaltStream = 0x1f83d9abfb41bd6bULL;
+constexpr uint64_t kSaltSystematic = 0x452821e638d01377ULL;
+
+/** One standard-normal draw from a derivation-contract hash. */
+double
+normalFromHash(uint64_t h)
+{
+    Pcg32 rng(h, splitmix64(h ^ kSaltStream));
+    // One 53-bit uniform in (0, 1): the +0.5 offset keeps the draw
+    // strictly inside the open interval.
+    uint64_t hi = rng.next();
+    uint64_t lo = rng.next();
+    uint64_t r = (hi << 21) ^ (lo >> 11);
+    r &= (1ULL << 53) - 1;
+    double u = (static_cast<double>(r) + 0.5) *
+               (1.0 / 9007199254740992.0); // 2^-53
+    return standardNormalFromUniform(u);
+}
+
+} // namespace
+
+uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+double
+standardNormalFromUniform(double u)
+{
+    fatalIf(!(u > 0.0) || !(u < 1.0),
+            "standardNormalFromUniform: u=%g outside (0, 1)", u);
+
+    // Acklam's rational approximation to the inverse normal CDF.
+    static const double a[] = {
+        -3.969683028665376e+01, 2.209460984245205e+02,
+        -2.759285104469687e+02, 1.383577518672690e+02,
+        -3.066479806614716e+01, 2.506628277459239e+00,
+    };
+    static const double b[] = {
+        -5.447609879822406e+01, 1.615858368580409e+02,
+        -1.556989798598866e+02, 6.680131188771972e+01,
+        -1.328068155288572e+01,
+    };
+    static const double c[] = {
+        -7.784894002430293e-03, -3.223964580411365e-01,
+        -2.400758277161838e+00, -2.549732539343734e+00,
+        4.374664141464968e+00,  2.938163982698783e+00,
+    };
+    static const double d[] = {
+        7.784695709041462e-03, 3.224671290700398e-01,
+        2.445134137142996e+00, 3.754408661907416e+00,
+    };
+    constexpr double kLow = 0.02425;
+
+    if (u < kLow) {
+        double q = std::sqrt(-2.0 * std::log(u));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q +
+                 c[4]) * q + c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q +
+                1.0);
+    }
+    if (u > 1.0 - kLow) {
+        double q = std::sqrt(-2.0 * std::log(1.0 - u));
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q +
+                  c[4]) * q + c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q +
+                1.0);
+    }
+    double q = u - 0.5;
+    double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r +
+             a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r +
+             b[4]) * r + 1.0);
+}
+
+const char *
+structureName(StructureId id)
+{
+    switch (id) {
+      case StructureId::RegisterFile: return "rf";
+      case StructureId::Il0:          return "il0";
+      case StructureId::Dl0:          return "dl0";
+      case StructureId::Ul1:          return "ul1";
+      case StructureId::Itlb:         return "itlb";
+      case StructureId::Dtlb:         return "dtlb";
+      case StructureId::FillBuffer:   return "fb";
+      case StructureId::Wcb:          return "wcb";
+    }
+    return "unknown";
+}
+
+void
+VariationParams::validate() const
+{
+    fatalIf(sigma < 0.0 || !std::isfinite(sigma),
+            "VariationParams: sigma must be finite and >= 0");
+    fatalIf(systematicSigma < 0.0 || !std::isfinite(systematicSigma),
+            "VariationParams: systematicSigma must be finite and "
+            ">= 0");
+    fatalIf(!std::isfinite(voltageExponent) ||
+                voltageExponent < 0.0 || voltageExponent > 8.0,
+            "VariationParams: voltageExponent must be in [0, 8]");
+}
+
+VariationModel::VariationModel(const VariationParams &params)
+    : _params(params)
+{
+    _params.validate();
+}
+
+uint64_t
+VariationModel::chipSeedFor(uint64_t populationSeed,
+                            uint32_t chipIndex)
+{
+    return splitmix64(splitmix64(populationSeed ^ kSaltChip) +
+                      chipIndex);
+}
+
+double
+VariationModel::lineZ(uint64_t chipSeed, StructureId structure,
+                      uint32_t line)
+{
+    uint64_t h = splitmix64(chipSeed ^ kSaltChip);
+    h = splitmix64(
+        h ^ (static_cast<uint64_t>(structure) + 1) * kSaltStruct);
+    h = splitmix64(h ^ (static_cast<uint64_t>(line) + 1) * kSaltLine);
+    return normalFromHash(h);
+}
+
+double
+VariationModel::structureZ(uint64_t chipSeed, StructureId structure)
+{
+    uint64_t h = splitmix64(chipSeed ^ kSaltChip);
+    h = splitmix64(
+        h ^ (static_cast<uint64_t>(structure) + 1) * kSaltStruct);
+    h = splitmix64(h ^ kSaltSystematic);
+    return normalFromHash(h);
+}
+
+double
+VariationModel::effectiveSigma(circuit::MilliVolts vcc) const
+{
+    if (_params.sigma == 0.0)
+        return 0.0;
+    return _params.sigma *
+           std::pow(circuit::kMaxVcc / vcc, _params.voltageExponent);
+}
+
+double
+VariationModel::effectiveSystematicSigma(circuit::MilliVolts vcc) const
+{
+    if (_params.systematicSigma == 0.0)
+        return 0.0;
+    return _params.systematicSigma *
+           std::pow(circuit::kMaxVcc / vcc, _params.voltageExponent);
+}
+
+double
+VariationModel::multiplierAt(circuit::MilliVolts vcc, double zLine,
+                             double zStruct) const
+{
+    return std::exp(effectiveSigma(vcc) * zLine +
+                    effectiveSystematicSigma(vcc) * zStruct);
+}
+
+} // namespace variation
+} // namespace iraw

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Within-die process-variation model for the 45 nm bitcell arrays.
+ *
+ * The paper's circuit numbers assume 6-sigma process variation (see
+ * the calibration note in circuit/bitcell.hh) but the nominal
+ * simulator models exactly one chip: every SRAM line stabilizes in
+ * the same number of cycles at a given Vcc.  This model samples
+ * *populations* of chips: each line of each SRAM structure draws a
+ * delay multiplier from a lognormal distribution, so weak cells need
+ * longer stabilization windows and each chip gets its own Vccmin.
+ *
+ * Sampling contract (reproducibility):
+ *
+ *   z(chipSeed, structure, line) is a standard-normal draw obtained
+ *   from a dedicated PCG32 stream seeded by
+ *
+ *     h = splitmix64(splitmix64(splitmix64(chipSeed ^ SALT_CHIP)
+ *             ^ (structure + 1) * SALT_STRUCT)
+ *             ^ (line + 1) * SALT_LINE)
+ *     Pcg32 rng(h, splitmix64(h ^ SALT_STREAM))
+ *
+ *   and exactly one 53-bit uniform mapped through the inverse normal
+ *   CDF.  Every draw is a pure function of (chipSeed, structure,
+ *   line): results are bitwise identical regardless of sampling
+ *   order, thread count, or how many other lines were sampled.
+ *   Per-chip seeds derive from the population seed as
+ *   chipSeedFor(populationSeed, chipIndex) = splitmix64 mixing, so a
+ *   population is reproducible from (chipseed=, chips=) alone.
+ *
+ * Voltage dependence: threshold-voltage shifts translate into delay
+ * multiplicatively and the sensitivity explodes as Vcc approaches
+ * Vt, so the lognormal sigma is amplified at low voltage:
+ *
+ *   sigma_eff(V) = sigma * (kMaxVcc / V)^voltageExponent
+ *   multiplier(V) = exp(sigma_eff(V) * z_line
+ *                       + sysSigma_eff(V) * z_structure)
+ *
+ * With sigma = 0 every multiplier is exactly 1.0 and the chip is
+ * bit-identical to the nominal machine.
+ */
+
+#ifndef IRAW_VARIATION_VARIATION_MODEL_HH
+#define IRAW_VARIATION_VARIATION_MODEL_HH
+
+#include <cstdint>
+
+#include "circuit/voltage.hh"
+
+namespace iraw {
+namespace variation {
+
+/** Distribution parameters of the within-die variation. */
+struct VariationParams
+{
+    /**
+     * Lognormal sigma of the random (per-line) bitcell-delay
+     * multiplier at nominal Vcc (700 mV).  0 disables variation.
+     */
+    double sigma = 0.08;
+
+    /**
+     * Lognormal sigma of the systematic (per-structure, per-chip)
+     * component at nominal Vcc — whole arrays land in slow or fast
+     * process corners together.
+     */
+    double systematicSigma = 0.02;
+
+    /**
+     * Low-voltage amplification exponent: sigma_eff(V) =
+     * sigma * (700 mV / V)^voltageExponent.  Delay sensitivity to Vt
+     * variation grows super-linearly as Vcc drops toward Vt.
+     */
+    double voltageExponent = 3.0;
+
+    /** Throws FatalError on nonsensical values. */
+    void validate() const;
+};
+
+/** SRAM structures that carry per-line stabilization maps. */
+enum class StructureId : uint32_t
+{
+    RegisterFile = 0,
+    Il0,
+    Dl0,
+    Ul1,
+    Itlb,
+    Dtlb,
+    FillBuffer,
+    Wcb,
+};
+
+constexpr uint32_t kNumStructures = 8;
+
+/** Short stable name (stats keys, diagnostics). */
+const char *structureName(StructureId id);
+
+/** SplitMix64 finalizer used by the seed-derivation contract. */
+uint64_t splitmix64(uint64_t x);
+
+/**
+ * Inverse standard-normal CDF (Acklam's rational approximation,
+ * |relative error| < 1.2e-9; pure arithmetic, so bit-stable across
+ * platforms).  Requires u in (0, 1).
+ */
+double standardNormalFromUniform(double u);
+
+/** Draws deterministic per-line and per-structure variation. */
+class VariationModel
+{
+  public:
+    explicit VariationModel(const VariationParams &params);
+
+    const VariationParams &params() const { return _params; }
+
+    /** Per-chip seed for chip @p chipIndex of a population. */
+    static uint64_t chipSeedFor(uint64_t populationSeed,
+                                uint32_t chipIndex);
+
+    /**
+     * Standard-normal draw for one line (the random component).
+     * Pure function of its arguments; see the file comment for the
+     * derivation contract.
+     */
+    static double lineZ(uint64_t chipSeed, StructureId structure,
+                        uint32_t line);
+
+    /** Standard-normal draw of the systematic component. */
+    static double structureZ(uint64_t chipSeed,
+                             StructureId structure);
+
+    /** sigma_eff(V) = sigma * (kMaxVcc / V)^voltageExponent. */
+    double effectiveSigma(circuit::MilliVolts vcc) const;
+    double effectiveSystematicSigma(circuit::MilliVolts vcc) const;
+
+    /**
+     * Bitcell-delay multiplier of one line at @p vcc given its
+     * z draws: exp(sigma_eff * zLine + sysSigma_eff * zStruct).
+     * Exactly 1.0 when both sigmas are 0.
+     */
+    double multiplierAt(circuit::MilliVolts vcc, double zLine,
+                        double zStruct) const;
+
+  private:
+    VariationParams _params;
+};
+
+} // namespace variation
+} // namespace iraw
+
+#endif // IRAW_VARIATION_VARIATION_MODEL_HH

@@ -102,6 +102,69 @@ TEST_F(BitcellTest, BadParamsRejected)
     p = {};
     p.stabilizeFraction = -1.0;
     EXPECT_THROW(BitcellModel(logic, p), FatalError);
+    p = {};
+    p.writeDelayScale = 0.0;
+    EXPECT_THROW(BitcellModel(logic, p), FatalError);
+}
+
+TEST_F(BitcellTest, ExplicitCalibrationTablesAreBitIdentical)
+{
+    // Passing the built-in calibration explicitly through Params
+    // must change nothing: every queried delay is bit-identical to
+    // the default model (the variation model relies on this to
+    // perturb tables without touching nominal results).
+    BitcellModel::Params p;
+    p.writeGrid = BitcellModel::calibrationGrid();
+    p.writeDelays = BitcellModel::calibrationWriteDelays();
+    BitcellModel explicitCell(logic, p);
+    for (MilliVolts v = 400; v <= 700; v += 1) {
+        EXPECT_EQ(explicitCell.writeDelay(v), cell.writeDelay(v))
+            << "at " << v << " mV";
+        EXPECT_EQ(explicitCell.stabilizationDelay(v),
+                  cell.stabilizationDelay(v))
+            << "at " << v << " mV";
+        EXPECT_EQ(explicitCell.readDelay(v), cell.readDelay(v))
+            << "at " << v << " mV";
+    }
+}
+
+TEST_F(BitcellTest, PerturbedCalibrationChangesDelays)
+{
+    BitcellModel::Params p;
+    p.writeGrid = BitcellModel::calibrationGrid();
+    p.writeDelays = BitcellModel::calibrationWriteDelays();
+    for (double &w : p.writeDelays)
+        w *= 1.25;
+    BitcellModel slow(logic, p);
+    EXPECT_NEAR(slow.writeDelay(500.0),
+                1.25 * cell.writeDelay(500.0),
+                1e-9 * cell.writeDelay(500.0));
+}
+
+TEST_F(BitcellTest, WriteDelayScaleMultiplies)
+{
+    BitcellModel::Params p;
+    p.writeDelayScale = 1.5;
+    BitcellModel corner(logic, p);
+    for (MilliVolts v : {400.0, 500.0, 600.0, 700.0})
+        EXPECT_DOUBLE_EQ(corner.writeDelay(v),
+                         1.5 * cell.writeDelay(v));
+    // The default scale of 1.0 is exactly the nominal model.
+    BitcellModel nominal(logic, BitcellModel::Params{});
+    EXPECT_EQ(nominal.writeDelay(450.0), cell.writeDelay(450.0));
+}
+
+TEST_F(BitcellTest, BadCalibrationTablesRejected)
+{
+    BitcellModel::Params p;
+    p.writeGrid = {700, 600};
+    p.writeDelays = {0.5}; // size mismatch
+    EXPECT_THROW(BitcellModel(logic, p), FatalError);
+    p.writeDelays = {0.5, -1.0}; // non-positive delay
+    EXPECT_THROW(BitcellModel(logic, p), FatalError);
+    p.writeGrid = {600, 700}; // ascending (wrong order)
+    p.writeDelays = {0.5, 1.0};
+    EXPECT_THROW(BitcellModel(logic, p), FatalError);
 }
 
 /** Property: interpolation between knots stays between knot values. */

@@ -72,6 +72,35 @@ TEST(OptionMap, UintRejectsNegativeAndOutOfRange)
     EXPECT_THROW(opts.getUint("junk", 0), FatalError);
 }
 
+TEST(OptionMap, DoubleRejectsTrailingGarbage)
+{
+    // sigma=1.2x must not silently parse as 1.2.
+    auto opts = parse({"sigma=1.2x", "d=1e", "e=nan(", "sp=1. 2"});
+    EXPECT_THROW(opts.getDouble("sigma", 0.0), FatalError);
+    EXPECT_THROW(opts.getDouble("d", 0.0), FatalError);
+    EXPECT_THROW(opts.getDouble("e", 0.0), FatalError);
+    EXPECT_THROW(opts.getDouble("sp", 0.0), FatalError);
+}
+
+TEST(OptionMap, DoubleRejectsOverflow)
+{
+    // 1e999 saturates strtod to +inf with ERANGE; accepting it
+    // would poison every downstream computation.
+    auto opts = parse({"big=1e999", "neg=-1e999"});
+    EXPECT_THROW(opts.getDouble("big", 0.0), FatalError);
+    EXPECT_THROW(opts.getDouble("neg", 0.0), FatalError);
+}
+
+TEST(OptionMap, DoubleAcceptsUnderflowAndExtremes)
+{
+    // Gradual underflow is usable (and ERANGE on some libcs);
+    // representable extremes must stay accepted.
+    auto opts = parse({"tiny=1e-320", "neg=-2.5e10", "z=0.0"});
+    EXPECT_GT(opts.getDouble("tiny", 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(opts.getDouble("neg", 0.0), -2.5e10);
+    EXPECT_DOUBLE_EQ(opts.getDouble("z", 1.0), 0.0);
+}
+
 TEST(OptionMap, RejectsMalformedBool)
 {
     auto opts = parse({"b=maybe"});

@@ -1,0 +1,410 @@
+/** @file Unit tests for the process-variation & yield subsystem. */
+
+#include <cstring>
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/pipeline.hh"
+#include "memory/iraw_guard.hh"
+#include "sim/simulation.hh"
+#include "variation/population.hh"
+
+namespace iraw {
+namespace variation {
+namespace {
+
+VariationParams
+params(double sigma, double sysSigma = 0.02)
+{
+    VariationParams p;
+    p.sigma = sigma;
+    p.systematicSigma = sysSigma;
+    return p;
+}
+
+ChipGeometry
+defaultGeometry()
+{
+    return ChipGeometry::from(core::CoreConfig{},
+                              memory::MemoryConfig{});
+}
+
+TEST(VariationModel, DrawsAreOrderIndependent)
+{
+    // Every z is a pure function of (chipSeed, structure, line):
+    // querying in any order, from any model instance, yields the
+    // same values bitwise.
+    std::vector<double> forward, backward;
+    for (uint32_t line = 0; line < 64; ++line)
+        forward.push_back(
+            VariationModel::lineZ(42, StructureId::Dl0, line));
+    for (uint32_t line = 64; line-- > 0;)
+        backward.push_back(
+            VariationModel::lineZ(42, StructureId::Dl0, line));
+    for (uint32_t line = 0; line < 64; ++line)
+        EXPECT_EQ(forward[line], backward[63 - line]);
+}
+
+TEST(VariationModel, DrawsDifferByKey)
+{
+    double base = VariationModel::lineZ(1, StructureId::Il0, 7);
+    EXPECT_NE(base, VariationModel::lineZ(2, StructureId::Il0, 7));
+    EXPECT_NE(base, VariationModel::lineZ(1, StructureId::Dl0, 7));
+    EXPECT_NE(base, VariationModel::lineZ(1, StructureId::Il0, 8));
+}
+
+TEST(VariationModel, StandardNormalInverseCdf)
+{
+    EXPECT_NEAR(standardNormalFromUniform(0.5), 0.0, 1e-9);
+    EXPECT_NEAR(standardNormalFromUniform(0.975), 1.959964, 1e-5);
+    EXPECT_NEAR(standardNormalFromUniform(0.025), -1.959964, 1e-5);
+    // Deep tails stay finite and monotone.
+    double z6 = standardNormalFromUniform(1e-9);
+    EXPECT_LT(z6, -5.9);
+    EXPECT_GT(z6, -6.1);
+    EXPECT_THROW(standardNormalFromUniform(0.0), FatalError);
+    EXPECT_THROW(standardNormalFromUniform(1.0), FatalError);
+}
+
+TEST(VariationModel, SigmaZeroMeansUnityMultiplier)
+{
+    VariationModel model(params(0.0, 0.0));
+    // Exact identity, not approximate: sigma=0 chips must be
+    // bitwise nominal.
+    EXPECT_EQ(model.multiplierAt(450.0, 3.7, -2.1), 1.0);
+    EXPECT_EQ(model.multiplierAt(700.0, -4.0, 0.5), 1.0);
+}
+
+TEST(VariationModel, SigmaAmplifiesAtLowVcc)
+{
+    VariationModel model(params(0.05));
+    EXPECT_NEAR(model.effectiveSigma(circuit::kMaxVcc), 0.05,
+                1e-12);
+    EXPECT_GT(model.effectiveSigma(400.0),
+              model.effectiveSigma(500.0));
+    EXPECT_GT(model.effectiveSigma(500.0),
+              model.effectiveSigma(700.0));
+}
+
+TEST(ChipSample, SamplingIsOrderIndependent)
+{
+    VariationModel model(params(0.06));
+    ChipGeometry geom = defaultGeometry();
+    // Sample the same population twice in opposite chip order; every
+    // chip must be identical bitwise.
+    std::vector<ChipSample> forward, backward;
+    for (uint32_t c = 0; c < 6; ++c)
+        forward.push_back(ChipSample::sample(model, 9, c, geom));
+    for (uint32_t c = 6; c-- > 0;)
+        backward.push_back(ChipSample::sample(model, 9, c, geom));
+    for (uint32_t c = 0; c < 6; ++c) {
+        const ChipSample &a = forward[c];
+        const ChipSample &b = backward[5 - c];
+        ASSERT_EQ(a.chipSeed(), b.chipSeed());
+        for (uint32_t s = 0; s < kNumStructures; ++s) {
+            auto id = static_cast<StructureId>(s);
+            for (uint32_t line = 0; line < geom.lines[s];
+                 line += 17)
+                EXPECT_EQ(a.lineZAt(id, line), b.lineZAt(id, line));
+        }
+    }
+}
+
+TEST(ChipSample, StabilizationMapsNominalAtSigmaZero)
+{
+    sim::Simulator sim;
+    VariationModel model(params(0.0, 0.0));
+    ChipSample chip =
+        ChipSample::sample(model, 1, 0, defaultGeometry());
+    mechanism::IrawController controller(
+        sim.cycleTimeModel(), mechanism::IrawMode::ForcedOn);
+    for (circuit::MilliVolts vcc : {400.0, 450.0, 500.0, 550.0}) {
+        mechanism::IrawSettings settings =
+            controller.reconfigure(vcc);
+        StabilizationMaps maps =
+            chip.stabilizationMaps(sim.cycleTimeModel(), settings);
+        ASSERT_TRUE(maps.active);
+        EXPECT_EQ(maps.worst, settings.stabilizationCycles);
+        for (uint32_t s = 0; s < kNumStructures; ++s)
+            for (uint32_t n : maps.lineN[s])
+                EXPECT_EQ(n, settings.stabilizationCycles);
+    }
+}
+
+TEST(ChipSample, RequiredNMonotoneAsVccFalls)
+{
+    VariationModel model(params(0.08));
+    sim::Simulator sim;
+    core::CoreConfig core;
+    ChipSample chip =
+        ChipSample::sample(model, 3, 1, defaultGeometry());
+    uint32_t prev = 0;
+    for (circuit::MilliVolts vcc : {650.0, 600.0, 550.0, 500.0,
+                                    450.0, 400.0}) {
+        ChipOperability op =
+            chip.operableAt(sim.cycleTimeModel(), core, vcc);
+        EXPECT_GE(op.requiredN, prev) << "at " << vcc << " mV";
+        prev = op.requiredN;
+    }
+}
+
+TEST(IrawPortGuardTest, PerWriteWindowsRespected)
+{
+    memory::IrawPortGuard guard("test");
+    guard.setStabilizationCycles(2);
+    // A weak line needs 5 cycles, the uniform default 2.
+    guard.noteWrite(10, 5);
+    EXPECT_FALSE(guard.blocked(10)); // before/at the write: old data
+    EXPECT_TRUE(guard.blocked(11));
+    EXPECT_TRUE(guard.blocked(15));
+    EXPECT_FALSE(guard.blocked(16));
+    EXPECT_EQ(guard.resolve(12), 16u);
+
+    guard.reset();
+    guard.setStabilizationCycles(2);
+    guard.noteWrite(10); // uniform path
+    EXPECT_TRUE(guard.blocked(12));
+    EXPECT_FALSE(guard.blocked(13));
+
+    // Disabled guard ignores per-line windows entirely.
+    guard.reset();
+    guard.setStabilizationCycles(0);
+    guard.noteWrite(10, 5);
+    EXPECT_FALSE(guard.blocked(12));
+    EXPECT_EQ(guard.resolve(12), 12u);
+}
+
+TEST(ScoreboardMapTest, PerRegisterStabilization)
+{
+    core::Scoreboard sb(8, 1);
+    std::vector<uint32_t> map(isa::kNumLogicalRegs, 1);
+    map[3] = 3; // one weak register
+    sb.setStabilizationMap(map, 3);
+    EXPECT_EQ(sb.stabilizationCyclesFor(2), 1u);
+    EXPECT_EQ(sb.stabilizationCyclesFor(3), 3u);
+
+    // Same-latency producers: the weak register's consumers see a
+    // longer bubble after the bypass window closes.  The number of
+    // not-ready cycles over the pattern's lifetime is exactly the
+    // register's stabilization count (latency 1 is hidden by the
+    // first shift, the bypass 1 covers the completion cycle).
+    sb.setProducer(2, 1);
+    sb.setProducer(3, 1);
+    int bubble2 = 0, bubble3 = 0;
+    for (int cycle = 1; cycle <= 8; ++cycle) {
+        sb.tick();
+        bubble2 += sb.isReady(2) ? 0 : 1;
+        bubble3 += sb.isReady(3) ? 0 : 1;
+    }
+    EXPECT_EQ(bubble2, 1); // N=1
+    EXPECT_EQ(bubble3, 3); // N=3
+}
+
+TEST(ScoreboardMapTest, AllNominalMapMatchesUniform)
+{
+    core::Scoreboard uniform(8, 1);
+    uniform.setStabilizationCycles(2);
+    core::Scoreboard mapped(8, 1);
+    mapped.setStabilizationMap(
+        std::vector<uint32_t>(isa::kNumLogicalRegs, 2), 2);
+    for (uint32_t latency = 0; latency <= 2; ++latency) {
+        uniform.setProducer(5, latency);
+        mapped.setProducer(5, latency);
+        EXPECT_EQ(uniform.rawPattern(5), mapped.rawPattern(5))
+            << "latency " << latency;
+    }
+}
+
+/** Exact equality of every simulated aggregate of two runs. */
+void
+expectIdenticalResults(const sim::SimResult &a,
+                       const sim::SimResult &b)
+{
+    EXPECT_EQ(a.pipeline.cycles, b.pipeline.cycles);
+    EXPECT_EQ(a.pipeline.committedInsts, b.pipeline.committedInsts);
+    EXPECT_EQ(a.pipeline.rfIrawStallCycles,
+              b.pipeline.rfIrawStallCycles);
+    EXPECT_EQ(a.pipeline.iqGateStallCycles,
+              b.pipeline.iqGateStallCycles);
+    EXPECT_EQ(a.pipeline.dl0ReplayStallCycles,
+              b.pipeline.dl0ReplayStallCycles);
+    EXPECT_EQ(a.pipeline.rfIrawDelayedInsts,
+              b.pipeline.rfIrawDelayedInsts);
+    EXPECT_EQ(a.dl0GuardStalls, b.dl0GuardStalls);
+    EXPECT_EQ(a.otherGuardStalls, b.otherGuardStalls);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.execTimeAu, b.execTimeAu);
+    EXPECT_EQ(a.cycleTimeAu, b.cycleTimeAu);
+}
+
+TEST(VariationSimulation, SigmaZeroChipIsBitwiseNominal)
+{
+    sim::Simulator sim;
+    sim::SimConfig cfg;
+    cfg.workload = "spec2006int";
+    cfg.instructions = 4000;
+    cfg.warmupInstructions = 1000;
+    cfg.vcc = 450.0;
+    cfg.mode = mechanism::IrawMode::ForcedOn;
+
+    sim::SimResult nominal = sim.run(cfg);
+
+    VariationModel model(params(0.0, 0.0));
+    cfg.chip = std::make_shared<const ChipSample>(
+        ChipSample::sample(model, 1, 0, defaultGeometry()));
+    sim::SimResult varied = sim.run(cfg);
+
+    EXPECT_TRUE(varied.variation.enabled);
+    EXPECT_EQ(varied.variation.worstN,
+              varied.settings.stabilizationCycles);
+    EXPECT_EQ(varied.variation.maxMultiplier, 1.0);
+    expectIdenticalResults(nominal, varied);
+}
+
+TEST(VariationSimulation, WeakChipStallsMore)
+{
+    sim::Simulator sim;
+    sim::SimConfig cfg;
+    cfg.workload = "spec2006int";
+    cfg.instructions = 4000;
+    cfg.warmupInstructions = 1000;
+    cfg.vcc = 450.0;
+    cfg.mode = mechanism::IrawMode::ForcedOn;
+    sim::SimResult nominal = sim.run(cfg);
+
+    // A strongly varied chip at low Vcc needs longer windows
+    // somewhere, which can only slow the machine down.
+    VariationModel model(params(0.10));
+    cfg.chip = std::make_shared<const ChipSample>(
+        ChipSample::sample(model, 7, 0, defaultGeometry()));
+    sim::SimResult varied = sim.run(cfg);
+    EXPECT_GT(varied.variation.maxMultiplier, 1.0);
+    EXPECT_GE(varied.variation.worstN,
+              varied.settings.stabilizationCycles);
+    EXPECT_GE(varied.pipeline.cycles, nominal.pipeline.cycles);
+}
+
+PopulationConfig
+smallPopulation(uint32_t chips, SimulateMode mode)
+{
+    PopulationConfig cfg;
+    cfg.chips = chips;
+    cfg.populationSeed = 11;
+    cfg.params = params(0.08);
+    cfg.voltages = {550.0, 500.0, 450.0, 400.0};
+    cfg.suite = {{"spec2006int", 1, 2500}, {"multimedia", 2, 2500}};
+    cfg.warmupInstructions = 1000;
+    cfg.simulate = mode;
+    return cfg;
+}
+
+/** Exact equality of two population results. */
+void
+expectIdenticalPopulations(const PopulationResult &a,
+                           const PopulationResult &b)
+{
+    ASSERT_EQ(a.chips.size(), b.chips.size());
+    EXPECT_EQ(a.yieldingChips, b.yieldingChips);
+    EXPECT_EQ(a.sortedVccmin, b.sortedVccmin);
+    EXPECT_EQ(a.yieldAt, b.yieldAt);
+    EXPECT_EQ(a.meanVccmin, b.meanVccmin);
+    for (size_t c = 0; c < a.chips.size(); ++c) {
+        const ChipSummary &ca = a.chips[c];
+        const ChipSummary &cb = b.chips[c];
+        EXPECT_EQ(ca.yields, cb.yields);
+        EXPECT_EQ(ca.vccmin, cb.vccmin);
+        ASSERT_EQ(ca.points.size(), cb.points.size());
+        for (size_t i = 0; i < ca.points.size(); ++i) {
+            const ChipAtVcc &pa = ca.points[i];
+            const ChipAtVcc &pb = cb.points[i];
+            EXPECT_EQ(pa.operable, pb.operable);
+            EXPECT_EQ(pa.requiredN, pb.requiredN);
+            EXPECT_EQ(pa.simulated, pb.simulated);
+            if (pa.simulated && pb.simulated) {
+                EXPECT_EQ(pa.machine.cycles, pb.machine.cycles);
+                EXPECT_EQ(pa.machine.instructions,
+                          pb.machine.instructions);
+                EXPECT_EQ(pa.machine.ipc, pb.machine.ipc);
+                EXPECT_EQ(pa.machine.execTimeAu,
+                          pb.machine.execTimeAu);
+                EXPECT_EQ(pa.machine.rfIrawStalls,
+                          pb.machine.rfIrawStalls);
+            }
+        }
+    }
+}
+
+TEST(ChipPopulation, BitwiseIdenticalAcrossThreadCounts)
+{
+    sim::Simulator sim;
+    PopulationConfig cfg =
+        smallPopulation(4, SimulateMode::AtVccmin);
+
+    ChipPopulation serial(sim, sim::RunnerConfig{1});
+    ChipPopulation parallel(sim, sim::RunnerConfig{8});
+    PopulationResult a = serial.run(cfg);
+    PopulationResult b = parallel.run(cfg);
+    expectIdenticalPopulations(a, b);
+
+    // And across repeated runs with the same chipseed.
+    PopulationResult c = parallel.run(cfg);
+    expectIdenticalPopulations(b, c);
+}
+
+TEST(ChipPopulation, CdfMonotoneAndYieldConsistent)
+{
+    sim::Simulator sim;
+    PopulationConfig cfg =
+        smallPopulation(32, SimulateMode::None);
+    cfg.voltages = circuit::standardSweep();
+    PopulationResult result = ChipPopulation(sim).run(cfg);
+
+    for (size_t i = 1; i < result.sortedVccmin.size(); ++i)
+        EXPECT_GE(result.sortedVccmin[i],
+                  result.sortedVccmin[i - 1]);
+    // Yield can only fall as Vcc falls (voltages are descending).
+    for (size_t i = 1; i < result.yieldAt.size(); ++i)
+        EXPECT_LE(result.yieldAt[i], result.yieldAt[i - 1]);
+    // Every yielding chip's Vccmin appears in the CDF domain.
+    EXPECT_EQ(result.sortedVccmin.size(), result.yieldingChips);
+}
+
+TEST(ChipPopulation, SigmaZeroPopulationIsUniformNominal)
+{
+    sim::Simulator sim;
+    PopulationConfig cfg =
+        smallPopulation(3, SimulateMode::None);
+    cfg.params = params(0.0, 0.0);
+    cfg.voltages = circuit::standardSweep();
+    PopulationResult result = ChipPopulation(sim).run(cfg);
+
+    EXPECT_EQ(result.yieldingChips, 3u);
+    for (const ChipSummary &chip : result.chips) {
+        ASSERT_TRUE(chip.yields);
+        // Nominal hardware operates across the whole sweep.
+        EXPECT_EQ(chip.vccmin, circuit::kMinVcc);
+    }
+}
+
+TEST(ChipPopulation, GeometryMismatchRejected)
+{
+    sim::Simulator sim;
+    sim::SimConfig cfg;
+    cfg.instructions = 100;
+    cfg.warmupInstructions = 0;
+    cfg.vcc = 500.0;
+    cfg.mode = mechanism::IrawMode::ForcedOn;
+    memory::MemoryConfig otherMem;
+    otherMem.dl0.sizeBytes = 2 * otherMem.dl0.lineBytes *
+                             otherMem.dl0.assoc;
+    VariationModel model(params(0.05));
+    cfg.chip = std::make_shared<const ChipSample>(
+        ChipSample::sample(model, 1, 0,
+                           ChipGeometry::from(core::CoreConfig{},
+                                              otherMem)));
+    EXPECT_THROW(sim.run(cfg), FatalError);
+}
+
+} // namespace
+} // namespace variation
+} // namespace iraw
