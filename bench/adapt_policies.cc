@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Dynamic Vcc adaptation, policy shoot-out: static worst-case
+ * provisioning vs an oracle that starts at the floor voltage vs a
+ * reactive controller that steps down one grid point per epoch
+ * while the observed IRAW stall fraction stays low.  Every policy
+ * runs the whole trace suite through the parallel runner; the
+ * reported aggregates are bitwise identical across threads= values.
+ *
+ * With policy=static the attached controller never moves, so the
+ * run reproduces the fixed-Vcc machine byte-for-byte (stats=1 dumps
+ * a report whose non-adapt groups diff clean against quickstart's).
+ */
+
+#include <ostream>
+
+#include "common/table.hh"
+#include "sim/adapt_analysis.hh"
+#include "sim/stats_report.hh"
+
+namespace {
+
+int
+runAdaptPolicies(iraw::sim::ScenarioContext &ctx)
+{
+    using namespace iraw;
+    using namespace iraw::sim;
+
+    const circuit::MilliVolts vcc =
+        ctx.opts().getDouble("vcc", 550.0);
+    const std::string policyOpt =
+        ctx.opts().getString("policy", "");
+    const double refTime = calibrateRefTimePerInst(ctx);
+
+    std::vector<adapt::Policy> policies;
+    if (policyOpt.empty()) {
+        policies = {adapt::Policy::Static, adapt::Policy::Oracle,
+                    adapt::Policy::Reactive};
+    } else {
+        policies = {adapt::policyByName(policyOpt)};
+    }
+
+    TextTable table(
+        "Vcc adaptation policies, provisioned at " +
+        TextTable::num(vcc, 0) + " mV (epoch=" +
+        std::to_string(ctx.opts().getUint("epoch", 20000)) +
+        " cycles)");
+    table.setHeader({"policy", "switches", "Vcc(tw mV)",
+                     "min Vcc", "IPC", "perf", "energy(au)",
+                     "power(au)", "vs static"});
+
+    AdaptAggregate staticAgg;
+    bool haveStatic = false;
+    for (adapt::Policy policy : policies) {
+        auto acfg = std::make_shared<adapt::AdaptConfig>(
+            parseAdaptConfig(ctx, policy));
+        acfg->refTimePerInst = refTime;
+        std::vector<SimConfig> configs = adaptConfigsOverSuite(
+            ctx.settings(), vcc, mechanism::IrawMode::Auto, acfg);
+        std::vector<SimResult> results =
+            ctx.runner().runConfigs(configs);
+        AdaptAggregate agg = aggregateAdapt(results);
+        if (policy == adapt::Policy::Static) {
+            staticAgg = agg;
+            haveStatic = true;
+        }
+        std::string relative = "-";
+        if (haveStatic && policy != adapt::Policy::Static &&
+            staticAgg.power() > 0.0) {
+            relative = TextTable::pct(
+                           1.0 - agg.power() / staticAgg.power(),
+                           1) +
+                       " power";
+        }
+        table.addRow({
+            adapt::policyName(policy),
+            std::to_string(agg.switches),
+            TextTable::num(agg.timeWeightedVcc, 1),
+            TextTable::num(agg.minVcc, 0),
+            TextTable::num(agg.ipc(), 3),
+            TextTable::num(agg.performance(), 4),
+            TextTable::num(agg.energy.total(), 1),
+            TextTable::num(agg.power() * 1000.0, 3),
+            relative,
+        });
+    }
+    table.addNote("oracle starts at the floor (offline Vccmin); "
+                  "reactive pays drain+settle per transition");
+    table.addNote("energy covers the whole run (warmup and switch "
+                  "penalties included); power is its mean over the "
+                  "run, x1000");
+    table.print(ctx.out());
+
+    if (ctx.opts().getBool("stats", false)) {
+        // A quickstart-compatible single run: with policy=static
+        // every group except adapt.* is byte-identical to the
+        // fixed-Vcc machine at the same operating point.
+        adapt::Policy policy = policies.front();
+        SimConfig cfg;
+        cfg.vcc = vcc;
+        cfg.workload =
+            ctx.opts().getString("workload", "spec2006int");
+        cfg.tracePath = ctx.settings().tracePath;
+        cfg.instructions = ctx.opts().getUint("insts", 60000);
+        cfg.profile = ctx.settings().profile;
+        cfg.mode = mechanism::IrawMode::Auto;
+        auto acfg = std::make_shared<adapt::AdaptConfig>(
+            parseAdaptConfig(ctx, policy));
+        acfg->refTimePerInst = refTime;
+        cfg.adapt = acfg;
+        SimResult result = ctx.simulator().run(cfg);
+        ctx.out() << "\n--- full statistics dump (adaptive "
+                     "machine, policy="
+                  << adapt::policyName(policy) << ") ---\n";
+        writeStatsReport(ctx.out(), result);
+        ctx.out() << '\n';
+    }
+    return 0;
+}
+
+} // namespace
+
+IRAW_SCENARIO("adapt_policies",
+              "Dynamic Vcc adaptation: static vs oracle vs "
+              "reactive controller over the trace suite (vcc=, "
+              "policy=, epoch=, switchcycles=, switchenergy=, "
+              "floor=, down=, up=, stats=)",
+              runAdaptPolicies);

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The dynamic Vcc controller fanned over a Monte Carlo chip
+ * population: quantifies what per-chip adaptation buys over
+ * worst-case provisioning.  The population's Vccmins come from the
+ * PR-4 variation machinery (operability prefix scan, no simulation)
+ * and set the worst-case provisioning voltage (the highest Vccmin
+ * among yielding chips); every yielding chip then runs the suite
+ * three ways through one parallel wave:
+ *
+ *  - static @ worst-case: everyone clocked for the weakest chip;
+ *  - oracle @ per-chip Vccmin: offline-known floor, no transitions;
+ *  - policy= (default reactive): closed-loop descent toward the
+ *    chip's own floor, paying drain+settle per transition.
+ *
+ * Reductions fold in fixed (mode, chip, trace) order, so every
+ * aggregate is bitwise identical across threads= values.
+ */
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/table.hh"
+#include "sim/adapt_analysis.hh"
+#include "sim/yield_analysis.hh"
+
+namespace {
+
+int
+runAdaptPopulation(iraw::sim::ScenarioContext &ctx)
+{
+    using namespace iraw;
+    using namespace iraw::sim;
+
+    const bool quick = ctx.opts().getBool("quick", false);
+    variation::PopulationConfig popCfg = parsePopulationConfig(
+        ctx, quick ? 6 : 16, variation::SimulateMode::None);
+    variation::PopulationResult pop = runPopulation(ctx, popCfg);
+
+    if (pop.yieldingChips == 0) {
+        ctx.out() << "no chip of the population operates anywhere "
+                     "on the grid; nothing to adapt\n";
+        return 0;
+    }
+
+    // Worst-case provisioning: the voltage a fixed-Vcc design must
+    // pick so every yielding chip works — the highest Vccmin.
+    const circuit::MilliVolts provision = pop.sortedVccmin.back();
+    const double refTime = calibrateRefTimePerInst(ctx);
+    const adapt::Policy reactivePolicy = adapt::policyByName(
+        ctx.opts().getString("policy", "reactive"));
+
+    // Re-sample the yielding chips (pure per-chip function).
+    variation::VariationModel model(popCfg.params);
+    variation::ChipGeometry geometry =
+        variation::ChipGeometry::from(popCfg.core, popCfg.mem);
+    std::vector<std::shared_ptr<const variation::ChipSample>> chips;
+    for (const variation::ChipSummary &summary : pop.chips) {
+        if (!summary.yields)
+            continue;
+        chips.push_back(std::make_shared<const variation::ChipSample>(
+            variation::ChipSample::sample(model,
+                                          popCfg.populationSeed,
+                                          summary.chipIndex,
+                                          geometry)));
+    }
+
+    struct Mode
+    {
+        const char *provisioning;
+        adapt::Policy policy;
+        circuit::MilliVolts floor; //!< 0 = the chip's own Vccmin
+    };
+    const Mode modes[] = {
+        {"worst-case", adapt::Policy::Static, provision},
+        {"per-chip", adapt::Policy::Oracle, 0.0},
+        {"per-chip", reactivePolicy, 0.0},
+    };
+
+    // One parallel wave over (mode, chip, trace); slices reduce in
+    // that fixed order afterwards.
+    std::vector<SimConfig> configs;
+    for (const Mode &mode : modes) {
+        auto acfg = std::make_shared<adapt::AdaptConfig>(
+            parseAdaptConfig(ctx, mode.policy));
+        acfg->refTimePerInst = refTime;
+        if (mode.floor > 0.0)
+            acfg->floorVcc = mode.floor;
+        for (const auto &chip : chips) {
+            std::vector<SimConfig> perChip = adaptConfigsOverSuite(
+                ctx.settings(), provision,
+                mechanism::IrawMode::ForcedOn, acfg, chip);
+            configs.insert(configs.end(), perChip.begin(),
+                           perChip.end());
+        }
+    }
+    std::vector<SimResult> results =
+        ctx.runner().runConfigs(configs);
+
+    TextTable table(
+        "Controller over a population (" +
+        std::to_string(pop.totalChips) + " chips, " +
+        std::to_string(pop.yieldingChips) +
+        " yielding, provisioned at " +
+        TextTable::num(provision, 0) + " mV, sigma=" +
+        TextTable::num(pop.params.sigma, 3) + ", chipseed=" +
+        std::to_string(pop.populationSeed) + ")");
+    table.setHeader({"provisioning", "policy", "switches",
+                     "Vcc(tw mV)", "min Vcc", "IPC", "perf",
+                     "power(au)", "vs worst-case"});
+
+    const size_t perMode = chips.size() * popCfg.suite.size();
+    double worstCasePower = 0.0;
+    for (size_t m = 0; m < std::size(modes); ++m) {
+        std::vector<SimResult> slice(
+            results.begin() + m * perMode,
+            results.begin() + (m + 1) * perMode);
+        AdaptAggregate agg = aggregateAdapt(slice);
+        if (m == 0)
+            worstCasePower = agg.power();
+        std::string relative = "-";
+        if (m > 0 && worstCasePower > 0.0) {
+            relative =
+                TextTable::pct(1.0 - agg.power() / worstCasePower,
+                               1) +
+                " power";
+        }
+        table.addRow({
+            modes[m].provisioning,
+            adapt::policyName(modes[m].policy),
+            std::to_string(agg.switches),
+            TextTable::num(agg.timeWeightedVcc, 1),
+            TextTable::num(agg.minVcc, 0),
+            TextTable::num(agg.ipc(), 3),
+            TextTable::num(agg.performance(), 4),
+            TextTable::num(agg.power() * 1000.0, 3),
+            relative,
+        });
+    }
+    if (pop.totalChips != pop.yieldingChips)
+        table.addNote(
+            std::to_string(pop.totalChips - pop.yieldingChips) +
+            " non-yielding chip(s) excluded from the comparison");
+    table.addNote("per-chip floors are each chip's own Vccmin; the "
+                  "oracle knows it offline, the reactive "
+                  "controller discovers it at run time");
+    table.addNote("power is whole-run mean power x1000 — what "
+                  "per-chip descent minimizes");
+    table.print(ctx.out());
+    return 0;
+}
+
+} // namespace
+
+IRAW_SCENARIO("adapt_population",
+              "Dynamic Vcc controller over a Monte Carlo chip "
+              "population: per-chip vs worst-case provisioning "
+              "(chips=, sigma=, chipseed=, policy=, epoch=, "
+              "switchcycles=, switchenergy=)",
+              runAdaptPopulation);

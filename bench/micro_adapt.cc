@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Vcc-adaptation microbench: host-side cost of the epoch loop and
+ * the transition machinery — an adaptive reactive run versus the
+ * same workload at fixed Vcc (controller overhead %), epochs
+ * evaluated per wall second, and switch throughput — with a
+ * machine-readable BENCH_adapt.json for the CI perf trajectory
+ * (uploaded next to BENCH_pipeline.json and BENCH_variation.json).
+ * Switch/epoch/voltage rows are deterministic; wall-clock rows vary
+ * by host.
+ */
+
+#include <chrono>
+#include <fstream>
+#include <ostream>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "sim/adapt_analysis.hh"
+
+namespace {
+
+using namespace iraw;
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+int
+runMicroAdapt(sim::ScenarioContext &ctx)
+{
+    const bool quick = ctx.opts().getBool("quick", false);
+    const std::string outPath =
+        ctx.opts().getString("benchout", "BENCH_adapt.json");
+    const uint64_t insts = quick ? 20000 : 80000;
+
+    sim::ScenarioSettings settings = ctx.settings();
+    settings.suite = sim::quickSuite(insts);
+    settings.warmup = 2000;
+
+    // Reactive descent with always-step thresholds: a fixed number
+    // of transitions per run, so the adaptation machinery (epoch
+    // chunking, drain, settle, map re-derivation) is actually
+    // exercised.
+    auto acfg = std::make_shared<adapt::AdaptConfig>();
+    acfg->policy = adapt::Policy::Reactive;
+    acfg->epochCycles = ctx.opts().getUint("epoch", 2000);
+    acfg->switchCycles = 500;
+    acfg->stepDownThreshold = 2.0;
+    acfg->stepUpThreshold = 3.0;
+    acfg->validate();
+
+    const sim::Simulator &sim = ctx.simulator();
+    sim::SweepRunner runner(sim,
+                            sim::RunnerConfig{settings.threads});
+
+    std::vector<sim::SimConfig> adaptive =
+        sim::adaptConfigsOverSuite(settings, 550.0,
+                                   mechanism::IrawMode::Auto, acfg);
+    std::vector<sim::SimConfig> fixed = adaptive;
+    for (sim::SimConfig &cfg : fixed)
+        cfg.adapt.reset();
+
+    // Warm the trace store so both timed waves replay, not
+    // generate.
+    runner.runConfigs(fixed);
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<sim::SimResult> fixedResults =
+        runner.runConfigs(fixed);
+    const double fixedSeconds = secondsSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    std::vector<sim::SimResult> adaptResults =
+        runner.runConfigs(adaptive);
+    const double adaptSeconds = secondsSince(t0);
+
+    sim::AdaptAggregate agg = sim::aggregateAdapt(adaptResults);
+    uint64_t fixedCycles = 0;
+    for (const sim::SimResult &r : fixedResults)
+        fixedCycles += r.pipeline.cycles;
+
+    const double epochsPerSec =
+        adaptSeconds > 0.0 ? agg.epochs / adaptSeconds : 0.0;
+    const double overheadPct =
+        fixedSeconds > 0.0
+            ? (adaptSeconds / fixedSeconds - 1.0) * 100.0
+            : 0.0;
+
+    TextTable table("Adaptation microbench (" +
+                    std::to_string(adaptive.size()) + " traces x " +
+                    std::to_string(insts) + " insts)");
+    table.setHeader({"metric", "value"});
+    table.addRow({"epochs evaluated", std::to_string(agg.epochs)});
+    table.addRow({"switches taken", std::to_string(agg.switches)});
+    table.addRow({"settle cycles",
+                  std::to_string(agg.settleCycles)});
+    table.addRow({"drain cycles", std::to_string(agg.drainCycles)});
+    table.addRow({"min Vcc (mV)", TextTable::num(agg.minVcc, 0)});
+    table.addRow({"adaptive wall s",
+                  TextTable::num(adaptSeconds, 3)});
+    table.addRow({"fixed-Vcc wall s",
+                  TextTable::num(fixedSeconds, 3)});
+    table.addRow({"controller overhead %",
+                  TextTable::num(overheadPct, 1)});
+    table.addRow({"epochs/s", TextTable::num(epochsPerSec, 0)});
+    table.addNote("machine-readable copy: " + outPath);
+    table.addNote("epoch/switch/Vcc rows are deterministic; "
+                  "wall-clock rows vary by host");
+    table.print(ctx.out());
+
+    std::ofstream os(outPath);
+    if (!os) {
+        warn("micro_adapt: cannot write '%s'", outPath.c_str());
+        return 0;
+    }
+    os << "{\n";
+    os << "  \"bench\": \"adapt\",\n";
+    os << "  \"traces\": " << adaptive.size() << ",\n";
+    os << "  \"insts_per_trace\": " << insts << ",\n";
+    os << "  \"epochs\": " << agg.epochs << ",\n";
+    os << "  \"switches\": " << agg.switches << ",\n";
+    os << "  \"settle_cycles\": " << agg.settleCycles << ",\n";
+    os << "  \"drain_cycles\": " << agg.drainCycles << ",\n";
+    os << "  \"adaptive_wall_s\": " << adaptSeconds << ",\n";
+    os << "  \"fixed_wall_s\": " << fixedSeconds << ",\n";
+    os << "  \"controller_overhead_pct\": " << overheadPct << ",\n";
+    os << "  \"epochs_per_sec\": " << epochsPerSec << "\n";
+    os << "}\n";
+    return 0;
+}
+
+} // namespace
+
+IRAW_SCENARIO("micro_adapt",
+              "Epoch-loop and transition-machinery throughput: "
+              "adaptive vs fixed wall time, epochs/sec; emits "
+              "BENCH_adapt.json",
+              runMicroAdapt);

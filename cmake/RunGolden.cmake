@@ -1,0 +1,48 @@
+# Golden-output regression check: run a scenario binary and compare
+# its stdout byte-for-byte against a committed golden file.
+#
+# Invoked by the golden_* CTest targets registered in the top-level
+# CMakeLists:
+#   cmake -DBIN=<binary> -DARGS="k=v k=v" -DGOLDEN=<file>
+#         -DOUT=<scratch> [-DUPDATE=1] -P RunGolden.cmake
+#
+# -DUPDATE=1 (the golden_update_* targets, gated behind
+# `ctest -C golden_update`) rewrites the golden file from the
+# current output instead of diffing.
+
+if(NOT DEFINED BIN OR NOT DEFINED GOLDEN OR NOT DEFINED OUT)
+    message(FATAL_ERROR
+            "RunGolden.cmake needs -DBIN=, -DGOLDEN= and -DOUT=")
+endif()
+
+separate_arguments(ARG_LIST UNIX_COMMAND "${ARGS}")
+execute_process(COMMAND ${BIN} ${ARG_LIST}
+                OUTPUT_VARIABLE output
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "golden run failed (rc=${rc}): ${BIN} ${ARGS}")
+endif()
+
+if(UPDATE)
+    file(WRITE "${GOLDEN}" "${output}")
+    message(STATUS "updated ${GOLDEN}")
+    return()
+endif()
+
+if(NOT EXISTS "${GOLDEN}")
+    message(FATAL_ERROR
+            "golden file ${GOLDEN} is missing; regenerate with "
+            "`ctest -C golden_update -R golden_update`")
+endif()
+
+file(READ "${GOLDEN}" expected)
+if(NOT output STREQUAL expected)
+    file(WRITE "${OUT}" "${output}")
+    message(FATAL_ERROR
+            "output of `${BIN} ${ARGS}` differs from the committed "
+            "golden.\n  diff ${GOLDEN} ${OUT}\nIf the change is "
+            "intended, regenerate with "
+            "`ctest -C golden_update -R golden_update` and commit "
+            "the new golden.")
+endif()

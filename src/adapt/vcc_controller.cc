@@ -1,0 +1,171 @@
+#include "adapt/vcc_controller.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "core/core_config.hh"
+#include "variation/chip_sample.hh"
+
+namespace iraw {
+namespace adapt {
+
+const char *
+policyName(Policy policy)
+{
+    switch (policy) {
+      case Policy::Static:
+        return "static";
+      case Policy::Oracle:
+        return "oracle";
+      case Policy::Reactive:
+        return "reactive";
+    }
+    return "unknown";
+}
+
+Policy
+policyByName(const std::string &name)
+{
+    if (name == "static")
+        return Policy::Static;
+    if (name == "oracle")
+        return Policy::Oracle;
+    if (name == "reactive")
+        return Policy::Reactive;
+    throw FatalError("unknown adapt policy '" + name +
+                     "' (static|oracle|reactive)");
+}
+
+void
+AdaptConfig::validate() const
+{
+    fatalIf(epochCycles == 0, "AdaptConfig: epoch must be >= 1");
+    fatalIf(switchEnergyAu < 0.0,
+            "AdaptConfig: switchenergy must be >= 0");
+    fatalIf(floorVcc != 0.0 && !circuit::inModelRange(floorVcc),
+            "AdaptConfig: floor %.0f mV outside model range",
+            floorVcc);
+    fatalIf(stepDownThreshold < 0.0 || stepUpThreshold < 0.0,
+            "AdaptConfig: thresholds must be >= 0");
+    fatalIf(stepUpThreshold < stepDownThreshold,
+            "AdaptConfig: up threshold %.3f below down threshold "
+            "%.3f would oscillate every epoch",
+            stepUpThreshold, stepDownThreshold);
+    fatalIf(refTimePerInst <= 0.0,
+            "AdaptConfig: refTimePerInst must be > 0");
+    fatalIf(irawDynOverhead < 0.0,
+            "AdaptConfig: irawDynOverhead must be >= 0");
+}
+
+namespace {
+
+/**
+ * Can the nominal hardware operate at @p vcc?  Mirrors the per-chip
+ * operability rule at sigma = 0: the operating point's N must fit
+ * the provisioned maximum and the scoreboard patterns must keep at
+ * least one encodable latency.
+ */
+bool
+nominalOperable(const circuit::CycleTimeModel &model,
+                mechanism::IrawMode mode,
+                const core::CoreConfig &core, circuit::MilliVolts vcc)
+{
+    mechanism::IrawSettings s =
+        mechanism::IrawController(model, mode).reconfigure(vcc);
+    uint32_t n = s.enabled ? s.stabilizationCycles : 0;
+    if (n > core.maxStabilizationCycles)
+        return false;
+    return core.scoreboardBits >= core.bypassLevels + n + 2;
+}
+
+} // namespace
+
+VccController::VccController(const circuit::CycleTimeModel &model,
+                             const AdaptConfig &cfg,
+                             mechanism::IrawMode mode,
+                             circuit::MilliVolts startVcc,
+                             const core::CoreConfig &core,
+                             const variation::ChipSample *chip)
+    : _cfg(cfg), _grid(circuit::standardSweep()), _start(startVcc)
+{
+    _cfg.validate();
+    fatalIf(!circuit::inModelRange(startVcc),
+            "VccController: start Vcc %.0f mV outside model range",
+            startVcc);
+
+    // The floor: walk the grid top-down while the machine (this
+    // chip, or the nominal one) still operates — the same prefix
+    // rule that defines a chip's Vccmin in variation::ChipPopulation
+    // — then raise it to any configured floor.
+    circuit::MilliVolts prefixFloor = 0.0;
+    for (circuit::MilliVolts v : _grid) {
+        bool ok = chip ? chip->operableAt(model, core, v).operable
+                       : nominalOperable(model, mode, core, v);
+        if (!ok)
+            break;
+        prefixFloor = v;
+    }
+    fatalIf(prefixFloor == 0.0,
+            "VccController: machine operates nowhere on the grid");
+    _floor = std::max(prefixFloor, _cfg.floorVcc);
+    // A provisioned start below the floor cannot adapt anywhere:
+    // the floor clamps to the start so Static keeps its contract
+    // (and the plain simulator still rejects inoperable points).
+    _floor = std::min(_floor, startVcc);
+
+    _initial =
+        _cfg.policy == Policy::Oracle ? _floor : startVcc;
+    _current = _initial;
+}
+
+circuit::MilliVolts
+VccController::nextDown(circuit::MilliVolts vcc) const
+{
+    for (circuit::MilliVolts v : _grid) {
+        if (v < vcc - 0.5 && v >= _floor - 0.5)
+            return v;
+    }
+    return 0.0;
+}
+
+circuit::MilliVolts
+VccController::nextUp(circuit::MilliVolts vcc) const
+{
+    circuit::MilliVolts best = 0.0;
+    for (circuit::MilliVolts v : _grid) {
+        if (v > vcc + 0.5 && v <= _start + 0.5)
+            best = v; // grid is descending: the last match is lowest
+    }
+    return best;
+}
+
+Decision
+VccController::evaluate(const EpochTelemetry &telemetry)
+{
+    ++_epochs;
+    Decision decision;
+    if (_cfg.policy != Policy::Reactive)
+        return decision; // Static/Oracle never move at run time.
+
+    double fraction = telemetry.irawStallFraction();
+    if (fraction > _cfg.stepUpThreshold) {
+        circuit::MilliVolts up = nextUp(_current);
+        if (up != 0.0) {
+            decision.switchVcc = true;
+            decision.target = up;
+            _current = up;
+            _settled = true;
+        }
+    } else if (fraction < _cfg.stepDownThreshold && !_settled) {
+        circuit::MilliVolts down = nextDown(_current);
+        if (down != 0.0) {
+            decision.switchVcc = true;
+            decision.target = down;
+            _current = down;
+        }
+    }
+    return decision;
+}
+
+} // namespace adapt
+} // namespace iraw

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Dynamic Vcc adaptation: an interval-driven controller that picks
+ * each chip's operating point at run time instead of provisioning a
+ * single worst-case voltage for the whole run.
+ *
+ * The paper's headline result is that IRAW-guarded stabilization
+ * lets a core *lower* Vcc safely; the fixed-Vcc sweeps elsewhere in
+ * this repo only compare static operating points.  The VccController
+ * closes the loop: every `epoch` cycles it re-evaluates the
+ * operating point from observed stall/IPC telemetry and the chip's
+ * own Vccmin (from variation::ChipSample when one is attached), and
+ * a transition model charges every voltage switch a drain + settle
+ * penalty in cycles and energy.
+ *
+ * Policies:
+ *  - Static:   never moves; with the nominal chip this reproduces a
+ *              fixed-Vcc run bitwise (the regression anchor).
+ *  - Oracle:   starts directly at the floor voltage (the chip's own
+ *              Vccmin, or the configured floor) — offline knowledge,
+ *              zero transitions.
+ *  - Reactive: starts at the provisioned voltage and steps down one
+ *              grid point per epoch while the IRAW stall fraction
+ *              stays below `stepDownThreshold`; steps back up (and
+ *              settles) when it exceeds `stepUpThreshold`.
+ *
+ * Determinism: decisions are pure functions of simulated telemetry,
+ * so adaptive runs stay bitwise identical across thread counts and
+ * repeated runs, like everything else in the simulator.
+ */
+
+#ifndef IRAW_ADAPT_VCC_CONTROLLER_HH
+#define IRAW_ADAPT_VCC_CONTROLLER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/energy.hh"
+#include "circuit/voltage.hh"
+#include "iraw/controller.hh"
+
+namespace iraw {
+
+namespace core {
+struct CoreConfig;
+}
+namespace variation {
+class ChipSample;
+}
+
+namespace adapt {
+
+/** How the controller chooses operating points. */
+enum class Policy : uint8_t
+{
+    Static = 0,  //!< stay at the provisioned voltage forever
+    Oracle = 1,  //!< start at the floor (offline-known best point)
+    Reactive = 2 //!< step down/up from epoch telemetry
+};
+
+/** Stable lower-case name (stats keys, CLI values). */
+const char *policyName(Policy policy);
+
+/** Parse a policy= value; throws FatalError on unknown names. */
+Policy policyByName(const std::string &name);
+
+/** Everything one adaptive run needs. */
+struct AdaptConfig
+{
+    Policy policy = Policy::Static;
+
+    /** Cycles between controller evaluations (epoch=). */
+    uint64_t epochCycles = 20000;
+
+    /**
+     * Transition model: settle cycles charged per Vcc switch after
+     * the pipeline drains (switchcycles=).  During the settle window
+     * the core is idle and every SRAM cell stabilizes, so the switch
+     * is safe regardless of the in-flight state before it.
+     */
+    uint32_t switchCycles = 2000;
+
+    /** Energy charged per switch, a.u. (switchenergy=). */
+    double switchEnergyAu = 25.0;
+
+    /**
+     * Lowest voltage the controller may select (floor=, mV).  0
+     * derives the floor: the chip sample's own Vccmin when one is
+     * attached, else the lowest grid voltage the nominal hardware
+     * provisioning operates at.  A positive value raises the derived
+     * floor (worst-case provisioning across a population).
+     */
+    circuit::MilliVolts floorVcc = 0.0;
+
+    /** Reactive: step down while stall fraction stays below this. */
+    double stepDownThreshold = 0.05;
+    /** Reactive: step back up (and settle) above this. */
+    double stepUpThreshold = 0.20;
+
+    /**
+     * Energy calibration: execution time per instruction (a.u.) of
+     * the baseline machine at the EnergyModel reference voltage.
+     * Scenarios that want paper-comparable energy derive it from a
+     * 600 mV baseline run; 1.0 keeps per-run energy self-consistent.
+     */
+    double refTimePerInst = 1.0;
+
+    /** IRAW dynamic-energy overhead fraction while IRAW is active. */
+    double irawDynOverhead = 0.01;
+
+    /** Throws FatalError on nonsensical values. */
+    void validate() const;
+};
+
+/** What the controller observes per epoch. */
+struct EpochTelemetry
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    /** Core + memory IRAW stall cycles inside the epoch. */
+    uint64_t irawStallCycles = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) / cycles
+                      : 0.0;
+    }
+
+    double
+    irawStallFraction() const
+    {
+        return cycles ? static_cast<double>(irawStallCycles) / cycles
+                      : 0.0;
+    }
+};
+
+/** One controller verdict. */
+struct Decision
+{
+    bool switchVcc = false;
+    circuit::MilliVolts target = 0.0;
+};
+
+/**
+ * One constant-voltage stretch of an adaptive run.  A new segment
+ * opens at every switch; its settle cycles (the transition penalty)
+ * are charged at the segment's own (new) cycle time.
+ */
+struct AdaptSegment
+{
+    circuit::MilliVolts vcc = 0.0;
+    double cycleTimeAu = 0.0;
+    bool irawOn = false;
+    uint64_t cycles = 0;       //!< includes settleCycles
+    uint64_t settleCycles = 0; //!< transition penalty portion
+    uint64_t instructions = 0;
+    /** Segment energy at this operating point (switch energy is
+     *  accounted separately, once per transition). */
+    circuit::EnergyBreakdown energy;
+
+    double execTimeAu() const { return cycles * cycleTimeAu; }
+};
+
+/** Per-run adaptation facts (stats reporting and tests). */
+struct AdaptInfo
+{
+    bool enabled = false;
+    Policy policy = Policy::Static;
+    uint64_t epochCycles = 0;
+    uint64_t epochs = 0;   //!< boundaries evaluated
+    uint32_t switches = 0; //!< voltage transitions taken
+    uint64_t settleCycles = 0; //!< switches * switchCycles
+    uint64_t drainCycles = 0;  //!< cycles ticked to quiesce
+
+    circuit::MilliVolts initialVcc = 0.0;
+    circuit::MilliVolts finalVcc = 0.0;
+    circuit::MilliVolts minVcc = 0.0;
+    circuit::MilliVolts floorVcc = 0.0;
+
+    /** Whole-run totals (warmup included; the controller's world). */
+    uint64_t totalCycles = 0;
+    uint64_t totalInstructions = 0;
+    double execTimeAu = 0.0; //!< sum of segment exec times
+
+    /** Exec-time-weighted mean operating voltage. */
+    double timeWeightedVcc = 0.0;
+
+    /** Transition energy total: switches * switchEnergyAu. */
+    double switchEnergyAu = 0.0;
+    /** Run energy: segment energies plus switch energy (dynamic). */
+    circuit::EnergyBreakdown energy;
+
+    std::vector<AdaptSegment> segments;
+};
+
+/**
+ * The decision engine.  Owns no pipeline state: the simulator feeds
+ * it per-epoch telemetry and applies the decisions it returns, so
+ * the policy logic is unit-testable in isolation.
+ */
+class VccController
+{
+  public:
+    /**
+     * @param model the circuit model (operating-point solutions)
+     * @param cfg   controller configuration (validated)
+     * @param mode  IRAW mode of the run (floor derivation matches
+     *              what the machine will actually do at each point)
+     * @param startVcc the provisioned voltage the run begins at
+     * @param core  hardware provisioning (max N, scoreboard width)
+     * @param chip  sampled chip instance, or null for the nominal
+     *              machine; the floor becomes the chip's own Vccmin
+     */
+    VccController(const circuit::CycleTimeModel &model,
+                  const AdaptConfig &cfg, mechanism::IrawMode mode,
+                  circuit::MilliVolts startVcc,
+                  const core::CoreConfig &core,
+                  const variation::ChipSample *chip);
+
+    /** Where the run starts: the floor for Oracle, else startVcc. */
+    circuit::MilliVolts initialVcc() const { return _initial; }
+
+    circuit::MilliVolts currentVcc() const { return _current; }
+    circuit::MilliVolts floorVcc() const { return _floor; }
+    uint64_t epochs() const { return _epochs; }
+
+    /**
+     * One epoch boundary: evaluate the telemetry and decide.  When
+     * the decision switches, the controller's current voltage moves
+     * with it (the simulator always applies returned switches).
+     */
+    Decision evaluate(const EpochTelemetry &telemetry);
+
+  private:
+    /** Highest grid voltage strictly below @p vcc, or 0 if none
+     *  (or if it would dip under the floor). */
+    circuit::MilliVolts nextDown(circuit::MilliVolts vcc) const;
+    /** Lowest grid voltage strictly above @p vcc, capped at the
+     *  provisioned start; 0 if none. */
+    circuit::MilliVolts nextUp(circuit::MilliVolts vcc) const;
+
+    AdaptConfig _cfg;
+    std::vector<circuit::MilliVolts> _grid; //!< descending
+    circuit::MilliVolts _start = 0.0;
+    circuit::MilliVolts _initial = 0.0;
+    circuit::MilliVolts _floor = 0.0;
+    circuit::MilliVolts _current = 0.0;
+    uint64_t _epochs = 0;
+    /** Reactive: a step up ends the descent for good (hysteresis —
+     *  the level below is known to stall too much). */
+    bool _settled = false;
+};
+
+} // namespace adapt
+} // namespace iraw
+
+#endif // IRAW_ADAPT_VCC_CONTROLLER_HH

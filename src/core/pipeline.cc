@@ -1,6 +1,7 @@
 #include "core/pipeline.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.hh"
 #include "variation/chip_sample.hh"
@@ -383,13 +384,16 @@ Pipeline::fetchStage()
         if (_iq.full())
             break;
 
-        if (!_nextOp && !_traceDone) {
+        if (!_nextOp && !_traceDone && !_fetchFrozen) {
             _nextOp = _trace.next();
             if (!_nextOp)
                 _traceDone = true;
         }
 
-        if (_traceDone) {
+        // A frozen frontend (drainQuiesce) behaves like the end of
+        // the trace — drain NOOPs keep the Eq. (1) gate satisfied —
+        // but leaves the trace cursor and any prefetched op alone.
+        if (_traceDone || _fetchFrozen) {
             // Drain: with the Eq. (1) gate active, inject NOOPs so
             // the last *real* instructions can issue (Sec. 4.2).
             // Once only NOOPs remain the queue may simply sit below
@@ -533,10 +537,17 @@ Pipeline::tick()
 const PipelineStats &
 Pipeline::run(uint64_t maxInsts)
 {
+    return runUntil(maxInsts,
+                    std::numeric_limits<memory::Cycle>::max());
+}
+
+const PipelineStats &
+Pipeline::runUntil(uint64_t maxInsts, memory::Cycle stopCycle)
+{
     fatalIf(maxInsts == 0, "Pipeline: maxInsts must be >= 1");
     _instBudget = maxInsts;
     const uint64_t cycleCap = maxInsts * 1000 + 1000000;
-    while (_stats.committedInsts < maxInsts) {
+    while (_stats.committedInsts < maxInsts && _cycle < stopCycle) {
         if (_traceDone && !_nextOp) {
             // Done when nothing real is left: trailing drain NOOPs
             // below the Eq. (1) threshold never need to issue (the
@@ -554,6 +565,64 @@ Pipeline::run(uint64_t maxInsts)
     }
     _stats.cycles = _cycle;
     return _stats;
+}
+
+bool
+Pipeline::quiescedForSwitch() const
+{
+    return _iq.realEntries() == 0 && _writeWheel.empty();
+}
+
+uint64_t
+Pipeline::drainQuiesce(uint64_t maxInsts)
+{
+    fatalIf(maxInsts == 0, "Pipeline: maxInsts must be >= 1");
+    _instBudget = maxInsts;
+    const uint64_t cycleCap = maxInsts * 1000 + 1000000;
+    const memory::Cycle start = _cycle;
+    _fetchFrozen = true;
+    while (!quiescedForSwitch() &&
+           _stats.committedInsts < maxInsts) {
+        tick();
+        fatalIf(_cycle > cycleCap,
+                "Pipeline: drain exceeded the cycle cap (%llu "
+                "cycles) -- livelock?",
+                static_cast<unsigned long long>(_cycle));
+    }
+    _fetchFrozen = false;
+    // Leftover entries are wrong-path fillers and drain NOOPs; the
+    // transition squashes them (the frontend refetches after the
+    // switch).  Kept as-is if the budget filled mid-drain — the run
+    // is over and no switch follows.
+    if (quiescedForSwitch())
+        _iq.clear();
+    _stats.cycles = _cycle;
+    return _cycle - start;
+}
+
+void
+Pipeline::advanceIdleCycles(uint64_t cycles)
+{
+    panicIf(!quiescedForSwitch(),
+            "Pipeline: advanceIdleCycles needs a drained pipeline");
+    _cycle += cycles;
+    // Registers keep stabilizing while the core idles: shift the
+    // scoreboard through the settle window.  A window at least as
+    // wide as the shift registers provably reaches the all-ready
+    // state (every producer pattern ends in trailing ones), so the
+    // long-window case collapses to a reset; a short window must
+    // shift cycle-for-cycle — a free switch may not skip
+    // stabilization the Eq. (1) rules would have stalled on.  Every
+    // absolute-cycle window (guards, STable, exec units, corruption
+    // trackers) simply expires across the jump.
+    if (cycles >= _cfg.scoreboardBits) {
+        _scoreboard.reset();
+    } else {
+        for (uint64_t i = 0; i < cycles; ++i)
+            _scoreboard.tick();
+    }
+    _currentFetchLine = ~0ULL;
+    _stats.cycles = _cycle;
 }
 
 } // namespace core

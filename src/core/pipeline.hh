@@ -148,6 +148,42 @@ class Pipeline
     /** Run until @p maxInsts commit (or the trace ends). */
     const PipelineStats &run(uint64_t maxInsts);
 
+    /**
+     * Run until @p maxInsts commit, the trace ends, or the cycle
+     * counter reaches @p stopCycle — the epoch-chunked entry point
+     * of the dynamic Vcc controller.  Chunked calls execute exactly
+     * the tick sequence one run() call would, so results are
+     * bitwise identical for any chunking.
+     */
+    const PipelineStats &runUntil(uint64_t maxInsts,
+                                  memory::Cycle stopCycle);
+
+    /**
+     * Drain for a voltage switch: stop supplying new trace
+     * micro-ops (injecting Eq. (1) drain NOOPs as needed) and tick
+     * until every real instruction has issued and every in-flight
+     * write completed, then discard the leftover filler entries.
+     * Returns the cycles ticked.  @p maxInsts is the run's full
+     * instruction budget: if the budget fills mid-drain the drain
+     * stops early (the run is over; no switch will follow).
+     */
+    uint64_t drainQuiesce(uint64_t maxInsts);
+
+    /**
+     * Transition-model settle window: advance the cycle counter by
+     * @p cycles without ticking (the core is idle while Vcc ramps).
+     * Requires a quiesced pipeline (after drainQuiesce); every
+     * stabilization window and busy-until marker expires across the
+     * jump, and the scoreboard returns to all-ready — the physical
+     * state after the settle time.
+     */
+    void advanceIdleCycles(uint64_t cycles);
+
+    /** True iff no real work is in flight (post-drain state). */
+    bool quiescedForSwitch() const;
+
+    memory::Cycle currentCycle() const { return _cycle; }
+
     const PipelineStats &stats() const { return _stats; }
     const Scoreboard &scoreboard() const { return _scoreboard; }
     const mechanism::StoreTable &storeTable() const { return _stable; }
@@ -241,6 +277,7 @@ class Pipeline
     // Frontend state.
     std::optional<isa::MicroOp> _nextOp;
     bool _traceDone = false;
+    bool _fetchFrozen = false; //!< drainQuiesce: no new trace ops
     bool _fetchHalted = false; //!< mispredicted branch in flight
     memory::Cycle _fetchBlockedUntil = 0;
     uint64_t _currentFetchLine = ~0ULL;

@@ -1,0 +1,99 @@
+#include "sim/adapt_analysis.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace iraw {
+namespace sim {
+
+adapt::AdaptConfig
+parseAdaptConfig(ScenarioContext &ctx, adapt::Policy policy)
+{
+    adapt::AdaptConfig cfg;
+    cfg.policy = policy;
+    cfg.epochCycles = ctx.opts().getUint("epoch", cfg.epochCycles);
+    uint64_t switchCycles =
+        ctx.opts().getUint("switchcycles", cfg.switchCycles);
+    fatalIf(switchCycles >= (1ull << 32),
+            "switchcycles=%llu out of range",
+            static_cast<unsigned long long>(switchCycles));
+    cfg.switchCycles = static_cast<uint32_t>(switchCycles);
+    cfg.switchEnergyAu =
+        ctx.opts().getDouble("switchenergy", cfg.switchEnergyAu);
+    cfg.floorVcc = ctx.opts().getDouble("floor", cfg.floorVcc);
+    cfg.stepDownThreshold =
+        ctx.opts().getDouble("down", cfg.stepDownThreshold);
+    cfg.stepUpThreshold =
+        ctx.opts().getDouble("up", cfg.stepUpThreshold);
+    cfg.validate();
+    return cfg;
+}
+
+double
+calibrateRefTimePerInst(ScenarioContext &ctx)
+{
+    MachineAtVcc ref =
+        ctx.runMachine(600.0, mechanism::IrawMode::ForcedOff);
+    fatalIf(ref.instructions == 0,
+            "adapt calibration run committed nothing");
+    return ref.execTimeAu / static_cast<double>(ref.instructions);
+}
+
+std::vector<SimConfig>
+adaptConfigsOverSuite(
+    const ScenarioSettings &settings, circuit::MilliVolts vcc,
+    mechanism::IrawMode mode,
+    std::shared_ptr<const adapt::AdaptConfig> adaptCfg,
+    std::shared_ptr<const variation::ChipSample> chip)
+{
+    std::vector<SimConfig> configs;
+    configs.reserve(settings.suite.size());
+    for (const SuiteEntry &entry : settings.suite) {
+        SimConfig cfg;
+        cfg.workload = entry.workload;
+        cfg.tracePath = entry.tracePath;
+        cfg.seed = entry.seed;
+        cfg.instructions = entry.instructions;
+        cfg.warmupInstructions = settings.warmup;
+        cfg.vcc = vcc;
+        cfg.mode = mode;
+        cfg.profile = settings.profile;
+        cfg.adapt = adaptCfg;
+        cfg.chip = chip;
+        configs.push_back(cfg);
+    }
+    return configs;
+}
+
+AdaptAggregate
+aggregateAdapt(const std::vector<SimResult> &results)
+{
+    AdaptAggregate agg;
+    double vccWeighted = 0.0;
+    for (const SimResult &r : results) {
+        ++agg.runs;
+        agg.instructions += r.pipeline.committedInsts;
+        agg.cycles += r.pipeline.cycles;
+        agg.execTimeAu += r.execTimeAu;
+        agg.totalInstructions += r.adapt.totalInstructions;
+        agg.totalExecTimeAu += r.adapt.execTimeAu;
+        agg.energy.dynamic += r.adapt.energy.dynamic;
+        agg.energy.leakage += r.adapt.energy.leakage;
+        agg.switches += r.adapt.switches;
+        agg.epochs += r.adapt.epochs;
+        agg.settleCycles += r.adapt.settleCycles;
+        agg.drainCycles += r.adapt.drainCycles;
+        vccWeighted += r.adapt.timeWeightedVcc * r.adapt.execTimeAu;
+        agg.minVcc = agg.runs == 1
+                         ? r.adapt.minVcc
+                         : std::min(agg.minVcc, r.adapt.minVcc);
+    }
+    agg.timeWeightedVcc = agg.totalExecTimeAu > 0.0
+                              ? vccWeighted / agg.totalExecTimeAu
+                              : 0.0;
+    return agg;
+}
+
+} // namespace sim
+} // namespace iraw

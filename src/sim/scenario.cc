@@ -234,7 +234,10 @@ scenarioMain(int argc, const char *const *argv)
                      "[warmup=N] [trace=file.trc] [tracestore=0|1] "
                      "[tracecache=dir] [storebytes=N] "
                      "[storestats=1] [profile=0|1] "
-                     "[chips=N] [sigma=S] [chipseed=N]\n";
+                     "[chips=N] [sigma=S] [chipseed=N] "
+                     "[policy=static|oracle|reactive] [epoch=N] "
+                     "[switchcycles=N] [switchenergy=E] "
+                     "[floor=mV]\n";
         listScenarios(std::cerr);
         return 1;
     }

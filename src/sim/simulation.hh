@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "adapt/vcc_controller.hh"
 #include "common/profiler.hh"
 #include "circuit/cycle_time.hh"
 #include "core/core_config.hh"
@@ -78,6 +79,16 @@ struct SimConfig
      * chip's geometry must match core/mem.
      */
     std::shared_ptr<const variation::ChipSample> chip;
+
+    /**
+     * Dynamic Vcc adaptation: attach an interval-driven controller
+     * that re-evaluates the operating point every epoch and charges
+     * a transition penalty per switch (see adapt/vcc_controller.hh).
+     * @ref vcc becomes the *provisioned* (starting) voltage.  Null
+     * (the default) is a fixed-Vcc run; an attached controller with
+     * Policy::Static is bitwise identical to it.
+     */
+    std::shared_ptr<const adapt::AdaptConfig> adapt;
 };
 
 /** Per-run variation facts (stats reporting). */
@@ -148,6 +159,9 @@ struct SimResult
 
     /** Process-variation facts (enabled=false on nominal runs). */
     VariationInfo variation;
+
+    /** Vcc-adaptation facts (enabled=false on fixed-Vcc runs). */
+    adapt::AdaptInfo adapt;
 
     /** Instructions per a.u. of wall time (performance). */
     double

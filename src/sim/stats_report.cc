@@ -149,6 +149,75 @@ writeStatsReport(std::ostream &os, const SimResult &result)
         var.dump(os);
     }
 
+    // Dynamic Vcc adaptation (controller-attached runs only):
+    // absent on fixed-Vcc runs so default outputs stay
+    // byte-identical.
+    if (result.adapt.enabled) {
+        const adapt::AdaptInfo &a = result.adapt;
+        stats::Group group("adapt");
+        group.addScalar("policy",
+                        "0=static 1=oracle 2=reactive")
+            .set(static_cast<uint64_t>(a.policy));
+        group.addScalar("epoch_cycles",
+                        "cycles between controller evaluations")
+            .set(a.epochCycles);
+        group.addScalar("epochs", "boundaries evaluated")
+            .set(a.epochs);
+        group.addScalar("switches", "voltage transitions taken")
+            .set(a.switches);
+        group.addScalar("settle_cycles",
+                        "idle cycles charged by the switch penalty")
+            .set(a.settleCycles);
+        group.addScalar("drain_cycles",
+                        "cycles ticked to quiesce before switches")
+            .set(a.drainCycles);
+        group.addScalar("segments",
+                        "constant-voltage stretches of the run")
+            .set(a.segments.size());
+        group.addFormula(
+            "initial_vcc_mV", [&a]() { return a.initialVcc; },
+            "operating point the run started at");
+        group.addFormula(
+            "final_vcc_mV", [&a]() { return a.finalVcc; },
+            "operating point the run ended at");
+        group.addFormula(
+            "min_vcc_mV", [&a]() { return a.minVcc; },
+            "lowest operating point reached");
+        group.addFormula(
+            "floor_vcc_mV", [&a]() { return a.floorVcc; },
+            "lowest point the controller may select (Vccmin)");
+        group.addFormula(
+            "time_weighted_vcc_mV",
+            [&a]() { return a.timeWeightedVcc; },
+            "exec-time-weighted mean operating voltage");
+        group.addScalar("total_cycles",
+                        "whole-run cycles (warmup included)")
+            .set(a.totalCycles);
+        group.addScalar("total_instructions",
+                        "whole-run committed instructions")
+            .set(a.totalInstructions);
+        group.addFormula(
+            "exec_time_au", [&a]() { return a.execTimeAu; },
+            "whole-run execution time over all segments");
+        group.addFormula(
+            "switch_energy_au",
+            [&a]() { return a.switchEnergyAu; },
+            "transition energy (switches x switchenergy)");
+        group.addFormula(
+            "energy_dynamic_au",
+            [&a]() { return a.energy.dynamic; },
+            "dynamic energy incl. transition energy");
+        group.addFormula(
+            "energy_leakage_au",
+            [&a]() { return a.energy.leakage; },
+            "leakage energy over all segments");
+        group.addFormula(
+            "energy_total_au",
+            [&a]() { return a.energy.total(); },
+            "whole-run energy at the adapted operating points");
+        group.dump(os);
+    }
+
     // Host-side profiling (profile=1 only): wall-clock numbers are
     // nondeterministic, so they stay out of default reports to keep
     // output diffs (threads=1 vs N, store on/off) byte-identical.

@@ -1,0 +1,385 @@
+/**
+ * @file
+ * Unit tests for the dynamic Vcc-adaptation subsystem: policy
+ * logic, the Static == fixed-Vcc bitwise contract, epoch-boundary
+ * determinism across thread counts, exact switch-penalty
+ * accounting, and reduction-order independence of adaptive runs
+ * fanned over the parallel runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "adapt/vcc_controller.hh"
+#include "circuit/energy.hh"
+#include "sim/runner.hh"
+#include "sim/simulation.hh"
+#include "sim/stats_report.hh"
+#include "variation/chip_sample.hh"
+
+namespace iraw {
+namespace {
+
+using adapt::AdaptConfig;
+using adapt::Policy;
+using sim::SimConfig;
+using sim::SimResult;
+using sim::Simulator;
+
+SimConfig
+baseConfig(circuit::MilliVolts vcc = 475.0)
+{
+    SimConfig cfg;
+    cfg.vcc = vcc;
+    cfg.workload = "spec2006int";
+    cfg.seed = 3;
+    cfg.instructions = 8000;
+    cfg.warmupInstructions = 2000;
+    return cfg;
+}
+
+std::string
+statsOf(const SimResult &result, bool stripAdapt)
+{
+    std::ostringstream os;
+    sim::writeStatsReport(os, result);
+    if (!stripAdapt)
+        return os.str();
+    std::istringstream in(os.str());
+    std::string line, out;
+    while (std::getline(in, line)) {
+        if (line.rfind("adapt.", 0) == 0)
+            continue;
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+TEST(VccController, PolicyNamesRoundTrip)
+{
+    for (Policy p : {Policy::Static, Policy::Oracle,
+                     Policy::Reactive})
+        EXPECT_EQ(adapt::policyByName(adapt::policyName(p)), p);
+    EXPECT_THROW(adapt::policyByName("greedy"), FatalError);
+}
+
+TEST(VccController, ConfigValidation)
+{
+    AdaptConfig cfg;
+    cfg.epochCycles = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg = AdaptConfig{};
+    cfg.stepUpThreshold = 0.01; // below the down threshold
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg = AdaptConfig{};
+    cfg.floorVcc = 9000.0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(VccController, OracleStartsAtTheFloor)
+{
+    Simulator sim;
+    AdaptConfig cfg;
+    cfg.policy = Policy::Oracle;
+    core::CoreConfig core;
+    adapt::VccController ctl(sim.cycleTimeModel(), cfg,
+                             mechanism::IrawMode::Auto, 700.0, core,
+                             nullptr);
+    // The nominal machine operates down the whole grid.
+    EXPECT_DOUBLE_EQ(ctl.floorVcc(), circuit::kMinVcc);
+    EXPECT_DOUBLE_EQ(ctl.initialVcc(), circuit::kMinVcc);
+    // A configured floor raises the derived one.
+    cfg.floorVcc = 500.0;
+    adapt::VccController floored(sim.cycleTimeModel(), cfg,
+                                 mechanism::IrawMode::Auto, 700.0,
+                                 core, nullptr);
+    EXPECT_DOUBLE_EQ(floored.initialVcc(), 500.0);
+}
+
+TEST(VccController, ReactiveStepsAndSettles)
+{
+    Simulator sim;
+    AdaptConfig cfg;
+    cfg.policy = Policy::Reactive;
+    cfg.stepDownThreshold = 0.05;
+    cfg.stepUpThreshold = 0.20;
+    core::CoreConfig core;
+    adapt::VccController ctl(sim.cycleTimeModel(), cfg,
+                             mechanism::IrawMode::Auto, 700.0, core,
+                             nullptr);
+
+    adapt::EpochTelemetry calm;
+    calm.cycles = 1000;
+    calm.instructions = 900;
+    calm.irawStallCycles = 10; // 1% — step down
+    adapt::Decision d = ctl.evaluate(calm);
+    ASSERT_TRUE(d.switchVcc);
+    EXPECT_DOUBLE_EQ(d.target, 675.0);
+
+    adapt::EpochTelemetry stressed = calm;
+    stressed.irawStallCycles = 400; // 40% — step back up
+    d = ctl.evaluate(stressed);
+    ASSERT_TRUE(d.switchVcc);
+    EXPECT_DOUBLE_EQ(d.target, 700.0);
+
+    // Hysteresis: the bounce settles the controller for good.
+    d = ctl.evaluate(calm);
+    EXPECT_FALSE(d.switchVcc);
+    EXPECT_EQ(ctl.epochs(), 3u);
+}
+
+TEST(AdaptRun, StaticMatchesFixedVccBitwise)
+{
+    Simulator sim;
+    SimConfig fixed = baseConfig(475.0);
+    SimResult plain = sim.run(fixed);
+
+    // Two very different epoch lengths: chunking the cycle loop at
+    // epoch boundaries must not perturb a single tick.
+    for (uint64_t epoch : {256ull, 7321ull}) {
+        SimConfig cfg = fixed;
+        auto acfg = std::make_shared<AdaptConfig>();
+        acfg->policy = Policy::Static;
+        acfg->epochCycles = epoch;
+        cfg.adapt = acfg;
+        SimResult adaptive = sim.run(cfg);
+
+        EXPECT_TRUE(adaptive.adapt.enabled);
+        EXPECT_EQ(adaptive.adapt.switches, 0u);
+        EXPECT_EQ(adaptive.pipeline.cycles, plain.pipeline.cycles);
+        EXPECT_EQ(adaptive.pipeline.committedInsts,
+                  plain.pipeline.committedInsts);
+        EXPECT_EQ(adaptive.execTimeAu, plain.execTimeAu);
+        EXPECT_EQ(adaptive.ipc, plain.ipc);
+        EXPECT_EQ(adaptive.dl0MissRate, plain.dl0MissRate);
+        EXPECT_EQ(adaptive.bpAccuracy, plain.bpAccuracy);
+        // The full report, modulo the adapt group that only the
+        // controller-attached run emits.
+        EXPECT_EQ(statsOf(adaptive, true), statsOf(plain, false))
+            << "epoch=" << epoch;
+    }
+}
+
+TEST(AdaptRun, ReactiveDescendsToTheFloor)
+{
+    Simulator sim;
+    SimConfig cfg = baseConfig(550.0);
+    cfg.instructions = 20000;
+    auto acfg = std::make_shared<AdaptConfig>();
+    acfg->policy = Policy::Reactive;
+    acfg->epochCycles = 1500;
+    acfg->switchCycles = 500;
+    acfg->switchEnergyAu = 7.5;
+    acfg->floorVcc = 450.0;
+    // Thresholds that always step down: every epoch moves one grid
+    // point until the floor, so the transition count is exact.
+    acfg->stepDownThreshold = 2.0;
+    acfg->stepUpThreshold = 3.0;
+    cfg.adapt = acfg;
+    SimResult res = sim.run(cfg);
+
+    EXPECT_TRUE(res.adapt.enabled);
+    EXPECT_DOUBLE_EQ(res.adapt.initialVcc, 550.0);
+    EXPECT_DOUBLE_EQ(res.adapt.floorVcc, 450.0);
+    EXPECT_DOUBLE_EQ(res.adapt.finalVcc, 450.0);
+    EXPECT_DOUBLE_EQ(res.adapt.minVcc, 450.0);
+    EXPECT_EQ(res.adapt.switches, 4u); // 550->525->500->475->450
+    EXPECT_EQ(res.adapt.segments.size(), 5u);
+    EXPECT_GT(res.adapt.epochs, res.adapt.switches);
+}
+
+TEST(AdaptRun, SwitchPenaltyAccountingIsExact)
+{
+    Simulator sim;
+    SimConfig cfg = baseConfig(550.0);
+    cfg.instructions = 20000;
+    auto acfg = std::make_shared<AdaptConfig>();
+    acfg->policy = Policy::Reactive;
+    acfg->epochCycles = 1500;
+    acfg->switchCycles = 500;
+    acfg->switchEnergyAu = 7.5;
+    acfg->floorVcc = 450.0;
+    acfg->stepDownThreshold = 2.0;
+    acfg->stepUpThreshold = 3.0;
+    cfg.adapt = acfg;
+    SimResult res = sim.run(cfg);
+    const adapt::AdaptInfo &a = res.adapt;
+    ASSERT_GT(a.switches, 0u);
+
+    // Settle cycles: exactly switches * switchcycles, and every
+    // switch-opened segment carries its own share.
+    EXPECT_EQ(a.settleCycles,
+              static_cast<uint64_t>(a.switches) *
+                  acfg->switchCycles);
+    uint64_t segSettle = 0, segCycles = 0, segInsts = 0;
+    double segExec = 0.0;
+    circuit::EnergyBreakdown segEnergy;
+    circuit::EnergyModel energyModel(acfg->refTimePerInst);
+    for (const adapt::AdaptSegment &seg : a.segments) {
+        segSettle += seg.settleCycles;
+        segCycles += seg.cycles;
+        segInsts += seg.instructions;
+        segExec += seg.execTimeAu();
+        circuit::EnergyBreakdown e = energyModel.taskEnergy(
+            seg.vcc, seg.instructions, seg.execTimeAu(),
+            seg.irawOn ? acfg->irawDynOverhead : 0.0);
+        EXPECT_EQ(e.dynamic, seg.energy.dynamic);
+        EXPECT_EQ(e.leakage, seg.energy.leakage);
+        segEnergy.dynamic += e.dynamic;
+        segEnergy.leakage += e.leakage;
+    }
+    EXPECT_EQ(segSettle, a.settleCycles);
+    EXPECT_EQ(segCycles, a.totalCycles);
+    EXPECT_EQ(segInsts, a.totalInstructions);
+    EXPECT_EQ(segExec, a.execTimeAu);
+
+    // Energy: the segment fold plus one switchenergy per
+    // transition, exactly.
+    EXPECT_EQ(a.switchEnergyAu, a.switches * acfg->switchEnergyAu);
+    EXPECT_EQ(a.energy.dynamic,
+              segEnergy.dynamic + a.switchEnergyAu);
+    EXPECT_EQ(a.energy.leakage, segEnergy.leakage);
+
+    // The whole-run cycle count the controller reports is the
+    // pipeline's own (warmup + measured window).
+    EXPECT_GE(a.totalCycles, res.pipeline.cycles);
+    EXPECT_EQ(a.totalInstructions,
+              res.pipeline.committedInsts + 2000);
+}
+
+TEST(AdaptRun, ZeroSettleSwitchesKeepStabilizing)
+{
+    // switchcycles=0 must not grant free stabilization: the settle
+    // path shifts the scoreboard cycle-for-cycle when the window is
+    // shorter than the pattern width, so a zero-cycle switch leaves
+    // mid-stabilization registers exactly where the drain left
+    // them.  The run must stay livelock-free and account exactly.
+    Simulator sim;
+    SimConfig cfg = baseConfig(550.0);
+    cfg.instructions = 12000;
+    auto acfg = std::make_shared<AdaptConfig>();
+    acfg->policy = Policy::Reactive;
+    acfg->epochCycles = 1200;
+    acfg->switchCycles = 0;
+    acfg->floorVcc = 475.0;
+    acfg->stepDownThreshold = 2.0;
+    acfg->stepUpThreshold = 3.0;
+    cfg.adapt = acfg;
+    SimResult res = sim.run(cfg);
+    EXPECT_EQ(res.adapt.switches, 3u); // 550->525->500->475
+    EXPECT_EQ(res.adapt.settleCycles, 0u);
+    uint64_t segCycles = 0;
+    for (const adapt::AdaptSegment &seg : res.adapt.segments)
+        segCycles += seg.cycles;
+    EXPECT_EQ(segCycles, res.adapt.totalCycles);
+    // Bitwise repeatable.
+    SimResult again = sim.run(cfg);
+    EXPECT_EQ(statsOf(res, false), statsOf(again, false));
+}
+
+std::vector<SimConfig>
+adaptSuiteConfigs()
+{
+    const char *workloads[] = {"spec2006int", "spec2006fp",
+                               "kernels", "server"};
+    std::vector<SimConfig> configs;
+    uint64_t seed = 1;
+    for (const char *w : workloads) {
+        SimConfig cfg = baseConfig(550.0);
+        cfg.workload = w;
+        cfg.seed = seed++;
+        cfg.instructions = 6000;
+        cfg.warmupInstructions = 1500;
+        auto acfg = std::make_shared<AdaptConfig>();
+        acfg->policy = Policy::Reactive;
+        acfg->epochCycles = 1000;
+        acfg->switchCycles = 300;
+        acfg->stepDownThreshold = 2.0;
+        acfg->stepUpThreshold = 3.0;
+        cfg.adapt = acfg;
+        configs.push_back(cfg);
+    }
+    return configs;
+}
+
+TEST(AdaptRun, EpochBoundariesAreThreadCountIndependent)
+{
+    Simulator sim;
+    std::vector<SimConfig> configs = adaptSuiteConfigs();
+    sim::SweepRunner serial(sim, sim::RunnerConfig{1});
+    sim::SweepRunner parallel(sim, sim::RunnerConfig{8});
+    std::vector<SimResult> a = serial.runConfigs(configs);
+    std::vector<SimResult> b = parallel.runConfigs(configs);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(statsOf(a[i], false), statsOf(b[i], false))
+            << "config " << i;
+}
+
+TEST(AdaptRun, PopulationReductionIsOrderIndependent)
+{
+    Simulator sim;
+    std::vector<SimConfig> configs = adaptSuiteConfigs();
+    std::vector<SimConfig> reversed(configs.rbegin(),
+                                    configs.rend());
+    sim::SweepRunner runner(sim, sim::RunnerConfig{4});
+    std::vector<SimResult> fwd = runner.runConfigs(configs);
+    std::vector<SimResult> rev = runner.runConfigs(reversed);
+    ASSERT_EQ(fwd.size(), rev.size());
+    for (size_t i = 0; i < fwd.size(); ++i)
+        EXPECT_EQ(statsOf(fwd[i], false),
+                  statsOf(rev[rev.size() - 1 - i], false))
+            << "config " << i;
+}
+
+TEST(AdaptRun, ChipFloorIsItsOwnVccmin)
+{
+    Simulator sim;
+    variation::VariationParams params;
+    params.sigma = 0.10;
+    params.systematicSigma = 0.03;
+    variation::VariationModel model(params);
+    core::CoreConfig core;
+    memory::MemoryConfig mem;
+    auto chip = std::make_shared<const variation::ChipSample>(
+        variation::ChipSample::sample(
+            model, 7, 0, variation::ChipGeometry::from(core, mem)));
+
+    // The controller's floor must equal the prefix-rule Vccmin the
+    // population machinery would assign this chip.
+    circuit::MilliVolts vccmin = 0.0;
+    for (circuit::MilliVolts v : circuit::standardSweep()) {
+        if (!chip->operableAt(sim.cycleTimeModel(), core, v)
+                 .operable)
+            break;
+        vccmin = v;
+    }
+    ASSERT_GT(vccmin, 0.0);
+
+    AdaptConfig acfg;
+    acfg.policy = Policy::Oracle;
+    adapt::VccController ctl(sim.cycleTimeModel(), acfg,
+                             mechanism::IrawMode::ForcedOn, 700.0,
+                             core, chip.get());
+    EXPECT_DOUBLE_EQ(ctl.floorVcc(), vccmin);
+    EXPECT_DOUBLE_EQ(ctl.initialVcc(), vccmin);
+
+    // And an oracle run on that chip lands there with no switches.
+    SimConfig cfg = baseConfig(700.0);
+    cfg.instructions = 5000;
+    cfg.warmupInstructions = 1000;
+    cfg.mode = mechanism::IrawMode::ForcedOn;
+    cfg.chip = chip;
+    cfg.adapt = std::make_shared<AdaptConfig>(acfg);
+    SimResult res = sim.run(cfg);
+    EXPECT_DOUBLE_EQ(res.adapt.initialVcc, vccmin);
+    EXPECT_DOUBLE_EQ(res.adapt.finalVcc, vccmin);
+    EXPECT_EQ(res.adapt.switches, 0u);
+    EXPECT_TRUE(res.variation.enabled);
+}
+
+} // namespace
+} // namespace iraw
