@@ -1,0 +1,97 @@
+#include "core/batched_pipeline.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+#include "trace/trace_store.hh"
+#include "variation/chip_sample.hh"
+
+namespace iraw {
+namespace core {
+
+BatchedPipeline::BatchedPipeline(trace::TraceBufferPtr buffer,
+                                 memory::Cycle quantum)
+    : _buffer(std::move(buffer)), _quantum(quantum)
+{
+    panicIf(_buffer == nullptr,
+            "BatchedPipeline: null trace buffer");
+    panicIf(_quantum == 0, "BatchedPipeline: zero quantum");
+}
+
+BatchedPipeline::~BatchedPipeline() = default;
+
+size_t
+BatchedPipeline::addLane(
+    const CoreConfig &core, const memory::MemoryConfig &mem,
+    const mechanism::IrawSettings &settings,
+    uint32_t dramLatencyCycles,
+    std::shared_ptr<const variation::StabilizationMaps> maps)
+{
+    panicIf(_ran, "BatchedPipeline: addLane() after run()");
+    core.validate();
+
+    Lane lane;
+    lane.src = std::make_unique<trace::ReplayTraceSource>(_buffer);
+    lane.mem = std::make_unique<memory::MemoryHierarchy>(mem);
+    if (dramLatencyCycles != 0)
+        lane.mem->setDramLatencyCycles(dramLatencyCycles);
+    lane.pipe =
+        std::make_unique<Pipeline>(core, *lane.mem, *lane.src);
+    lane.pipe->applySettings(settings);
+    if (maps)
+        lane.pipe->applyStabilizationMaps(std::move(maps));
+    _lanes.push_back(std::move(lane));
+    return _lanes.size() - 1;
+}
+
+void
+BatchedPipeline::run(uint64_t maxInsts)
+{
+    panicIf(_ran, "BatchedPipeline: run() called twice");
+    panicIf(_lanes.empty(), "BatchedPipeline: run() with no lanes");
+    _ran = true;
+
+    size_t active = _lanes.size();
+    while (active > 0) {
+        for (Lane &lane : _lanes) {
+            if (lane.done)
+                continue;
+            memory::Cycle now = lane.pipe->currentCycle();
+            memory::Cycle stop =
+                (now > std::numeric_limits<memory::Cycle>::max() -
+                           _quantum)
+                    ? std::numeric_limits<memory::Cycle>::max()
+                    : now + _quantum;
+            const PipelineStats &st =
+                lane.pipe->runUntil(maxInsts, stop);
+            // runUntil returns either at the stop cycle (more work
+            // left) or earlier (budget met or trace drained).
+            if (st.committedInsts >= maxInsts ||
+                lane.pipe->currentCycle() < stop) {
+                lane.done = true;
+                --active;
+            }
+        }
+    }
+}
+
+const PipelineStats &
+BatchedPipeline::stats(size_t lane) const
+{
+    panicIf(lane >= _lanes.size(),
+            "BatchedPipeline: stats(%zu) with %zu lanes", lane,
+            _lanes.size());
+    return _lanes[lane].pipe->stats();
+}
+
+const Pipeline &
+BatchedPipeline::pipeline(size_t lane) const
+{
+    panicIf(lane >= _lanes.size(),
+            "BatchedPipeline: pipeline(%zu) with %zu lanes", lane,
+            _lanes.size());
+    return *_lanes[lane].pipe;
+}
+
+} // namespace core
+} // namespace iraw

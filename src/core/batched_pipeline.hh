@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Lockstep multi-machine driver over one shared decoded trace.
+ *
+ * A design-space sweep replays the *same* dynamic instruction stream
+ * through B differently-configured machines (operating points,
+ * scoreboard widths, bypass depths, per-chip stabilization maps).
+ * Run serially, each machine streams the decoded trace buffer from
+ * cold memory end to end; run here, the B machines advance in
+ * bounded cycle quanta, so the window of the buffer they are all
+ * reading stays resident in cache and is paid for once per quantum
+ * instead of once per machine.
+ *
+ * Layout: the batch is a pool of lanes, one complete machine per
+ * lane (replay cursor, memory hierarchy, pipeline).  The
+ * per-structure state inside each lane is already
+ * structure-of-arrays -- the scoreboard keeps parallel pattern /
+ * shadow / set-cycle / long-latency arrays indexed by register, the
+ * IQ is a flat ring of entries, the event wheel a flat slot array --
+ * so pooling lanes yields B parallel copies of those arrays, and the
+ * only shared state is the immutable decoded trace buffer.  Nothing
+ * is merged *across* lanes on purpose: lanes may differ in scoreboard
+ * geometry, stabilization maps, even core config, and cross-lane SoA
+ * would forbid exactly the heterogeneity a design-space sweep needs.
+ *
+ * Why the lanes' trace cursors may NOT stay aligned: lanes consume
+ * trace micro-ops at their own IPC (a deeper stabilization window
+ * stalls more, a drained lane injects NOOPs that consume no trace
+ * records), so after the same number of cycles two lanes sit at
+ * different buffer offsets.  Lockstep does not force equality -- it
+ * *bounds the divergence*: after every quantum of Q cycles each lane
+ * has advanced its cursor by at most Q * fetchWidth records, so the
+ * spread between the slowest and fastest lane grows by at most that
+ * much per round and the shared window stays narrow.  Correctness
+ * never depends on the bound; each lane owns its cursor and executes
+ * the exact tick sequence it would execute alone (the chunked
+ * runUntil() invariant), so results are bitwise identical to serial
+ * runs for every quantum size.
+ */
+
+#ifndef IRAW_CORE_BATCHED_PIPELINE_HH
+#define IRAW_CORE_BATCHED_PIPELINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/pipeline.hh"
+#include "iraw/controller.hh"
+#include "memory/hierarchy.hh"
+#include "trace/trace_store.hh"
+
+namespace iraw {
+
+namespace variation {
+struct StabilizationMaps;
+}
+
+namespace core {
+
+/** B machines advancing in lockstep over one decoded trace. */
+class BatchedPipeline
+{
+  public:
+    /** Default round-robin quantum (cycles per lane per turn). */
+    static constexpr memory::Cycle kDefaultQuantum = 32768;
+
+    /** @param buffer the shared decoded trace every lane replays */
+    explicit BatchedPipeline(trace::TraceBufferPtr buffer,
+                             memory::Cycle quantum = kDefaultQuantum);
+    ~BatchedPipeline();
+
+    /**
+     * Add one machine instance.  @p dramLatencyCycles overrides the
+     * hierarchy's config-derived DRAM latency when non-zero (before
+     * settings apply, matching the serial setup order);
+     * @p maps attaches per-chip stabilization maps after the
+     * settings (variation mode; null for the nominal machine).
+     * Returns the lane index.  Only legal before run().
+     */
+    size_t addLane(
+        const CoreConfig &core, const memory::MemoryConfig &mem,
+        const mechanism::IrawSettings &settings,
+        uint32_t dramLatencyCycles = 0,
+        std::shared_ptr<const variation::StabilizationMaps> maps =
+            nullptr);
+
+    /**
+     * Drive every lane to @p maxInsts committed instructions (or
+     * trace exhaustion) in round-robin quanta.  One-shot: a second
+     * call is a usage error.
+     */
+    void run(uint64_t maxInsts);
+
+    size_t lanes() const { return _lanes.size(); }
+    const PipelineStats &stats(size_t lane) const;
+    const Pipeline &pipeline(size_t lane) const;
+
+  private:
+    struct Lane
+    {
+        std::unique_ptr<trace::ReplayTraceSource> src;
+        std::unique_ptr<memory::MemoryHierarchy> mem;
+        std::unique_ptr<Pipeline> pipe;
+        bool done = false;
+    };
+
+    trace::TraceBufferPtr _buffer;
+    memory::Cycle _quantum;
+    std::vector<Lane> _lanes;
+    bool _ran = false;
+};
+
+} // namespace core
+} // namespace iraw
+
+#endif // IRAW_CORE_BATCHED_PIPELINE_HH

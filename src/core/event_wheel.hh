@@ -23,7 +23,9 @@
 #ifndef IRAW_CORE_EVENT_WHEEL_HH
 #define IRAW_CORE_EVENT_WHEEL_HH
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <utility>
 #include <vector>
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/bitutils.hh"
 #include "common/logging.hh"
+#include "trace/trace_store.hh"
 #include "variation/chip_sample.hh"
 
 namespace iraw {
@@ -54,6 +56,7 @@ Pipeline::Pipeline(const CoreConfig &cfg,
                    memory::MemoryHierarchy &hierarchy,
                    trace::TraceSource &source)
     : _cfg(cfg), _mem(hierarchy), _trace(source),
+      _replay(source.replay()),
       _scoreboard(cfg.scoreboardBits, cfg.bypassLevels),
       _iq(cfg.iqEntries), _units(cfg),
       _gate(cfg.iqEntries, cfg.issueWidth, cfg.fetchWidth),
@@ -65,6 +68,11 @@ Pipeline::Pipeline(const CoreConfig &cfg,
       _rsb(cfg.rsbDepth), _rng(cfg.corruptionSeed)
 {
     _cfg.validate();
+    const uint64_t il0Line = hierarchy.config().il0.lineBytes;
+    fatalIf(!isPowerOf2(il0Line),
+            "Pipeline: IL0 line size %llu is not a power of two",
+            static_cast<unsigned long long>(il0Line));
+    _il0LineShift = floorLog2(il0Line);
     _pendingWrites.assign(isa::kNumLogicalRegs, 0);
 }
 
@@ -134,6 +142,7 @@ Pipeline::reset()
     _writeWheel.clear();
     _pendingWrites.assign(isa::kNumLogicalRegs, 0);
     _nextOp.reset();
+    _peek = nullptr;
     _traceDone = false;
     _fetchHalted = false;
     _fetchBlockedUntil = 0;
@@ -368,12 +377,12 @@ Pipeline::fetchStage()
         // this matters for the Eq. (1) occupancy gate.
         for (uint32_t slot = 0;
              slot < _cfg.fetchWidth && !_iq.full(); ++slot) {
-            IqEntry wp;
+            IqEntry &wp =
+                _iq.allocateBack(/*isDrainNop=*/false,
+                                 /*isWrongPath=*/true);
             wp.op = isa::makeNop(0, 0);
             wp.allocCycle = _cycle;
             wp.fetchCycle = _cycle;
-            wp.isWrongPath = true;
-            _iq.allocate(wp);
         }
         return;
     }
@@ -384,10 +393,28 @@ Pipeline::fetchStage()
         if (_iq.full())
             break;
 
-        if (!_nextOp && !_traceDone && !_fetchFrozen) {
-            _nextOp = _trace.next();
-            if (!_nextOp)
-                _traceDone = true;
+        // Pull the next micro-op.  Store-backed replay sources hand
+        // out a stable pointer into the shared decoded buffer — no
+        // virtual call, no record unpack, no copy; streaming sources
+        // take the virtual pull interface.
+        const MicroOp *op = nullptr;
+        if (!_traceDone && !_fetchFrozen) {
+            if (_replay) {
+                if (!_peek) {
+                    _peek = _replay->take();
+                    if (!_peek)
+                        _traceDone = true;
+                }
+                op = _peek;
+            } else {
+                if (!_nextOp) {
+                    _nextOp = _trace.next();
+                    if (!_nextOp)
+                        _traceDone = true;
+                }
+                if (_nextOp)
+                    op = &*_nextOp;
+            }
         }
 
         // A frozen frontend (drainQuiesce) behaves like the end of
@@ -401,24 +428,22 @@ Pipeline::fetchStage()
             bool hasReal = _iq.realEntries() > 0;
             if (_n > 0 && hasReal &&
                 !_gate.issueAllowed(_iq.occupancy())) {
-                IqEntry nop;
+                IqEntry &nop =
+                    _iq.allocateBack(/*isDrainNop=*/true,
+                                     /*isWrongPath=*/false);
                 nop.op = isa::makeNop(++_nopSeq, 0);
                 nop.allocCycle = _cycle;
                 nop.fetchCycle = _cycle;
-                nop.isDrainNop = true;
-                _iq.allocate(nop);
                 ++_nopsInjected;
                 continue;
             }
             break;
         }
 
-        const MicroOp &op = *_nextOp;
-
         // Instruction memory: one IL0 access per fetched line.
-        uint64_t line = op.pc / _mem.config().il0.lineBytes;
+        uint64_t line = op->pc >> _il0LineShift;
         if (line != _currentFetchLine) {
-            auto res = _mem.instFetch(op.pc, _cycle);
+            auto res = _mem.instFetch(op->pc, _cycle);
             ++_stats.fetchLineAccesses;
             if (res.readyCycle > _cycle) {
                 _fetchBlockedUntil = res.readyCycle;
@@ -429,15 +454,15 @@ Pipeline::fetchStage()
             _currentFetchLine = line;
         }
 
-        IqEntry entry;
-        entry.op = op;
+        IqEntry &entry = _iq.allocateBack();
+        entry.op = *op;
         entry.allocCycle = _cycle;
         entry.fetchCycle = _cycle;
 
         // Branch prediction.
-        if (op.isBranch()) {
+        if (op->isBranch()) {
             ++_stats.branches;
-            if (op.opClass == OpClass::Branch) {
+            if (op->opClass == OpClass::Branch) {
                 // Train immediately with the fetch-time state (the
                 // real machine trains at execute with a checkpointed
                 // history); the update's array write lands roughly a
@@ -446,7 +471,7 @@ Pipeline::fetchStage()
                 // yields the (pre-update-history) entry index, the
                 // prediction, and the direction-bit flip.
                 predictor::PredictOutcome out =
-                    _bp.predictAndTrain(op.pc, op.taken);
+                    _bp.predictAndTrain(op->pc, op->taken);
                 bool conflict =
                     _bpCorruption.noteRead(out.index, _cycle);
                 if (conflict)
@@ -460,9 +485,9 @@ Pipeline::fetchStage()
                     ++_stats.injectedCorruptions;
                 }
                 entry.predictedTaken = pred;
-                entry.mispredicted = pred != op.taken;
-            } else if (op.opClass == OpClass::Call) {
-                _rsb.push(op.pc + 4, _cycle);
+                entry.mispredicted = pred != op->taken;
+            } else if (op->opClass == OpClass::Call) {
+                _rsb.push(op->pc + 4, _cycle);
                 entry.predictedTaken = true;
                 entry.mispredicted = false;
             } else { // Return
@@ -482,20 +507,23 @@ Pipeline::fetchStage()
                 }
                 entry.predictedTaken = true;
                 entry.mispredicted =
-                    !pop.valid || pop.target != op.target;
+                    !pop.valid || pop.target != op->target;
                 if (entry.mispredicted)
                     ++_stats.rsbMispredicts;
             }
         }
 
-        _iq.allocate(entry);
-        _nextOp.reset();
+        const bool takenBranch = op->isBranch() && op->taken;
+        if (_replay)
+            _peek = nullptr;
+        else
+            _nextOp.reset();
 
         if (entry.mispredicted) {
             _fetchHalted = true;
             return;
         }
-        if (op.isBranch() && op.taken) {
+        if (takenBranch) {
             // Correctly predicted taken control flow: fetch redirect
             // within the same cycle (BTB hit), next line check will
             // run against the target.
@@ -548,7 +576,7 @@ Pipeline::runUntil(uint64_t maxInsts, memory::Cycle stopCycle)
     _instBudget = maxInsts;
     const uint64_t cycleCap = maxInsts * 1000 + 1000000;
     while (_stats.committedInsts < maxInsts && _cycle < stopCycle) {
-        if (_traceDone && !_nextOp) {
+        if (_traceDone && !fetchPending()) {
             // Done when nothing real is left: trailing drain NOOPs
             // below the Eq. (1) threshold never need to issue (the
             // real machine redirects at the drain event).
@@ -608,19 +636,14 @@ Pipeline::advanceIdleCycles(uint64_t cycles)
     _cycle += cycles;
     // Registers keep stabilizing while the core idles: shift the
     // scoreboard through the settle window.  A window at least as
-    // wide as the shift registers provably reaches the all-ready
-    // state (every producer pattern ends in trailing ones), so the
-    // long-window case collapses to a reset; a short window must
-    // shift cycle-for-cycle — a free switch may not skip
-    // stabilization the Eq. (1) rules would have stalled on.  Every
-    // absolute-cycle window (guards, STable, exec units, corruption
-    // trackers) simply expires across the jump.
-    if (cycles >= _cfg.scoreboardBits) {
-        _scoreboard.reset();
-    } else {
-        for (uint64_t i = 0; i < cycles; ++i)
-            _scoreboard.tick();
-    }
+    // wide as the shift registers reaches the all-ready state (every
+    // producer pattern ends in trailing ones); a short window shifts
+    // cycle-for-cycle — a free switch may not skip stabilization the
+    // Eq. (1) rules would have stalled on.  The lazy scoreboard
+    // handles both with one clock jump.  Every absolute-cycle window
+    // (guards, STable, exec units, corruption trackers) simply
+    // expires across the jump.
+    _scoreboard.advance(cycles);
     _currentFetchLine = ~0ULL;
     _stats.cycles = _cycle;
 }

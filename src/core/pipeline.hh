@@ -245,9 +245,19 @@ class Pipeline
     bool sourcesReady(const isa::MicroOp &op,
                       BlockReason &reason) const;
 
+    /** Is a trace micro-op buffered ahead of the IQ? */
+    bool
+    fetchPending() const
+    {
+        return _replay ? _peek != nullptr : _nextOp.has_value();
+    }
+
     CoreConfig _cfg;
     memory::MemoryHierarchy &_mem;
     trace::TraceSource &_trace;
+    /** Non-null iff _trace is a store-backed replay cursor; enables
+     *  the zero-copy fetch path (no virtual call, no unpack). */
+    trace::ReplayTraceSource *_replay = nullptr;
 
     Scoreboard _scoreboard;
     InstructionQueue _iq;
@@ -274,13 +284,20 @@ class Pipeline
 
     StageProfiler *_profiler = nullptr;
 
-    // Frontend state.
+    // Frontend state.  _nextOp buffers the prefetched micro-op for
+    // streaming sources; _peek is its zero-copy counterpart for
+    // replay sources (a pointer into the shared decoded buffer).
+    // Exactly one of the two is in use per pipeline.
     std::optional<isa::MicroOp> _nextOp;
+    const isa::MicroOp *_peek = nullptr;
     bool _traceDone = false;
     bool _fetchFrozen = false; //!< drainQuiesce: no new trace ops
     bool _fetchHalted = false; //!< mispredicted branch in flight
     memory::Cycle _fetchBlockedUntil = 0;
     uint64_t _currentFetchLine = ~0ULL;
+    /** log2 of the IL0 line size (cached off the hierarchy config:
+     *  the fetch loop derives one line index per micro-op). */
+    unsigned _il0LineShift = 0;
     uint64_t _nopsInjected = 0;
     uint64_t _nopSeq = 0;
 

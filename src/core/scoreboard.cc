@@ -8,9 +8,7 @@ namespace core {
 using mechanism::buildBaselinePattern;
 using mechanism::buildReadyPattern;
 using mechanism::patternQuiescent;
-using mechanism::patternReady;
 using mechanism::ReadyPattern;
-using mechanism::shiftPattern;
 
 Scoreboard::Scoreboard(uint32_t bits, uint32_t bypassLevels)
     : _bits(bits), _bypassLevels(bypassLevels)
@@ -56,30 +54,24 @@ Scoreboard::reset()
 {
     _regs.assign(isa::kNumLogicalRegs, _ones);
     _shadow.assign(isa::kNumLogicalRegs, _ones);
-    _longLatency.assign(isa::kNumLogicalRegs, false);
-    _active.clear();
-    _isActive.assign(isa::kNumLogicalRegs, 0);
+    _setCycle.assign(isa::kNumLogicalRegs, 0);
+    _longLatency.assign(isa::kNumLogicalRegs, 0);
+    _now = 0;
 }
 
-void
-Scoreboard::tick()
+ReadyPattern
+Scoreboard::shiftedBy(ReadyPattern p, uint64_t shifts) const
 {
-    // Only in-flight registers shift; a quiescent (all-ones) pattern
-    // shifts to itself, so skipping it changes nothing.
-    size_t i = 0;
-    while (i < _active.size()) {
-        isa::RegId r = _active[i];
-        _regs[r] = shiftPattern(_regs[r], _bits);
-        _shadow[r] = shiftPattern(_shadow[r], _bits);
-        if (!_longLatency[r] && _regs[r] == _ones &&
-            _shadow[r] == _ones) {
-            _isActive[r] = 0;
-            _active[i] = _active.back();
-            _active.pop_back();
-        } else {
-            ++i;
-        }
-    }
+    // Left-shifting k times replicates the LSB into the low k bits;
+    // after B shifts every bit carries the original LSB.
+    ReadyPattern mask = (_bits >= 32) ? ~0u : ((1u << _bits) - 1);
+    if (shifts == 0)
+        return p & mask;
+    if (shifts >= _bits)
+        return (p & 1u) ? mask : 0;
+    uint32_t k = static_cast<uint32_t>(shifts);
+    ReadyPattern fill = (p & 1u) ? ((1u << k) - 1) : 0;
+    return ((p << k) | fill) & mask;
 }
 
 bool
@@ -89,7 +81,7 @@ Scoreboard::isReady(isa::RegId reg) const
             reg);
     if (_longLatency[reg])
         return false;
-    return patternReady(_regs[reg], _bits);
+    return readyAt(_regs[reg], age(reg));
 }
 
 bool
@@ -99,7 +91,7 @@ Scoreboard::isReadyShadow(isa::RegId reg) const
             reg);
     if (_longLatency[reg])
         return false;
-    return patternReady(_shadow[reg], _bits);
+    return readyAt(_shadow[reg], age(reg));
 }
 
 void
@@ -118,8 +110,8 @@ Scoreboard::setProducer(isa::RegId reg, uint32_t latency)
     uint32_t n = stabilizationCyclesFor(reg);
     _regs[reg] = _lut.producer(n, latency);
     _shadow[reg] = _lut.baseline(latency);
-    _longLatency[reg] = false;
-    activate(reg);
+    _setCycle[reg] = _now;
+    _longLatency[reg] = 0;
 }
 
 void
@@ -129,8 +121,8 @@ Scoreboard::setLongLatencyProducer(isa::RegId reg)
             reg);
     _regs[reg] = 0;
     _shadow[reg] = 0;
-    _longLatency[reg] = true;
-    activate(reg);
+    _setCycle[reg] = _now;
+    _longLatency[reg] = 1;
 }
 
 void
@@ -146,8 +138,8 @@ Scoreboard::completeLongLatency(isa::RegId reg)
     uint32_t n = stabilizationCyclesFor(reg);
     _regs[reg] = _lut.producer(n, 0);
     _shadow[reg] = _lut.baseline(0);
-    _longLatency[reg] = false;
-    activate(reg);
+    _setCycle[reg] = _now;
+    _longLatency[reg] = 0;
 }
 
 bool
@@ -155,7 +147,8 @@ Scoreboard::quiescent(isa::RegId reg) const
 {
     panicIf(!isa::isValidReg(reg), "Scoreboard: bad register %u",
             reg);
-    return !_longLatency[reg] && patternQuiescent(_regs[reg], _bits);
+    return !_longLatency[reg] &&
+           patternQuiescent(shiftedBy(_regs[reg], age(reg)), _bits);
 }
 
 ReadyPattern
@@ -163,7 +156,7 @@ Scoreboard::rawPattern(isa::RegId reg) const
 {
     panicIf(!isa::isValidReg(reg), "Scoreboard: bad register %u",
             reg);
-    return _regs[reg];
+    return shiftedBy(_regs[reg], age(reg));
 }
 
 } // namespace core

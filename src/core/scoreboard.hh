@@ -7,6 +7,14 @@
  * register shifts left one position, replicating its LSB; the MSB
  * says "a consumer of this register may issue now".
  *
+ * The software model evaluates the shift lazily: each register
+ * stores the pattern as initialized by its producer plus the cycle
+ * it was set, and a read derives "the pattern after (now - setCycle)
+ * shifts" with one shift-and-mask.  That makes tick() O(1) — a
+ * single clock increment for the whole scoreboard — instead of a
+ * walk over every in-flight register per cycle, while every read is
+ * bit-for-bit what the eagerly shifted hardware register would hold.
+ *
  * The scoreboard also maintains a *shadow* copy running the
  * conventional (IRAW-off) patterns.  The shadow changes no issue
  * decision; it exists so the simulator can attribute a blocked issue
@@ -73,7 +81,14 @@ class Scoreboard
     }
 
     /** Shift every register one position (call once per cycle). */
-    void tick();
+    void tick() { ++_now; }
+
+    /**
+     * Shift every register @p cycles positions at once (idle
+     * windows, e.g. a Vcc-switch settle).  Equivalent to calling
+     * tick() @p cycles times.
+     */
+    void advance(uint64_t cycles) { _now += cycles; }
 
     /** May a consumer of @p reg issue this cycle? */
     bool isReady(isa::RegId reg) const;
@@ -117,42 +132,55 @@ class Scoreboard
     uint32_t bits() const { return _bits; }
     uint32_t bypassLevels() const { return _bypassLevels; }
 
-    /** Raw pattern access for tests/diagnostics. */
+    /** Raw pattern access for tests/diagnostics: the register's
+     *  current (shifted) contents. */
     mechanism::ReadyPattern rawPattern(isa::RegId reg) const;
 
   private:
     /** Rebuild the per-latency pattern tables for the current N. */
     void rebuildPatternLut();
 
-    /** Put @p reg on the active (shifting) list if it is not. */
-    void
-    activate(isa::RegId reg)
+    /** Shifts applied so far to @p reg's stored pattern. */
+    uint64_t
+    age(isa::RegId reg) const
     {
-        if (!_isActive[reg]) {
-            _isActive[reg] = 1;
-            _active.push_back(reg);
-        }
+        return _now - _setCycle[reg];
     }
+
+    /** The stored pattern's MSB after @p shifts left-shifts (each
+     *  replicating the LSB) — the hardware ready bit.  Bit B-1-k
+     *  for k < B-1; every later cycle reads the replicated LSB. */
+    bool
+    readyAt(mechanism::ReadyPattern p, uint64_t shifts) const
+    {
+        uint32_t bit = shifts < _bits - 1
+                           ? _bits - 1 - static_cast<uint32_t>(shifts)
+                           : 0;
+        return (p >> bit) & 1u;
+    }
+
+    /** The full pattern after @p shifts (diagnostics paths only). */
+    mechanism::ReadyPattern
+    shiftedBy(mechanism::ReadyPattern p, uint64_t shifts) const;
 
     uint32_t _bits;
     uint32_t _bypassLevels;
     uint32_t _n = 0;
 
+    // Struct-of-arrays register state: parallel per-register arrays
+    // of the as-set real pattern, the as-set shadow pattern, the set
+    // cycle both ages from, and the long-latency flag.
     std::vector<mechanism::ReadyPattern> _regs;
     std::vector<mechanism::ReadyPattern> _shadow;
-    std::vector<bool> _longLatency; //!< awaiting event wakeup
+    std::vector<uint64_t> _setCycle;
+    std::vector<uint8_t> _longLatency; //!< awaiting event wakeup
 
     /** Per-register stabilization counts (empty = uniform _n). */
     std::vector<uint32_t> _lineN;
 
-    /**
-     * Registers whose pattern (real or shadow) is not yet all-ones.
-     * Shifting a quiescent register is the identity, so tick() only
-     * walks this list — O(in-flight producers), not O(registers) —
-     * with results bitwise identical to shifting everything.
-     */
-    std::vector<isa::RegId> _active;
-    std::vector<uint8_t> _isActive; //!< per-register membership flag
+    /** The scoreboard's own clock: total shifts applied so far. */
+    uint64_t _now = 0;
+
     mechanism::ReadyPattern _ones = 0; //!< the quiescent pattern
 
     // buildReadyPattern() per producer was measurable in the issue

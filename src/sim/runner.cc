@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <future>
+#include <map>
+#include <sstream>
+#include <tuple>
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
@@ -41,30 +44,86 @@ SweepRunner::merge(circuit::MilliVolts vcc,
     return m;
 }
 
+namespace {
+
+/** Trace identity: configs with equal keys replay the same dynamic
+ *  instruction stream, so they can share one decoded buffer as
+ *  lockstep lanes. */
+std::string
+traceKey(const SimConfig &cfg)
+{
+    std::ostringstream os;
+    os << cfg.workload << '|' << cfg.tracePath << '|' << cfg.seed
+       << '|' << cfg.instructions << '|' << cfg.warmupInstructions;
+    return os.str();
+}
+
+} // namespace
+
 std::vector<SimResult>
 SweepRunner::runConfigs(const std::vector<SimConfig> &configs) const
 {
     std::vector<SimResult> results(configs.size());
-    // More workers than tasks would only cost thread churn.
+    const size_t batch = effectiveBatch();
+
+    // Group config indices by trace identity (first-appearance
+    // order), then chunk each group into lockstep batches.
+    std::vector<std::vector<size_t>> chunks;
+    {
+        std::map<std::string, size_t> groupOf;
+        std::vector<std::vector<size_t>> groups;
+        for (size_t i = 0; i < configs.size(); ++i) {
+            auto [it, inserted] =
+                groupOf.emplace(traceKey(configs[i]), groups.size());
+            if (inserted)
+                groups.emplace_back();
+            groups[it->second].push_back(i);
+        }
+        for (const std::vector<size_t> &group : groups) {
+            for (size_t at = 0; at < group.size(); at += batch) {
+                size_t end = std::min(at + batch, group.size());
+                chunks.emplace_back(group.begin() + at,
+                                    group.begin() + end);
+            }
+        }
+    }
+
+    // One chunk is one work item; results land at their input index,
+    // so execution order (and thread count) never shows.
+    auto runChunk = [&](const std::vector<size_t> &chunk) {
+        if (chunk.size() == 1) {
+            results[chunk[0]] = _sim.run(configs[chunk[0]]);
+            return;
+        }
+        std::vector<SimConfig> lanes;
+        lanes.reserve(chunk.size());
+        for (size_t i : chunk)
+            lanes.push_back(configs[i]);
+        std::vector<SimResult> out = _sim.runBatch(lanes);
+        for (size_t j = 0; j < chunk.size(); ++j)
+            results[chunk[j]] = std::move(out[j]);
+    };
+
+    // More workers than work items would only cost thread churn.
     unsigned threads =
-        std::min<uint64_t>(effectiveThreads(), configs.size());
-    if (threads <= 1 || configs.size() <= 1) {
-        for (size_t i = 0; i < configs.size(); ++i)
-            results[i] = _sim.run(configs[i]);
+        std::min<uint64_t>(effectiveThreads(), chunks.size());
+    if (threads <= 1 || chunks.size() <= 1) {
+        for (const std::vector<size_t> &chunk : chunks)
+            runChunk(chunk);
         return results;
     }
 
     ThreadPool pool(threads);
-    std::vector<std::future<SimResult>> futures;
-    futures.reserve(configs.size());
-    for (const SimConfig &cfg : configs) {
-        futures.push_back(
-            pool.submit([this, &cfg] { return _sim.run(cfg); }));
-    }
+    std::vector<std::future<void>> futures;
+    futures.reserve(chunks.size());
+    for (const std::vector<size_t> &chunk : chunks)
+        futures.push_back(pool.submit([&runChunk, &chunk] {
+            runChunk(chunk);
+        }));
     // Collect in submission order; any worker exception rethrows
     // here, on the caller's thread.
-    for (size_t i = 0; i < futures.size(); ++i)
-        results[i] = futures[i].get();
+    for (std::future<void> &f : futures)
+        f.get();
     return results;
 }
 
@@ -73,10 +132,48 @@ SweepRunner::runMachines(const SweepConfig &cfg,
                          const std::vector<MachinePoint> &points) const
 {
     fatalIf(cfg.suite.empty(), "SweepRunner: empty workload suite");
+    const size_t stride = cfg.suite.size();
+
+    // Behaviour-class dedup: classify every point by (enabled, N,
+    // DRAM cycles) -- the only channels through which the operating
+    // point reaches the tick loop -- and simulate the suite once per
+    // class.  Later points of a class reuse the representative's
+    // counters and recompute the derived scaling with the exact
+    // expressions a full run evaluates, so the alias is bitwise
+    // identical to the run it replaces (host wall time excepted:
+    // aliases inherit the representative's, having cost none).
+    struct PointInfo
+    {
+        mechanism::IrawSettings settings;
+        uint64_t dramCycles = 0;
+        size_t rep = 0;  //!< representative point index
+        size_t slot = 0; //!< unique-run slice (valid when rep==self)
+    };
+    std::vector<PointInfo> info(points.size());
+    std::map<std::tuple<bool, uint32_t, uint64_t>, size_t> classes;
+    std::vector<size_t> uniquePoints;
+    for (size_t p = 0; p < points.size(); ++p) {
+        PointInfo &pi = info[p];
+        pi.settings = _sim.operatingPoint(points[p].vcc,
+                                          points[p].mode);
+        pi.dramCycles = Simulator::dramCyclesAt(
+            pi.settings.cycleTime, cfg.mem.dramLatencyNs);
+        const uint32_t n = pi.settings.enabled
+                               ? pi.settings.stabilizationCycles
+                               : 0;
+        auto key = std::make_tuple(pi.settings.enabled, n,
+                                   pi.dramCycles);
+        auto [it, inserted] = classes.emplace(key, p);
+        pi.rep = it->second;
+        if (inserted) {
+            pi.slot = uniquePoints.size();
+            uniquePoints.push_back(p);
+        }
+    }
 
     std::vector<SimConfig> configs;
-    configs.reserve(points.size() * cfg.suite.size());
-    for (const MachinePoint &pt : points) {
+    configs.reserve(uniquePoints.size() * stride);
+    for (size_t u : uniquePoints) {
         for (const SuiteEntry &entry : cfg.suite) {
             SimConfig sc;
             sc.core = cfg.core;
@@ -86,8 +183,8 @@ SweepRunner::runMachines(const SweepConfig &cfg,
             sc.seed = entry.seed;
             sc.instructions = entry.instructions;
             sc.warmupInstructions = cfg.warmupInstructions;
-            sc.vcc = pt.vcc;
-            sc.mode = pt.mode;
+            sc.vcc = points[u].vcc;
+            sc.mode = points[u].mode;
             sc.profile = cfg.profile;
             configs.push_back(sc);
         }
@@ -97,11 +194,23 @@ SweepRunner::runMachines(const SweepConfig &cfg,
 
     std::vector<MachineAtVcc> machines;
     machines.reserve(points.size());
-    const size_t stride = cfg.suite.size();
     for (size_t p = 0; p < points.size(); ++p) {
-        std::vector<SimResult> slice(
-            results.begin() + p * stride,
-            results.begin() + (p + 1) * stride);
+        const PointInfo &pi = info[p];
+        const size_t base = info[pi.rep].slot * stride;
+        std::vector<SimResult> slice(results.begin() + base,
+                                     results.begin() + base + stride);
+        if (pi.rep != p) {
+            for (SimResult &r : slice) {
+                r.config.vcc = points[p].vcc;
+                r.config.mode = points[p].mode;
+                r.settings = pi.settings;
+                r.cycleTimeAu = pi.settings.cycleTime;
+                r.dramCycles = pi.dramCycles;
+                r.execTimeAu =
+                    static_cast<double>(r.pipeline.cycles) *
+                    r.cycleTimeAu;
+            }
+        }
         machines.push_back(merge(points[p].vcc, slice));
     }
     return machines;

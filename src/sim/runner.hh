@@ -1,12 +1,36 @@
 /**
  * @file
  * Parallel experiment runner: decomposes a Vcc sweep into independent
- * (Vcc, trace, machine-config) work items, runs them across a worker
- * pool, and merges the per-trace results with a deterministic,
- * order-independent reduction.  Because every simulation owns its
- * trace generator (seeded per SuiteEntry) and the reduction always
- * folds partials in suite order, aggregates are bitwise identical at
- * threads=1 and threads=N.
+ * (Vcc, trace, machine-config) work items, schedules them over a
+ * worker pool as lockstep *batches*, and merges the per-trace results
+ * with a deterministic, fixed-order reduction.
+ *
+ * Scheduling layers, from the outside in:
+ *
+ *  1. Behaviour-class dedup (runMachines): the pipeline's tick
+ *     sequence at an operating point depends on the point only
+ *     through (IRAW enabled, stabilization cycles N, DRAM latency in
+ *     cycles).  Points in the same class share one set of
+ *     simulations; the others are *aliases* whose derived scaling
+ *     (settings, cycle time, exec time) is recomputed with the exact
+ *     expressions a full run evaluates, so aliased rows are bitwise
+ *     identical to simulated ones.  Only plain fixed-Vcc runs are
+ *     produced here (no chip sample, no adaptive controller), which
+ *     is what makes the classification sound.
+ *
+ *  2. Trace-grouped batching (runConfigs): work items are grouped by
+ *     trace identity (workload, trace path, seed, budget) and each
+ *     group is chunked into batches of RunnerConfig::batch lanes.  A
+ *     batch runs through Simulator::runBatch -- B engines advanced
+ *     round-robin in bounded cycle quanta -- so all lanes walk the
+ *     same decoded trace buffer together instead of streaming it B
+ *     times.  One batch is one work item for the thread pool.
+ *
+ * Determinism: results are written back by input index, the reduction
+ * always folds partials in suite order, and the lockstep quantum
+ * never changes a tick (see sim/sim_engine.hh), so aggregates are
+ * bitwise identical at threads=1 and threads=N, and at batch=1 and
+ * batch=B, in any combination.
  */
 
 #ifndef IRAW_SIM_RUNNER_HH
@@ -24,6 +48,13 @@ struct RunnerConfig
 {
     /** Worker threads; 0 means "one per hardware thread". */
     unsigned threads = 1;
+
+    /**
+     * Lockstep lanes per batched work item (scenario option
+     * batch=).  1 runs every simulation standalone; results are
+     * bitwise identical at every setting.
+     */
+    unsigned batch = 8;
 };
 
 /** One (voltage, machine) aggregation request. */
@@ -47,6 +78,13 @@ class SweepRunner
     /** Effective worker count after resolving threads=0. */
     unsigned effectiveThreads() const;
 
+    /** Effective lanes per batch after clamping batch=0. */
+    unsigned
+    effectiveBatch() const
+    {
+        return _cfg.batch == 0 ? 1 : _cfg.batch;
+    }
+
     /**
      * Execute the full Figure 11/12 sweep: every (voltage, trace,
      * machine) point runs as its own task.  The energy model is
@@ -64,6 +102,8 @@ class SweepRunner
      * Aggregate many machines in one parallel batch — the bench
      * driver's workhorse (e.g. 13 voltages x 2 machines x 9 traces
      * as 234 independent tasks).  Results arrive in @p points order.
+     * Points whose behaviour class repeats an earlier point are
+     * aliased instead of simulated (see the file comment).
      */
     std::vector<MachineAtVcc>
     runMachines(const SweepConfig &cfg,
@@ -73,7 +113,8 @@ class SweepRunner
      * Run arbitrary simulation configs as one parallel wave;
      * results arrive in @p configs order.  The escape hatch for
      * sweeps whose points differ in more than (Vcc, mode) — e.g.
-     * one machine per workload or per core config.
+     * one machine per workload or per core config.  Configs sharing
+     * a trace run as lockstep batches of effectiveBatch() lanes.
      */
     std::vector<SimResult>
     runConfigs(const std::vector<SimConfig> &configs) const;

@@ -28,6 +28,11 @@ ScenarioContext::ScenarioContext(
     fatalIf(threads > 1024, "threads=%llu out of range [0, 1024]",
             static_cast<unsigned long long>(threads));
     _settings.threads = static_cast<unsigned>(threads);
+    uint64_t batch = opts.getUint("batch", 8);
+    fatalIf(batch == 0 || batch > 256,
+            "batch=%llu out of range [1, 256]",
+            static_cast<unsigned long long>(batch));
+    _settings.batch = static_cast<unsigned>(batch);
     bool quick = opts.getBool("quick", false);
     _settings.tracePath = opts.getString("trace", "");
     if (!_settings.tracePath.empty()) {
@@ -119,8 +124,9 @@ ScenarioContext::simulator()
 SweepRunner
 ScenarioContext::runner()
 {
-    return SweepRunner(simulator(),
-                       RunnerConfig{_settings.threads});
+    return SweepRunner(
+        simulator(),
+        RunnerConfig{_settings.threads, _settings.batch});
 }
 
 SweepConfig
@@ -230,7 +236,8 @@ scenarioMain(int argc, const char *const *argv)
         toRun = registry.all();
     } else {
         std::cerr << "usage: scenario=<name>|all [list=1] "
-                     "[threads=N] [insts=N] [seeds=N] [quick=1] "
+                     "[threads=N] [batch=N] "
+                     "[insts=N] [seeds=N] [quick=1] "
                      "[warmup=N] [trace=file.trc] [tracestore=0|1] "
                      "[tracecache=dir] [storebytes=N] "
                      "[storestats=1] [profile=0|1] "

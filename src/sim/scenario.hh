@@ -3,11 +3,13 @@
  * Scenario registry: every figure/table bench and example registers
  * itself here and runs through one driver entry point
  * (scenarioMain), so all of them share the same CLI overrides
- * (threads=, insts=, seeds=, quick=, warmup=, trace=, tracestore=,
- * tracecache=, storebytes=, storestats=, profile=, and for the
- * Monte Carlo population scenarios chips=, sigma=, syssigma=,
- * chipseed=) and the same parallel sweep runner instead of carrying
- * near-duplicate main()s.
+ * (threads=, batch=, insts=, seeds=, quick=, warmup=, trace=,
+ * tracestore=, tracecache=, storebytes=, storestats=, profile=, and
+ * for the Monte Carlo population scenarios chips=, sigma=,
+ * syssigma=, chipseed=) and the same parallel sweep runner instead
+ * of carrying near-duplicate main()s.
+ *
+ * See docs/OPTIONS.md for the consolidated option reference.
  */
 
 #ifndef IRAW_SIM_SCENARIO_HH
@@ -33,6 +35,8 @@ struct ScenarioSettings
     uint64_t warmup = 40000;
     /** Worker threads; 0 means "one per hardware thread". */
     unsigned threads = 0;
+    /** Lockstep lanes per batched sweep work item (batch=). */
+    unsigned batch = 8;
     /**
      * trace= override: scenarios that build their own SimConfig or
      * pipeline should replay this file instead of a synthetic

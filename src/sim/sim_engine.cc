@@ -1,0 +1,341 @@
+#include "sim/sim_engine.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "common/logging.hh"
+#include "variation/chip_sample.hh"
+
+namespace iraw {
+namespace sim {
+
+const SimConfig &
+SimEngine::validated(const SimConfig &cfg)
+{
+    cfg.core.validate();
+    fatalIf(cfg.instructions == 0,
+            "Simulator: zero instruction budget");
+    fatalIf(!circuit::inModelRange(cfg.vcc),
+            "Simulator: Vcc %.0f mV outside model range", cfg.vcc);
+    return cfg;
+}
+
+SimEngine::SimEngine(const Simulator &sim, const SimConfig &cfg)
+    : _sim(sim),
+      _cfg(validated(cfg)),
+      _controller(sim.cycleTimeModel(), _cfg.mode),
+      _vctl(_cfg.adapt
+                ? std::make_unique<adapt::VccController>(
+                      sim.cycleTimeModel(), *_cfg.adapt, _cfg.mode,
+                      _cfg.vcc, _cfg.core, _cfg.chip.get())
+                : nullptr),
+      _opVcc(_vctl ? _vctl->initialVcc() : _cfg.vcc),
+      _src(sim.makeTraceSource(_cfg)),
+      _mem(_cfg.mem),
+      _pipe(_cfg.core, _mem, *_src)
+{
+    _res.config = _cfg;
+
+    if (_cfg.chip) {
+        const variation::ChipSample &chip = *_cfg.chip;
+        fatalIf(chip.geometry() != variation::ChipGeometry::from(
+                                       _cfg.core, _cfg.mem),
+                "Simulator: chip sample geometry does not match the "
+                "machine configuration");
+        _res.variation.enabled = true;
+        _res.variation.chipIndex = chip.chipIndex();
+        _res.variation.chipSeed = chip.chipSeed();
+        _res.variation.sigma = chip.params().sigma;
+        _res.variation.systematicSigma =
+            chip.params().systematicSigma;
+        _res.variation.maxMultiplier = chip.maxMultiplier(_cfg.vcc);
+    }
+
+    applyOperatingPoint(_opVcc);
+    if (_cfg.chip)
+        _res.variation.nominalN = _res.settings.stabilizationCycles;
+
+    if (_cfg.profile)
+        _pipe.setProfiler(&_stageProfiler);
+
+    _totalBudget = _cfg.warmupInstructions + _cfg.instructions;
+    _nextEpoch = _vctl ? _cfg.adapt->epochCycles : 0;
+
+    if (_vctl) {
+        _res.adapt.enabled = true;
+        _res.adapt.policy = _cfg.adapt->policy;
+        _res.adapt.epochCycles = _cfg.adapt->epochCycles;
+        _res.adapt.initialVcc = _opVcc;
+        _res.adapt.minVcc = _opVcc;
+        _res.adapt.floorVcc = _vctl->floorVcc();
+    }
+
+    if (_cfg.warmupInstructions == 0)
+        _phase = Phase::Measure;
+}
+
+void
+SimEngine::applyOperatingPoint(circuit::MilliVolts vcc)
+{
+    // One operating point application, shared by the initial setup
+    // and every mid-run switch: DRAM latency re-derives from the new
+    // cycle time before the pipeline reconfigures, and the chip's
+    // per-line stabilization maps re-derive whenever IRAW is active.
+    _res.settings = _controller.reconfigure(vcc);
+    _res.cycleTimeAu = _res.settings.cycleTime;
+    _res.dramCycles = Simulator::dramCyclesAt(
+        _res.cycleTimeAu, _cfg.mem.dramLatencyNs);
+    _mem.setDramLatencyCycles(
+        static_cast<uint32_t>(_res.dramCycles));
+    _pipe.applySettings(_res.settings);
+    if (_cfg.chip && _res.settings.enabled) {
+        auto maps =
+            std::make_shared<const variation::StabilizationMaps>(
+                _cfg.chip->stabilizationMaps(_sim.cycleTimeModel(),
+                                             _res.settings));
+        _res.variation.worstN = maps->worst;
+        _pipe.applyStabilizationMaps(std::move(maps));
+    }
+}
+
+uint64_t
+SimEngine::otherGuardStallsNow() const
+{
+    // Non-DL0 guard stalls (IL0/UL1/TLBs/FB); DL0 reports its own.
+    return _mem.il0Guard().stallCycles() +
+           _mem.ul1Guard().stallCycles() +
+           _mem.itlbGuard().stallCycles() +
+           _mem.dtlbGuard().stallCycles() +
+           _mem.fbGuard().stallCycles();
+}
+
+uint64_t
+SimEngine::irawStallsNow() const
+{
+    return _pipe.stats().coreIrawStallCycles() +
+           _mem.dl0Guard().stallCycles() + otherGuardStallsNow();
+}
+
+void
+SimEngine::closeSegment()
+{
+    adapt::AdaptSegment seg;
+    seg.vcc = _opVcc;
+    seg.cycleTimeAu = _res.cycleTimeAu;
+    seg.irawOn = _res.settings.enabled;
+    seg.cycles = _pipe.currentCycle() - _segStartCycle;
+    seg.settleCycles = _segSettle;
+    seg.instructions =
+        _pipe.stats().committedInsts - _segStartInsts;
+    _res.adapt.segments.push_back(seg);
+    _segStartCycle = _pipe.currentCycle();
+    _segStartInsts = _pipe.stats().committedInsts;
+    _segSettle = 0;
+}
+
+bool
+SimEngine::stepPhase(uint64_t target, memory::Cycle stop)
+{
+    // Fixed-Vcc runs take the pipeline's own loop; adaptive runs
+    // chunk it at epoch boundaries -- the tick sequence between
+    // boundaries is identical, so a controller that never switches
+    // (Static) is bitwise identical to the fixed-Vcc path.  The
+    // quantum bound @p stop is one more stop cycle folded into the
+    // same chunking and changes no tick.
+    if (!_vctl) {
+        _pipe.runUntil(target, stop);
+        if (_pipe.stats().committedInsts >= target)
+            return true;
+        if (_pipe.currentCycle() >= stop)
+            return false; // quantum exhausted
+        return true;      // trace drained before the budget
+    }
+    const adapt::AdaptConfig &acfg = *_cfg.adapt;
+    for (;;) {
+        _pipe.runUntil(target, std::min(_nextEpoch, stop));
+        if (_pipe.stats().committedInsts >= target)
+            return true;
+        if (_pipe.currentCycle() < _nextEpoch) {
+            if (_pipe.currentCycle() >= stop)
+                return false; // quantum exhausted
+            return true;      // trace drained before the budget
+        }
+        adapt::EpochTelemetry telemetry;
+        telemetry.cycles = _pipe.currentCycle() - _epochStartCycle;
+        telemetry.instructions =
+            _pipe.stats().committedInsts - _epochStartInsts;
+        telemetry.irawStallCycles =
+            irawStallsNow() - _epochStartIraw;
+        adapt::Decision decision = _vctl->evaluate(telemetry);
+        if (decision.switchVcc &&
+            _pipe.stats().committedInsts < _totalBudget) {
+            _res.adapt.drainCycles +=
+                _pipe.drainQuiesce(_totalBudget);
+            if (_pipe.quiescedForSwitch() &&
+                _pipe.stats().committedInsts < _totalBudget) {
+                closeSegment();
+                _pipe.advanceIdleCycles(acfg.switchCycles);
+                _segSettle = acfg.switchCycles;
+                applyOperatingPoint(decision.target);
+                _opVcc = decision.target;
+                ++_res.adapt.switches;
+                _res.adapt.settleCycles += acfg.switchCycles;
+                _res.adapt.minVcc =
+                    std::min(_res.adapt.minVcc, _opVcc);
+            }
+        }
+        _epochStartCycle = _pipe.currentCycle();
+        _epochStartInsts = _pipe.stats().committedInsts;
+        _epochStartIraw = irawStallsNow();
+        _nextEpoch = _pipe.currentCycle() + acfg.epochCycles;
+        if (_pipe.currentCycle() >= stop)
+            return false; // quantum exhausted at the boundary
+    }
+}
+
+void
+SimEngine::endPhase()
+{
+    if (_phase == Phase::Warmup) {
+        // Warm-up window: snapshot every counter, then measure.
+        _warm = _pipe.stats();
+        _warmEndCycle = _pipe.currentCycle();
+        _snap.il0Acc = _mem.il0().accesses();
+        _snap.il0Hit = _mem.il0().hits();
+        _snap.dl0Acc = _mem.dl0().accesses();
+        _snap.dl0Hit = _mem.dl0().hits();
+        _snap.ul1Acc = _mem.ul1().accesses();
+        _snap.ul1Hit = _mem.ul1().hits();
+        _snap.dl0Guard = _mem.dl0Guard().stallCycles();
+        _snap.otherGuard = otherGuardStallsNow();
+        _snap.bpPred = _pipe.branchPredictor().predictions();
+        _snap.bpMiss = _pipe.branchPredictor().mispredictions();
+        _phase = Phase::Measure;
+    } else if (_phase == Phase::Measure) {
+        _phase = Phase::Done;
+    }
+}
+
+void
+SimEngine::advance(memory::Cycle quantumCycles)
+{
+    if (_phase == Phase::Done || quantumCycles == 0)
+        return;
+    auto wallStart = std::chrono::steady_clock::now();
+    const memory::Cycle now = _pipe.currentCycle();
+    const memory::Cycle maxCycle =
+        std::numeric_limits<memory::Cycle>::max();
+    const memory::Cycle stop = quantumCycles > maxCycle - now
+                                   ? maxCycle
+                                   : now + quantumCycles;
+    while (_phase != Phase::Done && _pipe.currentCycle() < stop) {
+        const uint64_t target = _phase == Phase::Warmup
+                                    ? _cfg.warmupInstructions
+                                    : _totalBudget;
+        if (!stepPhase(target, stop))
+            break; // quantum exhausted mid-phase
+        endPhase();
+    }
+    auto wallEnd = std::chrono::steady_clock::now();
+    _wallSeconds +=
+        std::chrono::duration<double>(wallEnd - wallStart).count();
+}
+
+SimResult
+SimEngine::finalize()
+{
+    panicIf(_phase != Phase::Done,
+            "SimEngine: finalize() before the run completed");
+    panicIf(_finalized, "SimEngine: finalize() called twice");
+    _finalized = true;
+
+    SimResult &res = _res;
+    core::PipelineStats total = _pipe.stats();
+
+    res.host.wallSeconds = _wallSeconds;
+    res.host.instructions = total.committedInsts;
+    res.host.stages = _stageProfiler;
+
+    res.pipeline = total.minus(_warm);
+    res.ipc = res.pipeline.ipc();
+    if (_vctl) {
+        const adapt::AdaptConfig &acfg = *_cfg.adapt;
+        closeSegment();
+        res.adapt.finalVcc = _opVcc;
+        res.adapt.epochs = _vctl->epochs();
+        res.adapt.totalCycles = total.cycles;
+        res.adapt.totalInstructions = total.committedInsts;
+
+        // Exact accounting: exec time and energy fold over the
+        // constant-voltage segments in order; a switch charges its
+        // settle cycles at the destination cycle time and its
+        // energy once per transition.
+        circuit::EnergyModel energyModel(acfg.refTimePerInst);
+        double vccWeighted = 0.0;
+        for (adapt::AdaptSegment &seg : res.adapt.segments) {
+            res.adapt.execTimeAu += seg.execTimeAu();
+            vccWeighted += seg.execTimeAu() * seg.vcc;
+            seg.energy = energyModel.taskEnergy(
+                seg.vcc, seg.instructions, seg.execTimeAu(),
+                seg.irawOn ? acfg.irawDynOverhead : 0.0);
+            res.adapt.energy.dynamic += seg.energy.dynamic;
+            res.adapt.energy.leakage += seg.energy.leakage;
+        }
+        res.adapt.switchEnergyAu =
+            res.adapt.switches * acfg.switchEnergyAu;
+        res.adapt.energy.dynamic += res.adapt.switchEnergyAu;
+        res.adapt.timeWeightedVcc =
+            res.adapt.execTimeAu > 0.0
+                ? vccWeighted / res.adapt.execTimeAu
+                : _opVcc;
+        // Measured-window execution time: fold the post-warmup
+        // share of every segment from integer cycle counts.  With
+        // zero switches this is exactly pipeline.cycles *
+        // cycleTimeAu -- the fixed-Vcc expression -- so Static stays
+        // bitwise identical.
+        res.execTimeAu = 0.0;
+        memory::Cycle cumEnd = 0;
+        for (const adapt::AdaptSegment &seg : res.adapt.segments) {
+            memory::Cycle cumStart = cumEnd;
+            cumEnd += seg.cycles;
+            if (cumEnd <= _warmEndCycle)
+                continue; // entirely inside the warmup window
+            memory::Cycle from = std::max(cumStart, _warmEndCycle);
+            res.execTimeAu +=
+                static_cast<double>(cumEnd - from) *
+                seg.cycleTimeAu;
+        }
+    } else {
+        res.execTimeAu =
+            static_cast<double>(res.pipeline.cycles) *
+            res.cycleTimeAu;
+    }
+
+    res.dl0GuardStalls =
+        _mem.dl0Guard().stallCycles() - _snap.dl0Guard;
+    res.otherGuardStalls =
+        otherGuardStallsNow() - _snap.otherGuard;
+
+    auto rate = [](uint64_t acc, uint64_t hit, uint64_t acc0,
+                   uint64_t hit0) {
+        return missRatio(acc - acc0, hit - hit0);
+    };
+    res.il0MissRate =
+        rate(_mem.il0().accesses(), _mem.il0().hits(),
+             _snap.il0Acc, _snap.il0Hit);
+    res.dl0MissRate =
+        rate(_mem.dl0().accesses(), _mem.dl0().hits(),
+             _snap.dl0Acc, _snap.dl0Hit);
+    res.ul1MissRate =
+        rate(_mem.ul1().accesses(), _mem.ul1().hits(),
+             _snap.ul1Acc, _snap.ul1Hit);
+    res.bpAccuracy = branchAccuracy(
+        _pipe.branchPredictor().predictions() - _snap.bpPred,
+        _pipe.branchPredictor().mispredictions() - _snap.bpMiss);
+    res.bpConflictRate = _pipe.bpCorruption().conflictRate();
+    return res;
+}
+
+} // namespace sim
+} // namespace iraw

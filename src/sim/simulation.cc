@@ -1,10 +1,11 @@
 #include "sim/simulation.hh"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.hh"
+#include "sim/sim_engine.hh"
 #include "trace/trace_io.hh"
 #include "trace/workload.hh"
 #include "variation/chip_sample.hh"
@@ -51,284 +52,44 @@ Simulator::dramCyclesAt(double cycleTimeAu, double dramLatencyNs)
 SimResult
 Simulator::run(const SimConfig &cfg) const
 {
-    cfg.core.validate();
-    fatalIf(cfg.instructions == 0,
-            "Simulator: zero instruction budget");
-    fatalIf(!circuit::inModelRange(cfg.vcc),
-            "Simulator: Vcc %.0f mV outside model range", cfg.vcc);
+    // One engine driven to completion in a single quantum: the
+    // steppable loop (sim/sim_engine.cc) executes exactly the tick
+    // sequence the monolithic loop did.
+    SimEngine engine(*this, cfg);
+    while (!engine.done())
+        engine.advance(std::numeric_limits<memory::Cycle>::max());
+    return engine.finalize();
+}
 
-    SimResult res;
-    res.config = cfg;
+std::vector<SimResult>
+Simulator::runBatch(const std::vector<SimConfig> &cfgs,
+                    memory::Cycle quantumCycles) const
+{
+    fatalIf(quantumCycles == 0, "runBatch: zero cycle quantum");
+    std::vector<std::unique_ptr<SimEngine>> lanes;
+    lanes.reserve(cfgs.size());
+    for (const SimConfig &cfg : cfgs)
+        lanes.push_back(std::make_unique<SimEngine>(*this, cfg));
 
-    mechanism::IrawController controller(*_cycleTime, cfg.mode);
-
-    // Dynamic Vcc adaptation: the controller resolves the floor
-    // (the chip's own Vccmin, or the nominal machine's lowest
-    // operable grid point) and, for the oracle policy, moves the
-    // starting point there.
-    std::unique_ptr<adapt::VccController> vctl;
-    if (cfg.adapt) {
-        vctl = std::make_unique<adapt::VccController>(
-            *_cycleTime, *cfg.adapt, cfg.mode, cfg.vcc, cfg.core,
-            cfg.chip.get());
-    }
-    const circuit::MilliVolts initialVcc =
-        vctl ? vctl->initialVcc() : cfg.vcc;
-    circuit::MilliVolts opVcc = initialVcc;
-
-    std::unique_ptr<trace::TraceSource> src = makeTraceSource(cfg);
-
-    memory::MemoryHierarchy mem(cfg.mem);
-    core::Pipeline pipe(cfg.core, mem, *src);
-
-    if (cfg.chip) {
-        const variation::ChipSample &chip = *cfg.chip;
-        fatalIf(chip.geometry() !=
-                    variation::ChipGeometry::from(cfg.core, cfg.mem),
-                "Simulator: chip sample geometry does not match the "
-                "machine configuration");
-        res.variation.enabled = true;
-        res.variation.chipIndex = chip.chipIndex();
-        res.variation.chipSeed = chip.chipSeed();
-        res.variation.sigma = chip.params().sigma;
-        res.variation.systematicSigma = chip.params().systematicSigma;
-        res.variation.maxMultiplier = chip.maxMultiplier(cfg.vcc);
+    // Round-robin lockstep: every live lane gets one quantum per
+    // turn, so lanes sharing a stored trace stay within one quantum
+    // of each other on the decoded buffer.
+    bool active = !lanes.empty();
+    while (active) {
+        active = false;
+        for (std::unique_ptr<SimEngine> &lane : lanes) {
+            if (lane->done())
+                continue;
+            lane->advance(quantumCycles);
+            active = active || !lane->done();
+        }
     }
 
-    // One operating point application, shared by the initial setup
-    // and every mid-run switch: DRAM latency re-derives from the new
-    // cycle time before the pipeline reconfigures, and the chip's
-    // per-line stabilization maps re-derive whenever IRAW is active.
-    auto applyOperatingPoint = [&](circuit::MilliVolts vcc) {
-        res.settings = controller.reconfigure(vcc);
-        res.cycleTimeAu = res.settings.cycleTime;
-        res.dramCycles =
-            dramCyclesAt(res.cycleTimeAu, cfg.mem.dramLatencyNs);
-        mem.setDramLatencyCycles(
-            static_cast<uint32_t>(res.dramCycles));
-        pipe.applySettings(res.settings);
-        if (cfg.chip && res.settings.enabled) {
-            auto maps =
-                std::make_shared<const variation::StabilizationMaps>(
-                    cfg.chip->stabilizationMaps(*_cycleTime,
-                                                res.settings));
-            res.variation.worstN = maps->worst;
-            pipe.applyStabilizationMaps(std::move(maps));
-        }
-    };
-    applyOperatingPoint(initialVcc);
-    if (cfg.chip)
-        res.variation.nominalN = res.settings.stabilizationCycles;
-
-    // Host profiling: wall time is always measured (two clock reads
-    // per run); the per-stage breakdown only when asked for.
-    StageProfiler stageProfiler;
-    if (cfg.profile)
-        pipe.setProfiler(&stageProfiler);
-    auto wallStart = std::chrono::steady_clock::now();
-
-    // Epoch-loop bookkeeping (adaptive runs only).
-    const uint64_t totalBudget =
-        cfg.warmupInstructions + cfg.instructions;
-    memory::Cycle nextEpoch =
-        vctl ? cfg.adapt->epochCycles : 0;
-    memory::Cycle epochStartCycle = 0;
-    uint64_t epochStartInsts = 0, epochStartIraw = 0;
-    memory::Cycle segStartCycle = 0;
-    uint64_t segStartInsts = 0, segSettle = 0;
-    memory::Cycle warmEndCycle = 0;
-
-    // Non-DL0 guard stalls (IL0/UL1/TLBs/FB); DL0 reports its own.
-    auto otherGuardStallsNow = [&]() {
-        return mem.il0Guard().stallCycles() +
-               mem.ul1Guard().stallCycles() +
-               mem.itlbGuard().stallCycles() +
-               mem.dtlbGuard().stallCycles() +
-               mem.fbGuard().stallCycles();
-    };
-    auto irawStallsNow = [&]() {
-        return pipe.stats().coreIrawStallCycles() +
-               mem.dl0Guard().stallCycles() + otherGuardStallsNow();
-    };
-    auto closeSegment = [&]() {
-        adapt::AdaptSegment seg;
-        seg.vcc = opVcc;
-        seg.cycleTimeAu = res.cycleTimeAu;
-        seg.irawOn = res.settings.enabled;
-        seg.cycles = pipe.currentCycle() - segStartCycle;
-        seg.settleCycles = segSettle;
-        seg.instructions =
-            pipe.stats().committedInsts - segStartInsts;
-        res.adapt.segments.push_back(seg);
-        segStartCycle = pipe.currentCycle();
-        segStartInsts = pipe.stats().committedInsts;
-        segSettle = 0;
-    };
-    // Run to @p target committed instructions.  Fixed-Vcc runs take
-    // the pipeline's own loop; adaptive runs chunk it at epoch
-    // boundaries — the tick sequence between boundaries is
-    // identical, so a controller that never switches (Static) is
-    // bitwise identical to the fixed-Vcc path.
-    auto runPhase = [&](uint64_t target) {
-        if (!vctl) {
-            pipe.run(target);
-            return;
-        }
-        const adapt::AdaptConfig &acfg = *cfg.adapt;
-        for (;;) {
-            pipe.runUntil(target, nextEpoch);
-            if (pipe.stats().committedInsts >= target)
-                break;
-            if (pipe.currentCycle() < nextEpoch)
-                break; // trace drained before the budget
-            adapt::EpochTelemetry telemetry;
-            telemetry.cycles =
-                pipe.currentCycle() - epochStartCycle;
-            telemetry.instructions =
-                pipe.stats().committedInsts - epochStartInsts;
-            telemetry.irawStallCycles =
-                irawStallsNow() - epochStartIraw;
-            adapt::Decision decision = vctl->evaluate(telemetry);
-            if (decision.switchVcc &&
-                pipe.stats().committedInsts < totalBudget) {
-                res.adapt.drainCycles +=
-                    pipe.drainQuiesce(totalBudget);
-                if (pipe.quiescedForSwitch() &&
-                    pipe.stats().committedInsts < totalBudget) {
-                    closeSegment();
-                    pipe.advanceIdleCycles(acfg.switchCycles);
-                    segSettle = acfg.switchCycles;
-                    applyOperatingPoint(decision.target);
-                    opVcc = decision.target;
-                    ++res.adapt.switches;
-                    res.adapt.settleCycles += acfg.switchCycles;
-                    res.adapt.minVcc =
-                        std::min(res.adapt.minVcc, opVcc);
-                }
-            }
-            epochStartCycle = pipe.currentCycle();
-            epochStartInsts = pipe.stats().committedInsts;
-            epochStartIraw = irawStallsNow();
-            nextEpoch = pipe.currentCycle() + acfg.epochCycles;
-        }
-    };
-
-    if (vctl) {
-        res.adapt.enabled = true;
-        res.adapt.policy = cfg.adapt->policy;
-        res.adapt.epochCycles = cfg.adapt->epochCycles;
-        res.adapt.initialVcc = initialVcc;
-        res.adapt.minVcc = initialVcc;
-        res.adapt.floorVcc = vctl->floorVcc();
-    }
-
-    // Warm-up window: run, snapshot every counter, then measure.
-    core::PipelineStats warm;
-    struct MemSnapshot
-    {
-        uint64_t il0Acc, il0Hit, dl0Acc, dl0Hit, ul1Acc, ul1Hit;
-        uint64_t dl0Guard, otherGuard;
-        uint64_t bpPred, bpMiss;
-    } snap{};
-    if (cfg.warmupInstructions > 0) {
-        runPhase(cfg.warmupInstructions);
-        warm = pipe.stats();
-        warmEndCycle = pipe.currentCycle();
-        snap.il0Acc = mem.il0().accesses();
-        snap.il0Hit = mem.il0().hits();
-        snap.dl0Acc = mem.dl0().accesses();
-        snap.dl0Hit = mem.dl0().hits();
-        snap.ul1Acc = mem.ul1().accesses();
-        snap.ul1Hit = mem.ul1().hits();
-        snap.dl0Guard = mem.dl0Guard().stallCycles();
-        snap.otherGuard = otherGuardStallsNow();
-        snap.bpPred = pipe.branchPredictor().predictions();
-        snap.bpMiss = pipe.branchPredictor().mispredictions();
-    }
-
-    runPhase(totalBudget);
-    core::PipelineStats total = pipe.stats();
-
-    auto wallEnd = std::chrono::steady_clock::now();
-    res.host.wallSeconds =
-        std::chrono::duration<double>(wallEnd - wallStart).count();
-    res.host.instructions = total.committedInsts;
-    res.host.stages = stageProfiler;
-
-    res.pipeline = total.minus(warm);
-    res.ipc = res.pipeline.ipc();
-    if (vctl) {
-        const adapt::AdaptConfig &acfg = *cfg.adapt;
-        closeSegment();
-        res.adapt.finalVcc = opVcc;
-        res.adapt.epochs = vctl->epochs();
-        res.adapt.totalCycles = total.cycles;
-        res.adapt.totalInstructions = total.committedInsts;
-
-        // Exact accounting: exec time and energy fold over the
-        // constant-voltage segments in order; a switch charges its
-        // settle cycles at the destination cycle time and its
-        // energy once per transition.
-        circuit::EnergyModel energyModel(acfg.refTimePerInst);
-        double vccWeighted = 0.0;
-        for (adapt::AdaptSegment &seg : res.adapt.segments) {
-            res.adapt.execTimeAu += seg.execTimeAu();
-            vccWeighted += seg.execTimeAu() * seg.vcc;
-            seg.energy = energyModel.taskEnergy(
-                seg.vcc, seg.instructions, seg.execTimeAu(),
-                seg.irawOn ? acfg.irawDynOverhead : 0.0);
-            res.adapt.energy.dynamic += seg.energy.dynamic;
-            res.adapt.energy.leakage += seg.energy.leakage;
-        }
-        res.adapt.switchEnergyAu =
-            res.adapt.switches * acfg.switchEnergyAu;
-        res.adapt.energy.dynamic += res.adapt.switchEnergyAu;
-        res.adapt.timeWeightedVcc =
-            res.adapt.execTimeAu > 0.0
-                ? vccWeighted / res.adapt.execTimeAu
-                : opVcc;
-        // Measured-window execution time: fold the post-warmup
-        // share of every segment from integer cycle counts.  With
-        // zero switches this is exactly pipeline.cycles *
-        // cycleTimeAu — the fixed-Vcc expression — so Static stays
-        // bitwise identical.
-        res.execTimeAu = 0.0;
-        memory::Cycle cumEnd = 0;
-        for (const adapt::AdaptSegment &seg : res.adapt.segments) {
-            memory::Cycle cumStart = cumEnd;
-            cumEnd += seg.cycles;
-            if (cumEnd <= warmEndCycle)
-                continue; // entirely inside the warmup window
-            memory::Cycle from = std::max(cumStart, warmEndCycle);
-            res.execTimeAu +=
-                static_cast<double>(cumEnd - from) *
-                seg.cycleTimeAu;
-        }
-    } else {
-        res.execTimeAu =
-            static_cast<double>(res.pipeline.cycles) *
-            res.cycleTimeAu;
-    }
-
-    res.dl0GuardStalls =
-        mem.dl0Guard().stallCycles() - snap.dl0Guard;
-    res.otherGuardStalls = otherGuardStallsNow() - snap.otherGuard;
-
-    auto rate = [](uint64_t acc, uint64_t hit, uint64_t acc0,
-                   uint64_t hit0) {
-        return missRatio(acc - acc0, hit - hit0);
-    };
-    res.il0MissRate = rate(mem.il0().accesses(), mem.il0().hits(),
-                           snap.il0Acc, snap.il0Hit);
-    res.dl0MissRate = rate(mem.dl0().accesses(), mem.dl0().hits(),
-                           snap.dl0Acc, snap.dl0Hit);
-    res.ul1MissRate = rate(mem.ul1().accesses(), mem.ul1().hits(),
-                           snap.ul1Acc, snap.ul1Hit);
-    res.bpAccuracy = branchAccuracy(
-        pipe.branchPredictor().predictions() - snap.bpPred,
-        pipe.branchPredictor().mispredictions() - snap.bpMiss);
-    res.bpConflictRate = pipe.bpCorruption().conflictRate();
-    return res;
+    std::vector<SimResult> results;
+    results.reserve(lanes.size());
+    for (std::unique_ptr<SimEngine> &lane : lanes)
+        results.push_back(lane->finalize());
+    return results;
 }
 
 std::unique_ptr<trace::TraceSource>

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "adapt/vcc_controller.hh"
 #include "common/profiler.hh"
@@ -184,6 +185,8 @@ double branchAccuracy(uint64_t predictions, uint64_t mispredictions);
 /** Miss rate over a window; zero accesses means zero misses. */
 double missRatio(uint64_t accesses, uint64_t hits);
 
+class SimEngine;
+
 /** Builds and runs single simulations against shared circuit models. */
 class Simulator
 {
@@ -192,6 +195,27 @@ class Simulator
 
     /** Run one configuration to completion. */
     SimResult run(const SimConfig &cfg) const;
+
+    /**
+     * Cycle quantum runBatch() hands each engine per round-robin
+     * turn.  Small enough that the lanes' replay cursors stay within
+     * one L2-sized window of the shared decoded trace, large enough
+     * that the per-turn bookkeeping vanishes in the noise.
+     */
+    static constexpr memory::Cycle kBatchQuantumCycles = 32768;
+
+    /**
+     * Run several configurations in lockstep: one SimEngine per
+     * config, advanced round-robin in bounded cycle quanta so that
+     * engines replaying the same stored trace walk the decoded
+     * buffer together instead of streaming it B times.  Results are
+     * bitwise identical to running each config through run() -- the
+     * quantum never changes a tick (see sim_engine.hh) -- and are
+     * returned in input order.
+     */
+    std::vector<SimResult>
+    runBatch(const std::vector<SimConfig> &cfgs,
+             memory::Cycle quantumCycles = kBatchQuantumCycles) const;
 
     /**
      * Share a trace store across runs: traces are materialized once
@@ -233,7 +257,25 @@ class Simulator
     static uint32_t dramCyclesAt(double cycleTimeAu,
                                  double dramLatencyNs);
 
+    /**
+     * The IRAW settings a run at (@p vcc, @p mode) would start
+     * from -- exactly the engine's own computation (a fresh
+     * controller reconfigured once).  The sweep runner uses this to
+     * classify points by behaviour before spending simulation time:
+     * two points whose (enabled, N, DRAM cycles) match execute the
+     * identical tick sequence and differ only in derived scaling.
+     */
+    mechanism::IrawSettings
+    operatingPoint(circuit::MilliVolts vcc,
+                   mechanism::IrawMode mode) const
+    {
+        mechanism::IrawController controller(*_cycleTime, mode);
+        return controller.reconfigure(vcc);
+    }
+
   private:
+    friend class SimEngine; // uses makeTraceSource()
+
     /** The trace source for @p cfg (store-backed, file, or live). */
     std::unique_ptr<trace::TraceSource>
     makeTraceSource(const SimConfig &cfg) const;

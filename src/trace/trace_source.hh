@@ -15,6 +15,8 @@
 namespace iraw {
 namespace trace {
 
+class ReplayTraceSource;
+
 /** Pull interface for dynamic instruction streams. */
 class TraceSource
 {
@@ -23,6 +25,14 @@ class TraceSource
 
     /** Next micro-op, or std::nullopt at end of trace. */
     virtual std::optional<isa::MicroOp> next() = 0;
+
+    /**
+     * Store-backed replay sources return themselves so the pipeline
+     * can use the non-virtual zero-copy cursor (ReplayTraceSource::
+     * take()) instead of paying a virtual call plus a record unpack
+     * per fetched micro-op; streaming sources return null.
+     */
+    virtual ReplayTraceSource *replay() { return nullptr; }
 
     /** Restart the stream from the beginning. */
     virtual void reset() = 0;

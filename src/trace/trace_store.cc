@@ -38,18 +38,33 @@ TraceBuffer::at(uint64_t index) const
     return op;
 }
 
+const isa::MicroOp *
+TraceBuffer::ops() const
+{
+    std::call_once(_decodeOnce, [this] {
+        _decoded.resize(_records);
+        for (uint64_t i = 0; i < _records; ++i)
+            unpackRecord(_data.data() + i * kTraceRecordBytes,
+                         _decoded[i]);
+    });
+    return _decoded.data();
+}
+
 ReplayTraceSource::ReplayTraceSource(TraceBufferPtr buffer)
     : _buffer(std::move(buffer))
 {
     panicIf(!_buffer, "ReplayTraceSource: null buffer");
+    _ops = _buffer->ops();
+    _count = _buffer->records();
 }
 
 std::optional<isa::MicroOp>
 ReplayTraceSource::next()
 {
-    if (_pos >= _buffer->records())
+    const isa::MicroOp *op = take();
+    if (!op)
         return std::nullopt;
-    return _buffer->at(_pos++);
+    return *op;
 }
 
 void

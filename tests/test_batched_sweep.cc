@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Determinism tests for the batched lockstep sweep engine: running B
+ * operating points through one trace pass (Simulator::runBatch, the
+ * core BatchedPipeline, and the SweepRunner batch scheduling) must be
+ * bitwise indistinguishable from running each point alone, for every
+ * batch size, quantum, and lane mixture.
+ */
+
+#include <gtest/gtest.h>
+
+#include "adapt/vcc_controller.hh"
+#include "core/batched_pipeline.hh"
+#include "sim/runner.hh"
+#include "sim/simulation.hh"
+#include "trace/trace_store.hh"
+#include "variation/population.hh"
+
+namespace iraw {
+namespace sim {
+namespace {
+
+using adapt::AdaptConfig;
+using adapt::Policy;
+
+SimConfig
+point(double vcc, mechanism::IrawMode mode,
+      const std::string &workload = "spec2006int")
+{
+    SimConfig cfg;
+    cfg.workload = workload;
+    cfg.instructions = 6000;
+    cfg.warmupInstructions = 3000;
+    cfg.vcc = vcc;
+    cfg.mode = mode;
+    return cfg;
+}
+
+void
+expectBitwiseEqual(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.pipeline.cycles, b.pipeline.cycles);
+    EXPECT_EQ(a.pipeline.committedInsts, b.pipeline.committedInsts);
+    EXPECT_EQ(a.pipeline.rfIrawStallCycles,
+              b.pipeline.rfIrawStallCycles);
+    EXPECT_EQ(a.pipeline.iqGateStallCycles,
+              b.pipeline.iqGateStallCycles);
+    EXPECT_EQ(a.pipeline.mispredicts, b.pipeline.mispredicts);
+    EXPECT_EQ(a.pipeline.drainNops, b.pipeline.drainNops);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.cycleTimeAu, b.cycleTimeAu);
+    EXPECT_EQ(a.execTimeAu, b.execTimeAu);
+    EXPECT_EQ(a.dramCycles, b.dramCycles);
+    EXPECT_EQ(a.dl0GuardStalls, b.dl0GuardStalls);
+    EXPECT_EQ(a.otherGuardStalls, b.otherGuardStalls);
+    EXPECT_EQ(a.il0MissRate, b.il0MissRate);
+    EXPECT_EQ(a.dl0MissRate, b.dl0MissRate);
+    EXPECT_EQ(a.ul1MissRate, b.ul1MissRate);
+    EXPECT_EQ(a.bpAccuracy, b.bpAccuracy);
+    EXPECT_EQ(a.settings.stabilizationCycles,
+              b.settings.stabilizationCycles);
+    EXPECT_EQ(a.settings.enabled, b.settings.enabled);
+}
+
+TEST(RunBatch, MatchesSerialRunsBitwise)
+{
+    Simulator sim;
+    std::vector<SimConfig> cfgs{
+        point(600, mechanism::IrawMode::ForcedOff),
+        point(500, mechanism::IrawMode::Auto),
+        point(450, mechanism::IrawMode::Auto),
+        point(400, mechanism::IrawMode::Auto, "multimedia"),
+    };
+    auto batch = sim.runBatch(cfgs);
+    ASSERT_EQ(batch.size(), cfgs.size());
+    for (size_t i = 0; i < cfgs.size(); ++i)
+        expectBitwiseEqual(batch[i], sim.run(cfgs[i]));
+}
+
+TEST(RunBatch, QuantumSizeNeverChangesAResult)
+{
+    Simulator sim;
+    std::vector<SimConfig> cfgs{
+        point(500, mechanism::IrawMode::Auto),
+        point(425, mechanism::IrawMode::Auto),
+    };
+    auto coarse = sim.runBatch(cfgs);
+    // A tiny quantum maximizes the number of chunk boundaries; a
+    // huge one degenerates to serial back-to-back runs.
+    for (memory::Cycle quantum : {257ull, 4096ull, ~0ull}) {
+        auto other = sim.runBatch(cfgs, quantum);
+        for (size_t i = 0; i < cfgs.size(); ++i)
+            expectBitwiseEqual(coarse[i], other[i]);
+    }
+}
+
+TEST(RunBatch, MixedChipLanesMatchSerialRuns)
+{
+    // One batch mixing the nominal machine with two different
+    // sampled chips: per-lane stabilization maps must not leak
+    // between lanes.
+    Simulator sim;
+    variation::VariationParams params;
+    params.sigma = 0.06;
+    params.systematicSigma = 0.02;
+    variation::VariationModel model(params);
+    auto geom = variation::ChipGeometry::from(
+        core::CoreConfig{}, memory::MemoryConfig{});
+
+    std::vector<SimConfig> cfgs;
+    cfgs.push_back(point(450, mechanism::IrawMode::Auto));
+    for (uint32_t chip : {0u, 1u}) {
+        SimConfig cfg = point(450, mechanism::IrawMode::Auto);
+        cfg.chip = std::make_shared<const variation::ChipSample>(
+            variation::ChipSample::sample(model, 11, chip, geom));
+        cfgs.push_back(cfg);
+    }
+    auto batch = sim.runBatch(cfgs);
+    ASSERT_EQ(batch.size(), 3u);
+    for (size_t i = 0; i < cfgs.size(); ++i)
+        expectBitwiseEqual(batch[i], sim.run(cfgs[i]));
+    // The chips must actually differ from the nominal machine for
+    // this test to exercise anything.
+    EXPECT_TRUE(batch[1].variation.enabled);
+    EXPECT_TRUE(batch[2].variation.enabled);
+}
+
+TEST(RunBatch, AdaptiveStaticLaneMatchesFixedVccLane)
+{
+    // policy=static inside a batch is the fixed-Vcc machine: both
+    // lanes run in the same batch and must agree bitwise (the
+    // epoch-chunked and batch-chunked cycle loops compose).
+    Simulator sim;
+    SimConfig fixed = point(475, mechanism::IrawMode::Auto);
+    SimConfig adaptive = fixed;
+    auto acfg = std::make_shared<AdaptConfig>();
+    acfg->policy = Policy::Static;
+    acfg->epochCycles = 1777; // never aligned with the quantum
+    adaptive.adapt = acfg;
+
+    auto batch = sim.runBatch({fixed, adaptive}, 2048);
+    ASSERT_EQ(batch.size(), 2u);
+    EXPECT_FALSE(batch[0].adapt.enabled);
+    EXPECT_TRUE(batch[1].adapt.enabled);
+    EXPECT_EQ(batch[1].adapt.switches, 0u);
+    expectBitwiseEqual(batch[0], batch[1]);
+}
+
+TEST(SweepRunnerBatch, BatchSizeInvariantIncludingNonDividing)
+{
+    // 5 work items on one trace: batch=8 (one undersized chunk),
+    // batch=3 (3+2 split), batch=1 (degenerate) and threads=1/4
+    // must all produce the identical result vector.
+    Simulator sim;
+    std::vector<SimConfig> cfgs;
+    for (double vcc : {600.0, 550.0, 500.0, 450.0, 400.0})
+        cfgs.push_back(point(vcc, mechanism::IrawMode::Auto));
+
+    auto reference =
+        SweepRunner(sim, RunnerConfig{1, 1}).runConfigs(cfgs);
+    ASSERT_EQ(reference.size(), cfgs.size());
+    for (RunnerConfig rc :
+         {RunnerConfig{1, 8}, RunnerConfig{1, 3},
+          RunnerConfig{4, 8}, RunnerConfig{4, 1}}) {
+        auto got = SweepRunner(sim, rc).runConfigs(cfgs);
+        ASSERT_EQ(got.size(), reference.size());
+        for (size_t i = 0; i < reference.size(); ++i)
+            expectBitwiseEqual(reference[i], got[i]);
+    }
+}
+
+TEST(BatchedPipeline, LanesMatchSerialPipelinesBitwise)
+{
+    // Core-level lockstep: three machines with different
+    // stabilization depths over one shared decoded buffer, compared
+    // against fresh serial pipelines on the same buffer.
+    const uint64_t insts = 8000;
+    core::CoreConfig cfg;
+    trace::TraceBufferPtr buffer = trace::materializeSynthetic(
+        trace::profileByName("spec2006int"), 1,
+        trace::replayLength(insts, cfg.iqEntries));
+
+    core::BatchedPipeline batch(buffer, 1024);
+    for (uint32_t n : {0u, 1u, 2u}) {
+        mechanism::IrawSettings s;
+        s.enabled = n > 0;
+        s.stabilizationCycles = n;
+        batch.addLane(cfg, memory::MemoryConfig{}, s, 120);
+    }
+    batch.run(insts);
+
+    for (uint32_t n : {0u, 1u, 2u}) {
+        trace::ReplayTraceSource src(buffer);
+        memory::MemoryHierarchy mem(memory::MemoryConfig{});
+        mem.setDramLatencyCycles(120);
+        core::Pipeline pipe(cfg, mem, src);
+        mechanism::IrawSettings s;
+        s.enabled = n > 0;
+        s.stabilizationCycles = n;
+        pipe.applySettings(s);
+        const core::PipelineStats &serial = pipe.run(insts);
+        const core::PipelineStats &lane = batch.stats(n);
+        EXPECT_EQ(lane.cycles, serial.cycles) << "N=" << n;
+        EXPECT_EQ(lane.committedInsts, serial.committedInsts);
+        EXPECT_EQ(lane.rfIrawStallCycles, serial.rfIrawStallCycles);
+        EXPECT_EQ(lane.iqGateStallCycles, serial.iqGateStallCycles);
+        EXPECT_EQ(lane.mispredicts, serial.mispredicts);
+        EXPECT_EQ(lane.drainNops, serial.drainNops);
+        EXPECT_EQ(lane.rfIrawDelayedInsts,
+                  serial.rfIrawDelayedInsts);
+    }
+}
+
+} // namespace
+} // namespace sim
+} // namespace iraw
