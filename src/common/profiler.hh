@@ -8,6 +8,15 @@
  * pays one pointer test per stage — the stats stay out of every
  * deterministic aggregate, so profiled and unprofiled runs produce
  * bitwise-identical simulation results.
+ *
+ * Threading contract: a StageProfiler is thread-confined, not
+ * thread-safe.  Each SimEngine owns exactly one and attaches it to
+ * its own Pipeline; engines never share a profiler, and a sweep
+ * worker only touches the profilers of engines it is running.  The
+ * counters are copied into SimResult.host at finalize() and read by
+ * the caller only after the worker's future resolves, so no
+ * synchronization (and no mutex on this hot path) is needed.  Do
+ * not attach one profiler to pipelines ticked by different threads.
  */
 
 #ifndef IRAW_COMMON_PROFILER_HH

@@ -1,32 +1,69 @@
 #include "common/thread_pool.hh"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace iraw {
 
 ThreadPool::ThreadPool(unsigned threads)
 {
     unsigned count = std::max(1u, threads);
+    MutexLock lock(_mutex);
     _workers.reserve(count);
+    // New workers block on _mutex in workerLoop() until the
+    // constructor releases it, so they never observe a
+    // half-populated pool.
     for (unsigned i = 0; i < count; ++i)
         _workers.emplace_back([this] { workerLoop(); });
 }
 
 ThreadPool::~ThreadPool()
 {
+    shutdown();
+}
+
+unsigned
+ThreadPool::size() const
+{
+    MutexLock lock(_mutex);
+    return static_cast<unsigned>(_workers.size());
+}
+
+void
+ThreadPool::shutdown()
+{
+    // The first caller swaps the worker handles out under the lock
+    // and becomes the joiner; any concurrent or repeated call sees
+    // an empty vector and returns — no double join.
+    std::vector<std::thread> workers;
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        MutexLock lock(_mutex);
         _shutdown = true;
+        workers.swap(_workers);
     }
     _wakeWorker.notify_all();
-    for (auto &worker : _workers)
+    for (auto &worker : workers)
         worker.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        MutexLock lock(_mutex);
+        if (_shutdown)
+            throw std::runtime_error(
+                "ThreadPool: submit() after shutdown");
+        _queue.push_back(std::move(task));
+        ++_submitted;
+    }
+    _wakeWorker.notify_one();
 }
 
 uint64_t
 ThreadPool::tasksSubmitted() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     return _submitted;
 }
 
@@ -43,10 +80,12 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(_mutex);
-            _wakeWorker.wait(lock, [this] {
-                return _shutdown || !_queue.empty();
-            });
+            MutexLock lock(_mutex);
+            // condition_variable_any waits on the annotated Mutex
+            // itself, so the predicate reads below stay inside the
+            // analysed critical section.
+            while (!_shutdown && _queue.empty())
+                _wakeWorker.wait(_mutex);
             if (_queue.empty()) {
                 // _shutdown is set and nothing is left to drain.
                 return;
@@ -54,6 +93,8 @@ ThreadPool::workerLoop()
             task = std::move(_queue.front());
             _queue.pop_front();
         }
+        // Run outside the lock.  A packaged_task stores any
+        // exception in its future; the worker itself never dies.
         task();
     }
 }

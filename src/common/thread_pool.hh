@@ -4,6 +4,14 @@
  * sized for the experiment runner: tasks are coarse (one full
  * simulation each), so a single mutex-protected queue is plenty and
  * keeps completion order irrelevant to results.
+ *
+ * Lock discipline (compile-checked by clang -Wthread-safety): the
+ * queue, the lifetime counters, and the shutdown latch are
+ * GUARDED_BY(_mutex); the worker vector is written only while the
+ * pool is single-threaded (constructor, shutdown join).  Lifecycle
+ * contract: shutdown() drains every task already submitted, then
+ * joins; submit() after shutdown began throws instead of enqueueing
+ * a task no worker will ever run.
  */
 
 #ifndef IRAW_COMMON_THREAD_POOL_HH
@@ -14,10 +22,11 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/thread_annotations.hh"
 
 namespace iraw {
 
@@ -41,15 +50,24 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
-    /** Number of worker threads. */
-    unsigned size() const { return static_cast<unsigned>(_workers.size()); }
+    /** Number of worker threads (0 once shutdown() has joined). */
+    unsigned size() const EXCLUDES(_mutex);
 
     /** Tasks submitted over the pool's lifetime. */
-    uint64_t tasksSubmitted() const;
+    uint64_t tasksSubmitted() const EXCLUDES(_mutex);
+
+    /**
+     * Drain every already-submitted task, then join the workers.
+     * Idempotent; the destructor calls it.  After shutdown() begins,
+     * submit() throws std::runtime_error.
+     */
+    void shutdown() EXCLUDES(_mutex);
 
     /**
      * Enqueue @p fn and obtain a future for its result.  The task
-     * runs on some worker; exceptions propagate through the future.
+     * runs on some worker; exceptions propagate through the future
+     * (a throwing task never takes its worker down).  Throws
+     * std::runtime_error once shutdown() has begun.
      */
     template <typename F>
     auto
@@ -59,12 +77,7 @@ class ThreadPool
         auto task = std::make_shared<std::packaged_task<Result()>>(
             std::forward<F>(fn));
         std::future<Result> future = task->get_future();
-        {
-            std::lock_guard<std::mutex> lock(_mutex);
-            _queue.emplace_back([task] { (*task)(); });
-            ++_submitted;
-        }
-        _wakeWorker.notify_one();
+        enqueue([task] { (*task)(); });
         return future;
     }
 
@@ -76,13 +89,15 @@ class ThreadPool
 
   private:
     void workerLoop();
+    /** The locked slice of submit(), kept out of the template. */
+    void enqueue(std::function<void()> task) EXCLUDES(_mutex);
 
-    mutable std::mutex _mutex;
-    std::condition_variable _wakeWorker;
-    std::deque<std::function<void()>> _queue;
-    std::vector<std::thread> _workers;
-    uint64_t _submitted = 0;
-    bool _shutdown = false;
+    mutable Mutex _mutex;
+    std::condition_variable_any _wakeWorker;
+    std::deque<std::function<void()>> _queue GUARDED_BY(_mutex);
+    std::vector<std::thread> _workers GUARDED_BY(_mutex);
+    uint64_t _submitted GUARDED_BY(_mutex) = 0;
+    bool _shutdown GUARDED_BY(_mutex) = false;
 };
 
 } // namespace iraw

@@ -127,7 +127,7 @@ class InstructionQueue
         return !entry.isDrainNop && !entry.isWrongPath;
     }
 
-    uint32_t _size;
+    uint32_t _size = 0;
     /** Fixed ring of _size slots (power of two): allocate/pop are
      *  index arithmetic, never container reshaping.  Slot of the
      *  i-th oldest entry is (_head + i) & (_size - 1): the mod-2N

@@ -211,7 +211,7 @@ Pipeline::issueMemOp(IqEntry &entry)
         }
 
         auto res = _mem.dataLoad(op.memAddr, _cycle);
-        uint32_t latency;
+        uint32_t latency = 0;
         if (res.l0Hit) {
             latency = _cfg.latencies.latency(OpClass::Load) +
                       static_cast<uint32_t>(res.readyCycle - _cycle);

@@ -163,8 +163,8 @@ class Scoreboard
     mechanism::ReadyPattern
     shiftedBy(mechanism::ReadyPattern p, uint64_t shifts) const;
 
-    uint32_t _bits;
-    uint32_t _bypassLevels;
+    uint32_t _bits = 0;
+    uint32_t _bypassLevels = 0;
     uint32_t _n = 0;
 
     // Struct-of-arrays register state: parallel per-register arrays

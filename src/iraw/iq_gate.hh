@@ -92,9 +92,9 @@ class IqOccupancyGate
     uint32_t ai() const { return _ai; }
 
   private:
-    uint32_t _iqSize;
-    uint32_t _ici;
-    uint32_t _ai;
+    uint32_t _iqSize = 0;
+    uint32_t _ici = 0;
+    uint32_t _ai = 0;
     uint32_t _n = 0;
     uint32_t _threshold = 0;
 };

@@ -111,9 +111,9 @@ class StoreTable
 
     uint32_t setOf(uint64_t addr) const;
 
-    uint32_t _capacity;
-    uint32_t _lineBytes;
-    uint32_t _numSets;
+    uint32_t _capacity = 0;
+    uint32_t _lineBytes = 0;
+    uint32_t _numSets = 0;
     uint32_t _active = 0;
     uint32_t _next = 0; //!< round-robin replacement cursor
     std::vector<Entry> _entries;

@@ -79,7 +79,7 @@ class FillBuffer
     };
 
     std::string _name;
-    uint32_t _capacity;
+    uint32_t _capacity = 0;
     std::vector<Entry> _slots;
     uint64_t _allocations = 0;
     uint64_t _merged = 0;
@@ -132,8 +132,8 @@ class WriteCombiningBuffer
     void release(Cycle cycle);
 
     std::string _name;
-    uint32_t _capacity;
-    uint32_t _drainLatency;
+    uint32_t _capacity = 0;
+    uint32_t _drainLatency = 0;
     std::vector<Entry> _slots;
     uint64_t _pushes = 0;
     uint64_t _fullStalls = 0;

@@ -166,7 +166,7 @@ MemoryHierarchy::serviceMiss(Cache &l0, IrawPortGuard &l0Guard,
     res.irawStallCycles += ul1When - when;
     when = ul1When;
 
-    Cycle fillReady;
+    Cycle fillReady = 0;
     if (_ul1.access(lineAddr, false)) {
         res.ul1Hit = true;
         fillReady = when + _cfg.ul1HitLatency;

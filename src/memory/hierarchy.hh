@@ -174,10 +174,10 @@ class MemoryHierarchy
     /** Pending L0 installs: (lineAddr, fillCycle, icache?, dirty). */
     struct PendingFill
     {
-        uint64_t lineAddr;
-        Cycle fillCycle;
-        bool toIl0;
-        bool dirty;
+        uint64_t lineAddr = 0;
+        Cycle fillCycle = 0;
+        bool toIl0 = false;
+        bool dirty = false;
     };
     std::vector<PendingFill> _pending;
 };

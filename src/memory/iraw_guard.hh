@@ -125,8 +125,8 @@ class IrawPortGuard
     /** One stabilization window: (cycle, cycle + n]. */
     struct Window
     {
-        Cycle cycle;
-        uint32_t n;
+        Cycle cycle = 0;
+        uint32_t n = 0;
     };
 
     /** Drop windows that ended well before @p cycle. */

@@ -133,7 +133,7 @@ class GsharePredictor final : public BranchPredictor
 
   private:
     std::vector<uint8_t> _counters;
-    uint32_t _historyBits;
+    uint32_t _historyBits = 0;
     uint32_t _history = 0;
 };
 

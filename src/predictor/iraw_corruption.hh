@@ -86,7 +86,7 @@ class CorruptionTracker
     }
 
   private:
-    uint32_t _n;
+    uint32_t _n = 0;
     std::unordered_map<uint32_t, uint64_t> _lastFlip;
     uint64_t _reads = 0;
     uint64_t _updates = 0;

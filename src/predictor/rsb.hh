@@ -65,7 +65,7 @@ class ReturnStackBuffer
         uint64_t pushCycle = 0;
     };
 
-    uint32_t _depth;
+    uint32_t _depth = 0;
     std::vector<Entry> _stack;
     uint32_t _top = 0; //!< index of next free slot
     uint32_t _occupancy = 0;

@@ -90,6 +90,12 @@ SweepRunner::runConfigs(const std::vector<SimConfig> &configs) const
 
     // One chunk is one work item; results land at their input index,
     // so execution order (and thread count) never shows.
+    //
+    // Sharing contract (TSan-checked by the threaded tests): workers
+    // share `results` without a lock, but every chunk owns a
+    // disjoint set of indices, `results` is never resized while
+    // workers run, and the futures' get() below is the
+    // happens-before edge that publishes all slots to this thread.
     auto runChunk = [&](const std::vector<size_t> &chunk) {
         if (chunk.size() == 1) {
             results[chunk[0]] = _sim.run(configs[chunk[0]]);

@@ -164,6 +164,7 @@ ScenarioRegistry::add(Scenario scenario)
 {
     panicIf(scenario.fn == nullptr, "scenario '%s' has no body",
             scenario.name.c_str());
+    MutexLock lock(_mutex);
     auto [it, inserted] =
         _scenarios.emplace(scenario.name, std::move(scenario));
     panicIf(!inserted, "duplicate scenario name '%s'",
@@ -173,6 +174,7 @@ ScenarioRegistry::add(Scenario scenario)
 const Scenario *
 ScenarioRegistry::find(const std::string &name) const
 {
+    MutexLock lock(_mutex);
     auto it = _scenarios.find(name);
     return it == _scenarios.end() ? nullptr : &it->second;
 }
@@ -180,6 +182,7 @@ ScenarioRegistry::find(const std::string &name) const
 std::vector<const Scenario *>
 ScenarioRegistry::all() const
 {
+    MutexLock lock(_mutex);
     std::vector<const Scenario *> out;
     out.reserve(_scenarios.size());
     for (const auto &[name, scenario] : _scenarios)

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/cli.hh"
+#include "common/thread_annotations.hh"
 #include "sim/runner.hh"
 #include "trace/trace_store.hh"
 
@@ -144,23 +145,31 @@ struct Scenario
     ScenarioFn fn = nullptr;
 };
 
-/** Name-keyed singleton registry of every linked scenario. */
+/**
+ * Name-keyed singleton registry of every linked scenario.
+ * Registration happens from static initializers (single-threaded by
+ * construction), but lookups can come from anywhere, so the map is
+ * mutex-guarded anyway — the lock is nowhere near a hot path.
+ * Entries are never removed, so returned pointers stay valid.
+ */
 class ScenarioRegistry
 {
   public:
     static ScenarioRegistry &instance();
 
     /** Register a scenario; duplicate names are a library bug. */
-    void add(Scenario scenario);
+    void add(Scenario scenario) EXCLUDES(_mutex);
 
     /** Look up by name; nullptr when absent. */
-    const Scenario *find(const std::string &name) const;
+    const Scenario *find(const std::string &name) const
+        EXCLUDES(_mutex);
 
     /** All scenarios, name-sorted. */
-    std::vector<const Scenario *> all() const;
+    std::vector<const Scenario *> all() const EXCLUDES(_mutex);
 
   private:
-    std::map<std::string, Scenario> _scenarios;
+    mutable Mutex _mutex;
+    std::map<std::string, Scenario> _scenarios GUARDED_BY(_mutex);
 };
 
 /** Registers a scenario from a static initializer. */

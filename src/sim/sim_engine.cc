@@ -222,6 +222,7 @@ SimEngine::advance(memory::Cycle quantumCycles)
 {
     if (_phase == Phase::Done || quantumCycles == 0)
         return;
+    // lint-determinism: allow(wallclock) perf.sim_wall_seconds host metric; read only into SimResult.host, never into simulated state (invariant 6)
     auto wallStart = std::chrono::steady_clock::now();
     const memory::Cycle now = _pipe.currentCycle();
     const memory::Cycle maxCycle =
@@ -237,6 +238,7 @@ SimEngine::advance(memory::Cycle quantumCycles)
             break; // quantum exhausted mid-phase
         endPhase();
     }
+    // lint-determinism: allow(wallclock) closes the host wall-time bracket opened above (invariant 6)
     auto wallEnd = std::chrono::steady_clock::now();
     _wallSeconds +=
         std::chrono::duration<double>(wallEnd - wallStart).count();

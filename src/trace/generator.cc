@@ -211,7 +211,7 @@ SyntheticTraceGenerator::pickFpSource()
 uint64_t
 SyntheticTraceGenerator::pickMemAddr(StaticSlot &slot)
 {
-    uint64_t addr;
+    uint64_t addr = 0;
     if (slot.streaming) {
         StreamArray &arr = _streams[slot.streamArray];
         addr = arr.base + arr.pos;
@@ -221,7 +221,7 @@ SyntheticTraceGenerator::pickMemAddr(StaticSlot &slot)
     } else {
         // Three-level locality pyramid: hot / warm / cold regions.
         double u = _rng.uniform();
-        uint64_t region;
+        uint64_t region = 0;
         if (u < _profile.hotProb) {
             region = 1ULL << _profile.hotBytesLog2;
         } else if (u < _profile.hotProb + _profile.warmProb) {

@@ -104,8 +104,8 @@ class SyntheticTraceGenerator : public TraceSource
     uint64_t pickMemAddr(StaticSlot &slot);
 
     WorkloadProfile _profile;
-    uint64_t _seed;
-    uint64_t _maxInsts;
+    uint64_t _seed = 0;
+    uint64_t _maxInsts = 0;
 
     Pcg32 _rng;
     std::vector<StaticSlot> _slots;

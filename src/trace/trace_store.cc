@@ -133,7 +133,7 @@ profileFingerprint(const WorkloadProfile &p)
         blob += std::to_string(v);
     };
     auto addD = [&addU](double v) {
-        uint64_t bits;
+        uint64_t bits = 0;
         static_assert(sizeof(bits) == sizeof(v));
         std::memcpy(&bits, &v, sizeof(bits));
         addU(bits);
@@ -209,7 +209,7 @@ TraceStore::acquire(const Key &key,
     std::shared_future<TraceBufferPtr> future;
     bool owner = false;
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        MutexLock lock(_mutex);
         auto it = _entries.find(key);
         if (it != _entries.end()) {
             ++_stats.hits;
@@ -235,7 +235,7 @@ TraceStore::acquire(const Key &key,
             promise.set_value(std::move(buffer));
         } catch (...) {
             {
-                std::lock_guard<std::mutex> lock(_mutex);
+                MutexLock lock(_mutex);
                 _entries.erase(key);
             }
             promise.set_exception(std::current_exception());
@@ -247,7 +247,7 @@ TraceStore::acquire(const Key &key,
 void
 TraceStore::finalize(const Key &key, const TraceBufferPtr &buffer)
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     auto it = _entries.find(key);
     panicIf(it == _entries.end(),
             "TraceStore: finalizing an evicted key");
@@ -289,7 +289,7 @@ TraceStore::acquireSynthetic(const WorkloadProfile &profile,
         if (fs::exists(path)) {
             try {
                 TraceBufferPtr buffer = materializeFile(path);
-                std::lock_guard<std::mutex> lock(_mutex);
+                MutexLock lock(_mutex);
                 ++_stats.diskHits;
                 return buffer;
             } catch (const FatalError &e) {
@@ -335,7 +335,7 @@ TraceStore::acquireFile(const std::string &path)
 TraceStore::Stats
 TraceStore::stats() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     return _stats;
 }
 

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "trace/trace_source.hh"
 #include "trace/workload.hh"
 
@@ -71,7 +72,12 @@ class TraceBuffer
   private:
     std::string _name;
     std::vector<uint8_t> _data;
-    uint64_t _records;
+    uint64_t _records = 0;
+    // Decode-once state: _decoded is written exactly once inside
+    // std::call_once(_decodeOnce) and read-only ever after; the
+    // call_once fence publishes it to every thread (clang TSA does
+    // not model call_once, so this is documented rather than
+    // annotated — TSan checks it in the 16-thread store test).
     mutable std::once_flag _decodeOnce;
     mutable std::vector<isa::MicroOp> _decoded;
 };
@@ -166,12 +172,14 @@ class TraceStore
      * distinctly named.
      */
     TraceBufferPtr acquireSynthetic(const WorkloadProfile &profile,
-                                    uint64_t seed, uint64_t length);
+                                    uint64_t seed, uint64_t length)
+        EXCLUDES(_mutex);
 
     /** The full contents of trace file @p path. */
-    TraceBufferPtr acquireFile(const std::string &path);
+    TraceBufferPtr acquireFile(const std::string &path)
+        EXCLUDES(_mutex);
 
-    Stats stats() const;
+    Stats stats() const EXCLUDES(_mutex);
 
     const Config &config() const { return _cfg; }
 
@@ -201,18 +209,33 @@ class TraceStore
         std::list<Key>::iterator lruIt{};
     };
 
+    /**
+     * Once-per-key materialization (double-checked through the
+     * entry's shared_future, not through a naked pointer): the
+     * registration of the promise happens under _mutex, the heavy
+     * materialize() runs outside it, and waiters synchronize on the
+     * future — promise::set_value is the release, future::get the
+     * acquire, so the buffer's bytes happen-before every reader.
+     */
     TraceBufferPtr
     acquire(const Key &key,
-            const std::function<TraceBufferPtr()> &materialize);
+            const std::function<TraceBufferPtr()> &materialize)
+        EXCLUDES(_mutex);
     /** Account a finished materialization and enforce the byte cap. */
-    void finalize(const Key &key, const TraceBufferPtr &buffer);
+    void finalize(const Key &key, const TraceBufferPtr &buffer)
+        EXCLUDES(_mutex);
     std::string diskPathFor(const Key &key) const;
 
     Config _cfg;
-    mutable std::mutex _mutex;
-    std::map<Key, Entry> _entries;
-    std::list<Key> _lru; //!< front = most recently used
-    Stats _stats;
+    mutable Mutex _mutex;
+    /**
+     * Key -> in-flight-or-ready buffer.  An entry enters _lru only
+     * when finalize() marks it ready, so eviction can never drop a
+     * key some owner is still materializing.
+     */
+    std::map<Key, Entry> _entries GUARDED_BY(_mutex);
+    std::list<Key> _lru GUARDED_BY(_mutex); //!< front = most recent
+    Stats _stats GUARDED_BY(_mutex);
 };
 
 } // namespace trace

@@ -82,8 +82,8 @@ ChipPopulation::run(const PopulationConfig &cfg) const
     // fixed (chip, voltage, trace) order.
     struct SimTarget
     {
-        size_t chip;
-        size_t voltageIndex;
+        size_t chip = 0;
+        size_t voltageIndex = 0;
     };
     std::vector<SimTarget> targets;
     for (size_t c = 0; c < result.chips.size(); ++c) {

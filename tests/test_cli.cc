@@ -156,8 +156,8 @@ INSTANTIATE_TEST_SUITE_P(
                         Accessor::Double, false, -2.5e10},
         NumericEdgeCase{"double_zero", "0.0", Accessor::Double,
                         false, 0.0}),
-    [](const ::testing::TestParamInfo<NumericEdgeCase> &info) {
-        return info.param.name;
+    [](const ::testing::TestParamInfo<NumericEdgeCase> &paramInfo) {
+        return paramInfo.param.name;
     });
 
 // ---------------------------------------------------------------

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <filesystem>
 #include <thread>
 #include <vector>
@@ -93,6 +94,56 @@ TEST(TraceStore, ConcurrentAcquiresMaterializeOnce)
     TraceStore::Stats stats = store.stats();
     EXPECT_EQ(stats.misses, 1u);
     EXPECT_EQ(stats.hits, kThreads - 1u);
+}
+
+TEST(TraceStore, SixteenThreadOncePerKeyHammer)
+{
+    // Regression lock on the double-checked materialization path
+    // (trace_store.cc acquire(): registration under _mutex, decode
+    // outside it, promise/shared_future publication).  16 threads
+    // race over 4 distinct keys in rotated order while also polling
+    // stats(); each key must materialize exactly once and every
+    // winner/waiter must see the same buffer.
+    TraceStore store;
+    const WorkloadProfile &profile = profileByName("spec2006int");
+    constexpr unsigned kThreads = 16;
+    constexpr unsigned kKeys = 4;
+    constexpr unsigned kRounds = 3;
+
+    // buffers[t][k]: what thread t saw for key k on the last round.
+    std::vector<std::array<TraceBufferPtr, kKeys>> buffers(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&store, &profile, &buffers, t] {
+            for (unsigned round = 0; round < kRounds; ++round) {
+                for (unsigned i = 0; i < kKeys; ++i) {
+                    // Rotate the visit order per thread so every key
+                    // sees registration races from several threads.
+                    unsigned k = (i + t) % kKeys;
+                    buffers[t][k] = store.acquireSynthetic(
+                        profile, 100 + k, 20000);
+                }
+                // stats() takes the store mutex mid-hammer; under
+                // TSan this cross-checks the lock discipline.
+                (void)store.stats();
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    for (unsigned k = 0; k < kKeys; ++k) {
+        ASSERT_NE(buffers[0][k], nullptr);
+        for (unsigned t = 1; t < kThreads; ++t)
+            EXPECT_EQ(buffers[t][k].get(), buffers[0][k].get())
+                << "thread " << t << " key " << k;
+    }
+    TraceStore::Stats stats = store.stats();
+    EXPECT_EQ(stats.misses, kKeys);
+    EXPECT_EQ(stats.hits,
+              uint64_t{kThreads} * kKeys * kRounds - kKeys);
+    EXPECT_EQ(stats.buffers, kKeys);
 }
 
 TEST(TraceStore, LruEvictsAtByteCap)
