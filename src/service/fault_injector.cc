@@ -1,0 +1,149 @@
+#include "service/fault_injector.hh"
+
+#include <cerrno>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "service/spool.hh"
+
+namespace iraw {
+namespace service {
+
+namespace {
+
+FaultClause::Kind
+kindByName(const std::string &name)
+{
+    if (name == "crash")
+        return FaultClause::Kind::Crash;
+    if (name == "sleep")
+        return FaultClause::Kind::Sleep;
+    if (name == "torntail")
+        return FaultClause::Kind::TornTail;
+    if (name == "enospc")
+        return FaultClause::Kind::Enospc;
+    fatal("faultinject: unknown fault kind '%s' (crash, sleep, "
+          "torntail, enospc)", name.c_str());
+}
+
+uint64_t
+parseCount(const std::string &clause, const std::string &digits)
+{
+    fatalIf(digits.empty() ||
+                digits.find_first_not_of("0123456789") !=
+                    std::string::npos,
+            "faultinject: bad count in clause '%s'", clause.c_str());
+    return std::stoull(digits);
+}
+
+FaultClause
+parseClause(std::string text)
+{
+    const std::string original = text;
+    FaultClause clause;
+
+    if (!text.empty() && text.back() == '!') {
+        clause.everyAttempt = true;
+        text.pop_back();
+    }
+    if (size_t at = text.find('@'); at != std::string::npos) {
+        clause.hasShard = true;
+        clause.shard = parseCount(original, text.substr(at + 1));
+        text.resize(at);
+    }
+    if (size_t colon = text.find(':'); colon != std::string::npos) {
+        clause.afterItems =
+            parseCount(original, text.substr(colon + 1));
+        text.resize(colon);
+    }
+    clause.kind = kindByName(text);
+    return clause;
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    size_t at = 0;
+    while (at < spec.size()) {
+        size_t comma = spec.find(',', at);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string clause = spec.substr(at, comma - at);
+        fatalIf(clause.empty(),
+                "faultinject: empty clause in '%s'", spec.c_str());
+        plan.clauses.push_back(parseClause(clause));
+        at = comma + 1;
+    }
+    return plan;
+}
+
+FaultInjector::FaultInjector(const FaultPlan &plan,
+                             uint64_t shardOrdinal, uint64_t attempt)
+    : _clauses(plan.clauses), _shard(shardOrdinal), _attempt(attempt)
+{}
+
+bool
+FaultInjector::active(const FaultClause &clause) const
+{
+    if (clause.hasShard && clause.shard != _shard)
+        return false;
+    return clause.everyAttempt || _attempt == 0;
+}
+
+void
+FaultInjector::fire(const FaultClause &clause, SpoolWriter &writer)
+{
+    switch (clause.kind) {
+      case FaultClause::Kind::Crash:
+        ::kill(::getpid(), SIGKILL);
+        ::_exit(42); // unreachable; calm the compiler
+      case FaultClause::Kind::Sleep:
+        // Ignore SIGTERM so the supervisor's grace period expires
+        // and the SIGKILL escalation path is actually exercised.
+        ::signal(SIGTERM, SIG_IGN);
+        for (;;)
+            ::pause();
+      case FaultClause::Kind::TornTail:
+        // A plausible-looking frame head with no payload behind it:
+        // resume must refuse it and truncate back to validBytes.
+        writer.appendRaw("IRSP1 4096 deadbeef {\"t\":");
+        ::kill(::getpid(), SIGKILL);
+        ::_exit(42);
+      case FaultClause::Kind::Enospc:
+        writer.failWritesWith(ENOSPC);
+        return;
+    }
+}
+
+void
+FaultInjector::onShardStart(SpoolWriter &writer)
+{
+    for (const FaultClause &clause : _clauses) {
+        if (!active(clause))
+            continue;
+        if (clause.kind == FaultClause::Kind::Sleep ||
+            clause.afterItems == 0)
+            fire(clause, writer);
+    }
+}
+
+void
+FaultInjector::onRecordAppended(SpoolWriter &writer,
+                                uint64_t itemsDone)
+{
+    for (const FaultClause &clause : _clauses) {
+        if (!active(clause))
+            continue;
+        if (clause.kind != FaultClause::Kind::Sleep &&
+            clause.afterItems == itemsDone && itemsDone > 0)
+            fire(clause, writer);
+    }
+}
+
+} // namespace service
+} // namespace iraw

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Deterministic fault injection for the sharded experiment service.
+ *
+ * The recovery paths (crash detection, timeout escalation, torn-tail
+ * truncation, retry accounting) only earn their keep if CI can prove
+ * each one actually runs.  The `faultinject=` scenario option
+ * compiles a fault plan into the WORKER side of the service: a
+ * comma-separated list of clauses
+ *
+ *     kind[:k][@shard][!]
+ *
+ * where `kind` is one of
+ *
+ *     crash     SIGKILL the worker after k result records
+ *     sleep     block forever at shard start, ignoring SIGTERM
+ *               (exercises the SIGTERM -> SIGKILL escalation)
+ *     torntail  append a garbage half-frame after k records, then
+ *               SIGKILL (exercises resume's tail truncation)
+ *     enospc    fail spool writes with ENOSPC from record k on
+ *
+ * `:k` defaults to 0, `@shard` restricts the clause to one shard
+ * ordinal (default: every shard), and a trailing `!` fires the
+ * clause on EVERY attempt instead of only the first — without it a
+ * retried shard succeeds, proving the retry path; with it the shard
+ * exhausts its retries, proving the failed-shard accounting.
+ *
+ * Everything is a pure function of (clause, shard ordinal, attempt):
+ * no randomness, no timing — a faulted run is exactly reproducible.
+ */
+
+#ifndef IRAW_SERVICE_FAULT_INJECTOR_HH
+#define IRAW_SERVICE_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iraw {
+namespace service {
+
+class SpoolWriter;
+
+/** One parsed faultinject= clause. */
+struct FaultClause
+{
+    enum class Kind : uint8_t
+    {
+        Crash,
+        Sleep,
+        TornTail,
+        Enospc
+    };
+
+    Kind kind = Kind::Crash;
+    uint64_t afterItems = 0;  //!< :k
+    bool hasShard = false;    //!< @shard given
+    uint64_t shard = 0;       //!< @shard ordinal
+    bool everyAttempt = false; //!< trailing !
+};
+
+/** The whole faultinject= specification. */
+struct FaultPlan
+{
+    std::vector<FaultClause> clauses;
+
+    bool empty() const { return clauses.empty(); }
+
+    /** Parse a faultinject= value; throws FatalError on syntax
+     *  errors or unknown kinds. */
+    static FaultPlan parse(const std::string &spec);
+};
+
+/**
+ * The worker-side trigger: constructed per (shard, attempt) with the
+ * plan, consulted at shard start and after every spooled record.
+ * Clauses restricted to other shards, or already spent on a
+ * previous attempt, never fire.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(const FaultPlan &plan, uint64_t shardOrdinal,
+                  uint64_t attempt);
+
+    /** Shard entry: sleep-forever and any k==0 clause fire here. */
+    void onShardStart(SpoolWriter &writer);
+
+    /** @p itemsDone result records are on disk; k==itemsDone
+     *  clauses fire here. */
+    void onRecordAppended(SpoolWriter &writer, uint64_t itemsDone);
+
+  private:
+    bool active(const FaultClause &clause) const;
+    /** Never returns for crash/torntail/sleep kinds. */
+    void fire(const FaultClause &clause, SpoolWriter &writer);
+
+    std::vector<FaultClause> _clauses;
+    uint64_t _shard;
+    uint64_t _attempt;
+};
+
+} // namespace service
+} // namespace iraw
+
+#endif // IRAW_SERVICE_FAULT_INJECTOR_HH

@@ -1,0 +1,636 @@
+#include "service/spool.hh"
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace iraw {
+namespace service {
+
+uint32_t
+crc32(const void *data, size_t size)
+{
+    // IEEE 802.3 polynomial, reflected; table built once.
+    static const auto table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+
+    const auto *p = static_cast<const unsigned char *>(data);
+    uint32_t crc = 0xffffffffu;
+    for (size_t i = 0; i < size; ++i)
+        crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+uint64_t
+doubleBits(double v)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v), "IEEE-754 doubles");
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+double
+bitsToDouble(uint64_t bits)
+{
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+frameRecord(const std::string &payload)
+{
+    char head[64];
+    std::snprintf(head, sizeof(head), "IRSP1 %zu %08x ",
+                  payload.size(),
+                  crc32(payload.data(), payload.size()));
+    std::string frame(head);
+    frame += payload;
+    frame += '\n';
+    return frame;
+}
+
+namespace {
+
+/**
+ * Validate the frame starting at @p data[pos].  On success fills
+ * @p payload and advances @p pos past the trailing newline.
+ */
+bool
+parseFrame(const std::string &data, size_t &pos,
+           std::string &payload)
+{
+    static const std::string kMagic = "IRSP1 ";
+    if (data.compare(pos, kMagic.size(), kMagic) != 0)
+        return false;
+    size_t p = pos + kMagic.size();
+
+    // Decimal payload length.
+    uint64_t len = 0;
+    size_t digits = 0;
+    while (p < data.size() && data[p] >= '0' && data[p] <= '9') {
+        len = len * 10 + static_cast<uint64_t>(data[p] - '0');
+        ++p;
+        if (++digits > 12)
+            return false; // absurd length: corrupt
+    }
+    if (digits == 0 || p >= data.size() || data[p] != ' ')
+        return false;
+    ++p;
+
+    // 8-hex-digit CRC.
+    if (p + 8 > data.size())
+        return false;
+    uint32_t crc = 0;
+    for (size_t i = 0; i < 8; ++i) {
+        char c = data[p + i];
+        uint32_t nib;
+        if (c >= '0' && c <= '9')
+            nib = static_cast<uint32_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            nib = static_cast<uint32_t>(c - 'a') + 10;
+        else
+            return false;
+        crc = (crc << 4) | nib;
+    }
+    p += 8;
+    if (p >= data.size() || data[p] != ' ')
+        return false;
+    ++p;
+
+    // Payload + newline must fit in the file as read.
+    if (p + len + 1 > data.size())
+        return false;
+    if (data[p + len] != '\n')
+        return false;
+    if (crc32(data.data() + p, len) != crc)
+        return false;
+
+    payload.assign(data, p, len);
+    pos = p + len + 1;
+    return true;
+}
+
+} // namespace
+
+SpoolScan
+scanSpoolFile(const std::string &path)
+{
+    SpoolScan scan;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return scan;
+    scan.exists = true;
+
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    size_t pos = 0;
+    std::string payload;
+    while (pos < data.size() && parseFrame(data, pos, payload))
+        scan.payloads.push_back(payload);
+    scan.validBytes = pos;
+    scan.torn = pos < data.size();
+    return scan;
+}
+
+namespace {
+
+/** Append the JSON fragment for a key whose value is a u64. */
+void
+appendField(std::string &out, const char *key, uint64_t value)
+{
+    out += '"';
+    out += key;
+    out += "\":";
+    out += std::to_string(value);
+}
+
+/** Expect the literal @p lit at @p data[pos] and step over it. */
+bool
+expect(const std::string &data, size_t &pos, const char *lit)
+{
+    size_t n = std::strlen(lit);
+    if (data.compare(pos, n, lit) != 0)
+        return false;
+    pos += n;
+    return true;
+}
+
+bool
+parseU64(const std::string &data, size_t &pos, uint64_t &value)
+{
+    value = 0;
+    size_t digits = 0;
+    while (pos < data.size() && data[pos] >= '0' &&
+           data[pos] <= '9') {
+        value = value * 10 + static_cast<uint64_t>(data[pos] - '0');
+        ++pos;
+        if (++digits > 20)
+            return false;
+    }
+    return digits > 0;
+}
+
+/** Quoted string; spool strings never need escapes (checked on
+ *  encode), so a bare quote scan suffices. */
+bool
+parseQuoted(const std::string &data, size_t &pos, std::string &out)
+{
+    if (pos >= data.size() || data[pos] != '"')
+        return false;
+    size_t end = data.find('"', pos + 1);
+    if (end == std::string::npos)
+        return false;
+    out.assign(data, pos + 1, end - pos - 1);
+    pos = end + 1;
+    return true;
+}
+
+/**
+ * The SimResult codec transports a fixed-order vector of u64 values
+ * (doubles as bit patterns, bools/enums widened); the field walk
+ * below is the single place that defines the order, shared by the
+ * writer and the reader.
+ */
+struct FieldWriter
+{
+    std::vector<uint64_t> values;
+    void u(uint64_t v) { values.push_back(v); }
+    void d(double v) { values.push_back(doubleBits(v)); }
+};
+
+struct FieldReader
+{
+    const std::vector<uint64_t> &values;
+    size_t pos = 0;
+    bool ok = true;
+
+    uint64_t
+    u()
+    {
+        if (pos >= values.size()) {
+            ok = false;
+            return 0;
+        }
+        return values[pos++];
+    }
+    double d() { return bitsToDouble(u()); }
+};
+
+/** Flatten every serialized SimResult field into @p fw. */
+void
+writeFields(FieldWriter &fw, const sim::SimResult &r)
+{
+    const mechanism::IrawSettings &s = r.settings;
+    fw.d(s.vcc);
+    fw.u(s.enabled ? 1 : 0);
+    fw.u(s.stabilizationCycles);
+    fw.d(s.cycleTime);
+    fw.d(s.baselineCycleTime);
+    fw.d(s.frequencyGain);
+
+    const core::PipelineStats &p = r.pipeline;
+    fw.u(p.cycles);
+    fw.u(p.committedInsts);
+    fw.u(p.drainNops);
+    fw.u(p.rawStallCycles);
+    fw.u(p.rfIrawStallCycles);
+    fw.u(p.wawStallCycles);
+    fw.u(p.structuralStallCycles);
+    fw.u(p.iqGateStallCycles);
+    fw.u(p.dl0ReplayStallCycles);
+    fw.u(p.iqEmptyCycles);
+    fw.u(p.rfIrawDelayedInsts);
+    fw.u(p.fetchLineAccesses);
+    fw.u(p.icacheStallCycles);
+    fw.u(p.mispredicts);
+    fw.u(p.branches);
+    fw.u(p.rsbMispredicts);
+    fw.u(p.rsbDeterminismStalls);
+    fw.u(p.bpConflictReads);
+    fw.u(p.rsbConflictPops);
+    fw.u(p.injectedCorruptions);
+    fw.u(p.stableFullMatches);
+    fw.u(p.stableSetMatches);
+    fw.u(p.stableReplayedStores);
+    fw.u(p.loads);
+    fw.u(p.stores);
+    fw.u(p.loadMisses);
+
+    fw.d(r.ipc);
+    fw.d(r.cycleTimeAu);
+    fw.d(r.execTimeAu);
+    fw.u(r.dramCycles);
+    fw.u(r.dl0GuardStalls);
+    fw.u(r.otherGuardStalls);
+    fw.d(r.il0MissRate);
+    fw.d(r.dl0MissRate);
+    fw.d(r.ul1MissRate);
+    fw.d(r.bpAccuracy);
+    fw.d(r.bpConflictRate);
+
+    fw.d(r.host.wallSeconds);
+    fw.u(r.host.instructions);
+
+    const sim::VariationInfo &v = r.variation;
+    fw.u(v.enabled ? 1 : 0);
+    fw.u(v.chipIndex);
+    fw.u(v.chipSeed);
+    fw.d(v.sigma);
+    fw.d(v.systematicSigma);
+    fw.d(v.maxMultiplier);
+    fw.u(v.worstN);
+    fw.u(v.nominalN);
+
+    const adapt::AdaptInfo &a = r.adapt;
+    fw.u(a.enabled ? 1 : 0);
+    fw.u(static_cast<uint64_t>(a.policy));
+    fw.u(a.epochCycles);
+    fw.u(a.epochs);
+    fw.u(a.switches);
+    fw.u(a.settleCycles);
+    fw.u(a.drainCycles);
+    fw.d(a.initialVcc);
+    fw.d(a.finalVcc);
+    fw.d(a.minVcc);
+    fw.d(a.floorVcc);
+    fw.u(a.totalCycles);
+    fw.u(a.totalInstructions);
+    fw.d(a.execTimeAu);
+    fw.d(a.timeWeightedVcc);
+    fw.d(a.switchEnergyAu);
+    fw.d(a.energy.dynamic);
+    fw.d(a.energy.leakage);
+}
+
+constexpr size_t kResultFields = 71;
+constexpr size_t kSegmentFields = 8;
+
+/** Mirror of writeFields. */
+void
+readFields(FieldReader &fr, sim::SimResult &r)
+{
+    mechanism::IrawSettings &s = r.settings;
+    s.vcc = fr.d();
+    s.enabled = fr.u() != 0;
+    s.stabilizationCycles = static_cast<uint32_t>(fr.u());
+    s.cycleTime = fr.d();
+    s.baselineCycleTime = fr.d();
+    s.frequencyGain = fr.d();
+
+    core::PipelineStats &p = r.pipeline;
+    p.cycles = fr.u();
+    p.committedInsts = fr.u();
+    p.drainNops = fr.u();
+    p.rawStallCycles = fr.u();
+    p.rfIrawStallCycles = fr.u();
+    p.wawStallCycles = fr.u();
+    p.structuralStallCycles = fr.u();
+    p.iqGateStallCycles = fr.u();
+    p.dl0ReplayStallCycles = fr.u();
+    p.iqEmptyCycles = fr.u();
+    p.rfIrawDelayedInsts = fr.u();
+    p.fetchLineAccesses = fr.u();
+    p.icacheStallCycles = fr.u();
+    p.mispredicts = fr.u();
+    p.branches = fr.u();
+    p.rsbMispredicts = fr.u();
+    p.rsbDeterminismStalls = fr.u();
+    p.bpConflictReads = fr.u();
+    p.rsbConflictPops = fr.u();
+    p.injectedCorruptions = fr.u();
+    p.stableFullMatches = fr.u();
+    p.stableSetMatches = fr.u();
+    p.stableReplayedStores = fr.u();
+    p.loads = fr.u();
+    p.stores = fr.u();
+    p.loadMisses = fr.u();
+
+    r.ipc = fr.d();
+    r.cycleTimeAu = fr.d();
+    r.execTimeAu = fr.d();
+    r.dramCycles = fr.u();
+    r.dl0GuardStalls = fr.u();
+    r.otherGuardStalls = fr.u();
+    r.il0MissRate = fr.d();
+    r.dl0MissRate = fr.d();
+    r.ul1MissRate = fr.d();
+    r.bpAccuracy = fr.d();
+    r.bpConflictRate = fr.d();
+
+    r.host.wallSeconds = fr.d();
+    r.host.instructions = fr.u();
+
+    sim::VariationInfo &v = r.variation;
+    v.enabled = fr.u() != 0;
+    v.chipIndex = static_cast<uint32_t>(fr.u());
+    v.chipSeed = fr.u();
+    v.sigma = fr.d();
+    v.systematicSigma = fr.d();
+    v.maxMultiplier = fr.d();
+    v.worstN = static_cast<uint32_t>(fr.u());
+    v.nominalN = static_cast<uint32_t>(fr.u());
+
+    adapt::AdaptInfo &a = r.adapt;
+    a.enabled = fr.u() != 0;
+    a.policy = static_cast<adapt::Policy>(fr.u());
+    a.epochCycles = fr.u();
+    a.epochs = fr.u();
+    a.switches = static_cast<uint32_t>(fr.u());
+    a.settleCycles = fr.u();
+    a.drainCycles = fr.u();
+    a.initialVcc = fr.d();
+    a.finalVcc = fr.d();
+    a.minVcc = fr.d();
+    a.floorVcc = fr.d();
+    a.totalCycles = fr.u();
+    a.totalInstructions = fr.u();
+    a.execTimeAu = fr.d();
+    a.timeWeightedVcc = fr.d();
+    a.switchEnergyAu = fr.d();
+    a.energy.dynamic = fr.d();
+    a.energy.leakage = fr.d();
+}
+
+void
+writeSegment(FieldWriter &fw, const adapt::AdaptSegment &seg)
+{
+    fw.d(seg.vcc);
+    fw.d(seg.cycleTimeAu);
+    fw.u(seg.irawOn ? 1 : 0);
+    fw.u(seg.cycles);
+    fw.u(seg.settleCycles);
+    fw.u(seg.instructions);
+    fw.d(seg.energy.dynamic);
+    fw.d(seg.energy.leakage);
+}
+
+void
+readSegment(FieldReader &fr, adapt::AdaptSegment &seg)
+{
+    seg.vcc = fr.d();
+    seg.cycleTimeAu = fr.d();
+    seg.irawOn = fr.u() != 0;
+    seg.cycles = fr.u();
+    seg.settleCycles = fr.u();
+    seg.instructions = fr.u();
+    seg.energy.dynamic = fr.d();
+    seg.energy.leakage = fr.d();
+}
+
+void
+appendU64Array(std::string &out, const std::vector<uint64_t> &values)
+{
+    out += '[';
+    for (size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            out += ',';
+        out += std::to_string(values[i]);
+    }
+    out += ']';
+}
+
+bool
+parseU64Array(const std::string &data, size_t &pos,
+              std::vector<uint64_t> &values)
+{
+    values.clear();
+    if (!expect(data, pos, "["))
+        return false;
+    if (pos < data.size() && data[pos] == ']') {
+        ++pos;
+        return true;
+    }
+    for (;;) {
+        uint64_t v;
+        if (!parseU64(data, pos, v))
+            return false;
+        values.push_back(v);
+        if (pos >= data.size())
+            return false;
+        if (data[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        if (data[pos] != ',')
+            return false;
+        ++pos;
+    }
+}
+
+} // namespace
+
+std::string
+encodeShardHeader(const std::string &shardStem, uint64_t items)
+{
+    std::string out = "{\"t\":\"hdr\",\"v\":1,\"shard\":\"";
+    out += shardStem; // stems are [0-9a-z-]: no escaping needed
+    out += "\",";
+    appendField(out, "items", items);
+    out += '}';
+    return out;
+}
+
+bool
+decodeShardHeader(const std::string &payload, std::string &shardStem,
+                  uint64_t &items)
+{
+    size_t pos = 0;
+    return expect(payload, pos, "{\"t\":\"hdr\",\"v\":1,\"shard\":") &&
+           parseQuoted(payload, pos, shardStem) &&
+           expect(payload, pos, ",\"items\":") &&
+           parseU64(payload, pos, items) &&
+           expect(payload, pos, "}") && pos == payload.size();
+}
+
+std::string
+encodeResult(uint64_t index, const sim::SimResult &r)
+{
+    FieldWriter fields;
+    writeFields(fields, r);
+
+    std::string out = "{\"t\":\"res\",\"v\":1,";
+    appendField(out, "i", index);
+    out += ",\"f\":";
+    appendU64Array(out, fields.values);
+    out += ",\"seg\":[";
+    for (size_t i = 0; i < r.adapt.segments.size(); ++i) {
+        if (i)
+            out += ',';
+        FieldWriter seg;
+        writeSegment(seg, r.adapt.segments[i]);
+        appendU64Array(out, seg.values);
+    }
+    out += "]}";
+    return out;
+}
+
+bool
+decodeResult(const std::string &payload, uint64_t &index,
+             sim::SimResult &r)
+{
+    size_t pos = 0;
+    if (!expect(payload, pos, "{\"t\":\"res\",\"v\":1,\"i\":") ||
+        !parseU64(payload, pos, index) ||
+        !expect(payload, pos, ",\"f\":"))
+        return false;
+
+    std::vector<uint64_t> fields;
+    if (!parseU64Array(payload, pos, fields) ||
+        fields.size() != kResultFields)
+        return false;
+
+    if (!expect(payload, pos, ",\"seg\":["))
+        return false;
+    std::vector<std::vector<uint64_t>> segments;
+    if (pos < payload.size() && payload[pos] == ']') {
+        ++pos;
+    } else {
+        for (;;) {
+            std::vector<uint64_t> seg;
+            if (!parseU64Array(payload, pos, seg) ||
+                seg.size() != kSegmentFields)
+                return false;
+            segments.push_back(std::move(seg));
+            if (pos >= payload.size())
+                return false;
+            if (payload[pos] == ']') {
+                ++pos;
+                break;
+            }
+            if (payload[pos] != ',')
+                return false;
+            ++pos;
+        }
+    }
+    if (!expect(payload, pos, "}") || pos != payload.size())
+        return false;
+
+    r = sim::SimResult();
+    FieldReader fr{fields};
+    readFields(fr, r);
+    if (!fr.ok || fr.pos != fields.size())
+        return false;
+
+    r.adapt.segments.resize(segments.size());
+    for (size_t i = 0; i < segments.size(); ++i) {
+        FieldReader sr{segments[i]};
+        readSegment(sr, r.adapt.segments[i]);
+        if (!sr.ok || sr.pos != segments[i].size())
+            return false;
+    }
+    return true;
+}
+
+SpoolWriter::~SpoolWriter()
+{
+    if (_fd >= 0)
+        ::close(_fd);
+}
+
+bool
+SpoolWriter::open(const std::string &partPath, bool append)
+{
+    if (_fd >= 0)
+        ::close(_fd);
+    int flags = O_WRONLY | O_CREAT | (append ? O_APPEND : O_TRUNC);
+    _fd = ::open(partPath.c_str(), flags, 0644);
+    _path = partPath;
+    return _fd >= 0;
+}
+
+bool
+SpoolWriter::append(const std::string &payload)
+{
+    return appendRaw(frameRecord(payload));
+}
+
+bool
+SpoolWriter::appendRaw(const std::string &bytes)
+{
+    if (_fd < 0)
+        return false;
+    if (_forcedErrno) {
+        errno = _forcedErrno;
+        return false;
+    }
+    size_t done = 0;
+    while (done < bytes.size()) {
+        ssize_t n = ::write(_fd, bytes.data() + done,
+                            bytes.size() - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        done += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+SpoolWriter::finalize(const std::string &finalPath)
+{
+    if (_fd < 0)
+        return false;
+    bool ok = ::fsync(_fd) == 0;
+    ok = ::close(_fd) == 0 && ok;
+    _fd = -1;
+    return ok && ::rename(_path.c_str(), finalPath.c_str()) == 0;
+}
+
+} // namespace service
+} // namespace iraw

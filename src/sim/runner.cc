@@ -8,6 +8,7 @@
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "service/supervisor.hh"
 
 namespace iraw {
 namespace sim {
@@ -44,13 +45,8 @@ SweepRunner::merge(circuit::MilliVolts vcc,
     return m;
 }
 
-namespace {
-
-/** Trace identity: configs with equal keys replay the same dynamic
- *  instruction stream, so they can share one decoded buffer as
- *  lockstep lanes. */
 std::string
-traceKey(const SimConfig &cfg)
+traceGroupKey(const SimConfig &cfg)
 {
     std::ostringstream os;
     os << cfg.workload << '|' << cfg.tracePath << '|' << cfg.seed
@@ -58,35 +54,47 @@ traceKey(const SimConfig &cfg)
     return os.str();
 }
 
-} // namespace
+std::vector<std::vector<size_t>>
+traceGroupedChunks(const std::vector<SimConfig> &configs, size_t batch)
+{
+    std::vector<std::vector<size_t>> chunks;
+    std::map<std::string, size_t> groupOf;
+    std::vector<std::vector<size_t>> groups;
+    for (size_t i = 0; i < configs.size(); ++i) {
+        auto [it, inserted] =
+            groupOf.emplace(traceGroupKey(configs[i]), groups.size());
+        if (inserted)
+            groups.emplace_back();
+        groups[it->second].push_back(i);
+    }
+    for (const std::vector<size_t> &group : groups) {
+        for (size_t at = 0; at < group.size(); at += batch) {
+            size_t end = std::min(at + batch, group.size());
+            chunks.emplace_back(group.begin() + at,
+                                group.begin() + end);
+        }
+    }
+    return chunks;
+}
 
 std::vector<SimResult>
 SweepRunner::runConfigs(const std::vector<SimConfig> &configs) const
 {
+    // Service mode: hand the whole wave to the fault-tolerant
+    // multi-process supervisor.  It decomposes the work with the
+    // same traceGroupedChunks call, so the shards ARE the batches
+    // and batch-size invariance carries the bitwise-identity claim.
+    if (_cfg.service)
+        return service::runSharded(_sim, *_cfg.service, configs,
+                                   effectiveBatch());
+
     std::vector<SimResult> results(configs.size());
     const size_t batch = effectiveBatch();
 
     // Group config indices by trace identity (first-appearance
     // order), then chunk each group into lockstep batches.
-    std::vector<std::vector<size_t>> chunks;
-    {
-        std::map<std::string, size_t> groupOf;
-        std::vector<std::vector<size_t>> groups;
-        for (size_t i = 0; i < configs.size(); ++i) {
-            auto [it, inserted] =
-                groupOf.emplace(traceKey(configs[i]), groups.size());
-            if (inserted)
-                groups.emplace_back();
-            groups[it->second].push_back(i);
-        }
-        for (const std::vector<size_t> &group : groups) {
-            for (size_t at = 0; at < group.size(); at += batch) {
-                size_t end = std::min(at + batch, group.size());
-                chunks.emplace_back(group.begin() + at,
-                                    group.begin() + end);
-            }
-        }
-    }
+    std::vector<std::vector<size_t>> chunks =
+        traceGroupedChunks(configs, batch);
 
     // One chunk is one work item; results land at their input index,
     // so execution order (and thread count) never shows.

@@ -36,16 +36,31 @@
 #ifndef IRAW_SIM_RUNNER_HH
 #define IRAW_SIM_RUNNER_HH
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "sim/experiment.hh"
 
 namespace iraw {
+
+namespace service {
+class ServiceSession;
+}
+
 namespace sim {
 
 /** Execution settings of the parallel runner. */
 struct RunnerConfig
 {
+    RunnerConfig() = default;
+    RunnerConfig(unsigned threadCount, unsigned batchLanes = 8,
+                 std::shared_ptr<service::ServiceSession> session =
+                     nullptr)
+        : threads(threadCount), batch(batchLanes),
+          service(std::move(session))
+    {}
+
     /** Worker threads; 0 means "one per hardware thread". */
     unsigned threads = 1;
 
@@ -55,7 +70,36 @@ struct RunnerConfig
      * bitwise identical at every setting.
      */
     unsigned batch = 8;
+
+    /**
+     * Sharded service mode (scenario option workers=): when set,
+     * runConfigs delegates execution to the fault-tolerant
+     * multi-process supervisor (src/service/) instead of the
+     * in-process thread pool.  Simulated results are bitwise
+     * identical either way (determinism invariant 8); host
+     * wall-clock telemetry is not transported, so profile= stage
+     * breakdowns are unavailable in service mode.
+     */
+    std::shared_ptr<service::ServiceSession> service;
 };
+
+/**
+ * Trace identity: configs with equal keys replay the same dynamic
+ * instruction stream, so they can share one decoded buffer as
+ * lockstep lanes.  Shared with the service shard manifest, which
+ * must decompose work exactly like the in-process runner.
+ */
+std::string traceGroupKey(const SimConfig &cfg);
+
+/**
+ * Group config indices by trace identity (first-appearance order),
+ * then chunk each group into lockstep batches of at most @p batch
+ * lanes.  This is both runConfigs's work decomposition and the
+ * service layer's shard decomposition.
+ */
+std::vector<std::vector<size_t>>
+traceGroupedChunks(const std::vector<SimConfig> &configs,
+                   size_t batch);
 
 /** One (voltage, machine) aggregation request. */
 struct MachinePoint

@@ -1,6 +1,10 @@
 #include "sim/scenario.hh"
 
+#include <algorithm>
+#include <filesystem>
 #include <iostream>
+
+#include <unistd.h>
 
 #include "common/logging.hh"
 #include "sim/simulation.hh"
@@ -67,6 +71,56 @@ ScenarioContext::ScenarioContext(
         // The disk layer lives inside the store; tracestore=0 wins.
         warn("tracecache= ignored because tracestore=0");
     }
+
+    // Sharded service mode (workers=): every sweep in the scenario
+    // runs under the fault-tolerant multi-process supervisor.
+    uint64_t workers = opts.getUint("workers", 0);
+    fatalIf(workers > 256, "workers=%llu out of range [0, 256]",
+            static_cast<unsigned long long>(workers));
+    double timeout = opts.getDouble("timeout", 300.0);
+    uint64_t retries = opts.getUint("retries", 2);
+    uint64_t backoff = opts.getUint("backoff", 250);
+    std::string spoolOpt = opts.getString("spool", "");
+    std::string resumeOpt = opts.getString("resume", "");
+    std::string faultSpec = opts.getString("faultinject", "");
+    if (workers > 0) {
+        fatalIf(timeout <= 0.0, "timeout=%g must be positive",
+                timeout);
+        fatalIf(retries > 64, "retries=%llu out of range [0, 64]",
+                static_cast<unsigned long long>(retries));
+        service::ServiceConfig scfg;
+        scfg.workers = static_cast<unsigned>(workers);
+        scfg.timeoutSeconds = timeout;
+        scfg.retries = static_cast<unsigned>(retries);
+        scfg.backoffMs = backoff;
+        // Scale the SIGTERM->SIGKILL grace with short timeouts so
+        // escalation tests stay fast; cap at one second.
+        scfg.killGraceSeconds =
+            std::min(1.0, std::max(0.05, timeout / 4.0));
+        if (!resumeOpt.empty()) {
+            if (!spoolOpt.empty() && spoolOpt != resumeOpt)
+                warn("spool= ignored: resume=%s names the spool "
+                     "directory", resumeOpt.c_str());
+            scfg.spoolDir = resumeOpt;
+            scfg.resume = true;
+        } else if (!spoolOpt.empty()) {
+            scfg.spoolDir = spoolOpt;
+        } else {
+            scfg.spoolDir =
+                "iraw-spool-" + std::to_string(::getpid());
+            _spoolIsTemp = true;
+        }
+        if (!faultSpec.empty())
+            scfg.faults = service::FaultPlan::parse(faultSpec);
+        _service = std::make_shared<service::ServiceSession>(
+            std::move(scfg));
+    } else {
+        for (const char *key : {"timeout", "retries", "backoff",
+                                "spool", "resume", "faultinject"})
+            if (opts.has(key))
+                warn("%s= ignored because workers=0 (in-process "
+                     "run)", key);
+    }
 }
 
 trace::TraceBufferPtr
@@ -121,12 +175,20 @@ ScenarioContext::simulator()
     return *_sim;
 }
 
+RunnerConfig
+ScenarioContext::runnerConfig() const
+{
+    RunnerConfig cfg;
+    cfg.threads = _settings.threads;
+    cfg.batch = _settings.batch;
+    cfg.service = _service;
+    return cfg;
+}
+
 SweepRunner
 ScenarioContext::runner()
 {
-    return SweepRunner(
-        simulator(),
-        RunnerConfig{_settings.threads, _settings.batch});
+    return SweepRunner(simulator(), runnerConfig());
 }
 
 SweepConfig
@@ -209,6 +271,84 @@ listScenarios(std::ostream &out)
             << "\n";
 }
 
+/** Levenshtein edit distance (typo suggestions). */
+size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<size_t> row(b.size() + 1);
+    for (size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+        size_t diag = row[0];
+        row[0] = i;
+        for (size_t j = 1; j <= b.size(); ++j) {
+            size_t next = std::min(
+                {row[j] + 1, row[j - 1] + 1,
+                 diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            diag = row[j];
+            row[j] = next;
+        }
+    }
+    return row[b.size()];
+}
+
+/** The nearest candidate within a sane typo radius, or "". */
+std::string
+nearestName(const std::string &name,
+            const std::vector<std::string> &candidates)
+{
+    std::string best;
+    size_t bestDist = std::max<size_t>(2, name.size() / 3) + 1;
+    for (const std::string &candidate : candidates) {
+        size_t dist = editDistance(name, candidate);
+        if (dist < bestDist) {
+            bestDist = dist;
+            best = candidate;
+        }
+    }
+    return best;
+}
+
+/** Option keys named `key=` in @p text (scenario descriptions list
+ *  their own options that way). */
+void
+collectOptionKeys(const std::string &text,
+                  std::vector<std::string> &out)
+{
+    for (size_t i = 0; i < text.size(); ++i) {
+        if (text[i] != '=')
+            continue;
+        size_t start = i;
+        while (start > 0 && text[start - 1] >= 'a' &&
+               text[start - 1] <= 'z')
+            --start;
+        if (start < i)
+            out.push_back(text.substr(start, i - start));
+    }
+}
+
+/**
+ * The documented option set for an invocation: the shared driver
+ * options (docs/OPTIONS.md) plus every `key=` each scenario's
+ * registry description mentions.
+ */
+std::vector<std::string>
+documentedOptions(const std::vector<const Scenario *> &scenarios)
+{
+    std::vector<std::string> keys = {
+        "scenario",   "list",       "threads",   "batch",
+        "insts",      "seeds",      "quick",     "warmup",
+        "trace",      "tracestore", "tracecache", "storebytes",
+        "storestats", "profile",    "workers",   "timeout",
+        "retries",    "backoff",    "spool",     "resume",
+        "faultinject"};
+    for (const Scenario *s : scenarios)
+        collectOptionKeys(s->description, keys);
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    return keys;
+}
+
 } // namespace
 
 int
@@ -229,7 +369,15 @@ scenarioMain(int argc, const char *const *argv)
     } else if (!which.empty()) {
         const Scenario *s = registry.find(which);
         if (!s) {
-            std::cerr << "unknown scenario '" << which << "'\n";
+            std::vector<std::string> names;
+            for (const Scenario *known : registry.all())
+                names.push_back(known->name);
+            std::cerr << "unknown scenario '" << which << "'";
+            std::string suggestion = nearestName(which, names);
+            if (!suggestion.empty())
+                std::cerr << "; did you mean '" << suggestion
+                          << "'?";
+            std::cerr << "\n";
             listScenarios(std::cerr);
             return 1;
         }
@@ -244,6 +392,9 @@ scenarioMain(int argc, const char *const *argv)
                      "[warmup=N] [trace=file.trc] [tracestore=0|1] "
                      "[tracecache=dir] [storebytes=N] "
                      "[storestats=1] [profile=0|1] "
+                     "[workers=N] [timeout=S] [retries=N] "
+                     "[backoff=MS] [spool=dir] [resume=dir] "
+                     "[faultinject=spec] "
                      "[chips=N] [sigma=S] [chipseed=N] "
                      "[policy=static|oracle|reactive] [epoch=N] "
                      "[switchcycles=N] [switchenergy=E] "
@@ -281,9 +432,33 @@ scenarioMain(int argc, const char *const *argv)
                 delta.hits -= prevStats.hits;
                 delta.misses -= prevStats.misses;
                 delta.diskHits -= prevStats.diskHits;
+                delta.diskBadFiles -= prevStats.diskBadFiles;
                 delta.evictions -= prevStats.evictions;
                 prevStats = stats;
                 writeTraceStoreReport(std::cout, delta);
+            }
+            if (ctx.serviceSession()) {
+                // Service accounting goes to stderr: stdout must
+                // stay byte-identical to an in-process run
+                // (invariant 8).
+                service::ServiceStats stats =
+                    ctx.serviceSession()->stats();
+                writeServiceReport(std::cerr, stats);
+                const std::string &dir =
+                    ctx.serviceSession()->config().spoolDir;
+                if (rc == 0 && stats.shardsFailed == 0 &&
+                    ctx.spoolIsTemp()) {
+                    std::error_code ec;
+                    std::filesystem::remove_all(dir, ec);
+                } else {
+                    std::cerr << "service: spool kept at '" << dir
+                              << "'"
+                              << (stats.shardsFailed
+                                      ? " (rerun with resume= to "
+                                        "retry failed shards)"
+                                      : "")
+                              << "\n";
+                }
             }
         } catch (const FatalError &e) {
             std::cerr << "scenario '" << s->name
@@ -294,8 +469,22 @@ scenarioMain(int argc, const char *const *argv)
             return rc;
     }
 
-    for (const auto &key : opts.unusedKeys())
-        std::cerr << "warning: unused option '" << key << "'\n";
+    std::vector<std::string> unused = opts.unusedKeys();
+    if (!unused.empty()) {
+        std::vector<std::string> known = documentedOptions(toRun);
+        for (const std::string &key : unused) {
+            std::cerr << "warning: unused option '" << key << "'";
+            std::string suggestion = nearestName(key, known);
+            if (!suggestion.empty())
+                std::cerr << "; did you mean '" << suggestion
+                          << "='?";
+            std::cerr << "\n";
+        }
+        std::cerr << "documented options for this invocation:";
+        for (const std::string &key : known)
+            std::cerr << " " << key << "=";
+        std::cerr << "\n";
+    }
     return 0;
 }
 

@@ -4,10 +4,11 @@
  * itself here and runs through one driver entry point
  * (scenarioMain), so all of them share the same CLI overrides
  * (threads=, batch=, insts=, seeds=, quick=, warmup=, trace=,
- * tracestore=, tracecache=, storebytes=, storestats=, profile=, and
- * for the Monte Carlo population scenarios chips=, sigma=,
- * syssigma=, chipseed=) and the same parallel sweep runner instead
- * of carrying near-duplicate main()s.
+ * tracestore=, tracecache=, storebytes=, storestats=, profile=, the
+ * sharded-service options workers=, timeout=, retries=, backoff=,
+ * spool=, resume=, faultinject=, and for the Monte Carlo population
+ * scenarios chips=, sigma=, syssigma=, chipseed=) and the same
+ * parallel sweep runner instead of carrying near-duplicate main()s.
  *
  * See docs/OPTIONS.md for the consolidated option reference.
  */
@@ -23,6 +24,7 @@
 
 #include "common/cli.hh"
 #include "common/thread_annotations.hh"
+#include "service/supervisor.hh"
 #include "sim/runner.hh"
 #include "trace/trace_store.hh"
 
@@ -100,6 +102,31 @@ class ScenarioContext
     /** A sweep runner over the shared simulator. */
     SweepRunner runner();
 
+    /**
+     * The runner execution settings every sweep in this scenario
+     * should use: threads=, batch=, and — when workers= enabled the
+     * sharded service — the shared ServiceSession.  Scenarios that
+     * build their own SweepRunner (e.g. the population drivers) must
+     * go through this instead of hand-rolling a RunnerConfig, or
+     * they silently drop service mode.
+     */
+    RunnerConfig runnerConfig() const;
+
+    /**
+     * The sharded-service session (workers= > 0), or null when the
+     * scenario runs in-process.  The driver prints its accounting to
+     * stderr after the scenario body finishes.
+     */
+    const std::shared_ptr<service::ServiceSession> &
+    serviceSession() const
+    {
+        return _service;
+    }
+
+    /** The spool directory was auto-generated (not spool=/resume=)
+     *  and should be removed after a fully successful run. */
+    bool spoolIsTemp() const { return _spoolIsTemp; }
+
     /** A SweepConfig seeded with the context's suite and warmup. */
     SweepConfig sweepConfig() const;
 
@@ -130,6 +157,8 @@ class ScenarioContext
     std::ostream &_out;
     ScenarioSettings _settings;
     std::shared_ptr<trace::TraceStore> _store;
+    std::shared_ptr<service::ServiceSession> _service;
+    bool _spoolIsTemp = false;
     std::unique_ptr<Simulator> _sim;
     uint32_t _populationCap = 0;
 };

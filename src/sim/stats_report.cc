@@ -1,6 +1,7 @@
 #include "sim/stats_report.hh"
 
 #include "common/stats.hh"
+#include "service/supervisor.hh"
 #include "variation/population.hh"
 
 namespace iraw {
@@ -261,6 +262,12 @@ writeTraceStoreReport(std::ostream &os,
         .set(stats.misses);
     store.addScalar("disk_hits", "misses served from the disk cache")
         .set(stats.diskHits);
+    store.addScalar("disk_bad_files",
+                    "corrupt cache files deleted on read")
+        .set(stats.diskBadFiles);
+    store.addScalar("stale_tmp_files",
+                    "orphaned write-temporaries swept at startup")
+        .set(stats.staleTmpFiles);
     store.addScalar("evictions", "buffers dropped by the LRU cap")
         .set(stats.evictions);
     store.addScalar("buffers", "resident trace buffers")
@@ -312,6 +319,53 @@ writeVariationReport(std::ostream &os,
             "yield at the lowest grid voltage");
     }
     var.dump(os);
+}
+
+void
+writeServiceReport(std::ostream &os,
+                   const service::ServiceStats &s)
+{
+    stats::Group svc("service");
+    svc.addScalar("calls", "sharded runConfigs calls").set(s.calls);
+    svc.addScalar("shards", "shards across all manifests")
+        .set(s.shardsTotal);
+    svc.addScalar("shards_completed", "shards finished by workers")
+        .set(s.shardsCompleted);
+    svc.addScalar("shards_reused",
+                  "complete spools reused on resume")
+        .set(s.shardsReused);
+    svc.addScalar("failed_shards",
+                  "shards that exhausted their retries")
+        .set(s.shardsFailed);
+    svc.addScalar("records", "result records merged")
+        .set(s.records);
+    svc.addScalar("records_resumed",
+                  "records recovered from existing spools")
+        .set(s.recordsResumed);
+    svc.addScalar("launches", "worker processes forked")
+        .set(s.launches);
+    svc.addScalar("retries", "relaunches after a failure")
+        .set(s.retries);
+    svc.addScalar("crashes", "workers that died on a signal")
+        .set(s.crashes);
+    svc.addScalar("exit_failures", "workers with a nonzero exit")
+        .set(s.exitFailures);
+    svc.addScalar("timeouts", "shards past their deadline")
+        .set(s.timeouts);
+    svc.addScalar("sigterms", "timeout SIGTERMs sent")
+        .set(s.sigterms);
+    svc.addScalar("sigkills", "escalation SIGKILLs sent")
+        .set(s.sigkills);
+    svc.addScalar("torn_tails", "partial spool frames truncated")
+        .set(s.tornTails);
+    svc.addScalar("bad_records", "rejected spool records or files")
+        .set(s.badRecords);
+    svc.addScalar("spool_errors", "worker spool-write failures")
+        .set(s.spoolErrors);
+    svc.dump(os);
+    for (const std::string &stem : s.failedShards)
+        os << "service.failed_shard " << stem
+           << " # points zeroed; rerun with resume=\n";
 }
 
 } // namespace sim

@@ -17,6 +17,9 @@ namespace iraw {
 namespace variation {
 struct PopulationResult;
 }
+namespace service {
+struct ServiceStats;
+}
 
 namespace sim {
 
@@ -43,6 +46,17 @@ void writeTraceStoreReport(std::ostream &os,
  */
 void writeVariationReport(std::ostream &os,
                           const variation::PopulationResult &result);
+
+/**
+ * Dump the sharded experiment service's accounting as a flat
+ * `service.*` group, followed by one `service.failed_shard` line per
+ * shard that exhausted its retries.  The scenario driver writes this
+ * to STDERR: it is host-side operational telemetry, and keeping it
+ * off stdout is what keeps a sharded scenario's report byte-identical
+ * to the in-process run (determinism invariant 8).
+ */
+void writeServiceReport(std::ostream &os,
+                        const service::ServiceStats &stats);
 
 } // namespace sim
 } // namespace iraw

@@ -38,8 +38,12 @@ variation::PopulationResult
 runPopulation(ScenarioContext &ctx,
               const variation::PopulationConfig &cfg)
 {
-    variation::ChipPopulation population(
-        ctx.simulator(), RunnerConfig{ctx.settings().threads});
+    // runnerConfig() rather than a hand-rolled RunnerConfig: the
+    // populations must honor batch= and service mode (workers=)
+    // like every other sweep; results are bitwise identical either
+    // way (invariants 2, 3 and 8).
+    variation::ChipPopulation population(ctx.simulator(),
+                                         ctx.runnerConfig());
     return population.run(cfg);
 }
 

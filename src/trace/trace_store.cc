@@ -1,10 +1,14 @@
 #include "trace/trace_store.hh"
 
+#include <signal.h>
 #include <unistd.h>
 
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <limits>
 #include <utility>
 
 #include "common/logging.hh"
@@ -171,6 +175,42 @@ profileFingerprint(const WorkloadProfile &p)
 
 TraceStore::TraceStore() : TraceStore(Config()) {}
 
+namespace {
+
+/**
+ * Whether @p name is a write-temporary left behind by a crashed
+ * writer.  Temporaries are "<key>.trc.tmp.<pid>"; one is *stale*
+ * when its owning process is gone (or the suffix does not even
+ * parse as a pid).  Live temporaries from concurrent processes
+ * sharing the cache directory are left alone — deleting one would
+ * break that writer's publish rename.
+ */
+bool
+isStaleTmp(const std::string &name)
+{
+    const std::string marker = ".trc.tmp.";
+    size_t pos = name.rfind(marker);
+    if (pos == std::string::npos)
+        return false;
+    const std::string suffix = name.substr(pos + marker.size());
+    if (suffix.empty())
+        return true;
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long pid = std::strtoull(suffix.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0' || pid == 0 ||
+        pid > static_cast<unsigned long long>(
+                  std::numeric_limits<pid_t>::max()))
+        return true;
+    // Probe liveness without signalling.  EPERM means "alive but
+    // not ours" -- keep; only a definitely-dead owner makes the
+    // temporary stale.
+    return ::kill(static_cast<pid_t>(pid), 0) == -1 &&
+           errno == ESRCH;
+}
+
+} // namespace
+
 TraceStore::TraceStore(Config cfg) : _cfg(std::move(cfg))
 {
     _stats.byteCap = _cfg.byteCap;
@@ -180,6 +220,26 @@ TraceStore::TraceStore(Config cfg) : _cfg(std::move(cfg))
         fatalIf(static_cast<bool>(ec),
                 "TraceStore: cannot create disk cache dir '%s': %s",
                 _cfg.diskDir.c_str(), ec.message().c_str());
+
+        // Sweep temporaries orphaned by crashed writers.  They can
+        // never be published (the rename died with their owner), so
+        // left alone they accumulate forever.
+        for (const fs::directory_entry &entry :
+             fs::directory_iterator(_cfg.diskDir, ec)) {
+            if (ec)
+                break;
+            if (!entry.is_regular_file(ec))
+                continue;
+            const std::string name = entry.path().filename();
+            if (!isStaleTmp(name))
+                continue;
+            std::error_code rec;
+            if (fs::remove(entry.path(), rec) && !rec) {
+                ++_stats.staleTmpFiles;
+                warn("TraceStore: removed stale temporary '%s'",
+                     entry.path().c_str());
+            }
+        }
     }
 }
 
@@ -294,11 +354,18 @@ TraceStore::acquireSynthetic(const WorkloadProfile &profile,
                 return buffer;
             } catch (const FatalError &e) {
                 // A truncated/corrupt cache file (crash, disk
-                // error) must not brick the run; regenerate and
-                // overwrite it.
-                warn("TraceStore: ignoring bad cache file '%s' "
+                // error) must not brick the run.  Delete it -- not
+                // just skip it -- so a reader that loses the
+                // regeneration race below can never load the bad
+                // bytes, and so a permanently-failing file does not
+                // re-warn on every process start.
+                warn("TraceStore: deleting bad cache file '%s' "
                      "(%s); regenerating",
                      path.c_str(), e.what());
+                std::error_code ec;
+                fs::remove(path, ec);
+                MutexLock lock(_mutex);
+                ++_stats.diskBadFiles;
             }
         }
 

@@ -157,6 +157,10 @@ class TraceStore
         uint64_t hits = 0;     //!< acquisitions served from memory
         uint64_t misses = 0;   //!< acquisitions that materialized
         uint64_t diskHits = 0; //!< misses served from the disk layer
+        /** Corrupt/truncated disk-cache files deleted on read. */
+        uint64_t diskBadFiles = 0;
+        /** Stale write-temporaries swept at construction. */
+        uint64_t staleTmpFiles = 0;
         uint64_t evictions = 0;
         uint64_t buffers = 0;    //!< resident buffer count
         uint64_t bytesInUse = 0; //!< resident payload bytes

@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <array>
 #include <filesystem>
+#include <fstream>
 #include <thread>
 #include <vector>
 
@@ -233,6 +236,75 @@ TEST_F(TraceStoreDiskTest, DiskCacheRoundTrip)
 
     ASSERT_EQ(cached->records(), fresh->records());
     EXPECT_EQ(cached->data(), fresh->data());
+}
+
+TEST_F(TraceStoreDiskTest, CorruptCacheFileDeletedAndRegenerated)
+{
+    namespace fs = std::filesystem;
+    const WorkloadProfile &profile = profileByName("server");
+    TraceStore::Config cfg;
+    cfg.diskDir = _dir;
+
+    TraceBufferPtr fresh;
+    {
+        TraceStore store(cfg);
+        fresh = store.acquireSynthetic(profile, 9, 4000);
+    }
+    // Truncate the published cache file mid-record, as a crash or
+    // disk error would.
+    fs::path cached;
+    for (const auto &entry : fs::directory_iterator(_dir))
+        cached = entry.path();
+    ASSERT_FALSE(cached.empty());
+    fs::resize_file(cached, fs::file_size(cached) / 2 + 3);
+
+    // A fresh store must delete the bad file, regenerate the exact
+    // trace, and republish it.
+    TraceStore store2(cfg);
+    TraceBufferPtr regen = store2.acquireSynthetic(profile, 9, 4000);
+    TraceStore::Stats stats = store2.stats();
+    EXPECT_EQ(stats.diskHits, 0u);
+    EXPECT_EQ(stats.diskBadFiles, 1u);
+    EXPECT_EQ(regen->data(), fresh->data());
+
+    // The republished file serves a third store from disk.
+    TraceStore store3(cfg);
+    EXPECT_EQ(store3.acquireSynthetic(profile, 9, 4000)->data(),
+              fresh->data());
+    EXPECT_EQ(store3.stats().diskHits, 1u);
+    EXPECT_EQ(store3.stats().diskBadFiles, 0u);
+}
+
+TEST_F(TraceStoreDiskTest, StaleTmpLeftoversSweptAtConstruction)
+{
+    namespace fs = std::filesystem;
+    fs::create_directories(_dir);
+    // A write-temporary from a long-gone process (pid 1 is alive but
+    // never a test writer; use an unparseable and a dead-pid name).
+    const std::string dead =
+        _dir + "/synth_x_s1_n100_h1.v1.trc.tmp.999999999";
+    const std::string garbled =
+        _dir + "/synth_x_s1_n100_h1.v1.trc.tmp.notapid";
+    const std::string live =
+        _dir + "/synth_x_s1_n100_h1.v1.trc.tmp." +
+        std::to_string(::getpid());
+    const std::string published = _dir + "/synth_y.v1.trc";
+    for (const std::string &p : {dead, garbled, live, published}) {
+        std::ofstream out(p);
+        out << "x";
+    }
+
+    TraceStore::Config cfg;
+    cfg.diskDir = _dir;
+    TraceStore store(cfg);
+
+    EXPECT_FALSE(fs::exists(dead));
+    EXPECT_FALSE(fs::exists(garbled));
+    // Our own pid is alive: the temporary may belong to a concurrent
+    // writer and must survive the sweep.  Published files too.
+    EXPECT_TRUE(fs::exists(live));
+    EXPECT_TRUE(fs::exists(published));
+    EXPECT_EQ(store.stats().staleTmpFiles, 2u);
 }
 
 TEST_F(TraceStoreDiskTest, AcquireFileServesWholeTrace)
