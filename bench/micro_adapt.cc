@@ -18,6 +18,7 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "sim/adapt_analysis.hh"
+#include "sim/service_probe.hh"
 
 namespace {
 
@@ -109,6 +110,14 @@ runMicroAdapt(sim::ScenarioContext &ctx)
     table.addRow({"controller overhead %",
                   TextTable::num(overheadPct, 1)});
     table.addRow({"epochs/s", TextTable::num(epochsPerSec, 0)});
+    // Same fixed-Vcc wave through the sharded supervisor: the
+    // service_overhead block of the artifact.
+    sim::ServiceOverheadResult service =
+        sim::probeServiceOverhead(sim, fixed, 4, 2);
+    table.addRow({"sharded service wall s",
+                  TextTable::num(service.shardedSeconds, 3)});
+    table.addRow({"service overhead x",
+                  TextTable::num(service.overheadRatio(), 2)});
     table.addNote("machine-readable copy: " + outPath);
     table.addNote("epoch/switch/Vcc rows are deterministic; "
                   "wall-clock rows vary by host");
@@ -130,7 +139,20 @@ runMicroAdapt(sim::ScenarioContext &ctx)
     os << "  \"adaptive_wall_s\": " << adaptSeconds << ",\n";
     os << "  \"fixed_wall_s\": " << fixedSeconds << ",\n";
     os << "  \"controller_overhead_pct\": " << overheadPct << ",\n";
-    os << "  \"epochs_per_sec\": " << epochsPerSec << "\n";
+    os << "  \"epochs_per_sec\": " << epochsPerSec << ",\n";
+    os << "  \"service_overhead\": {\n";
+    os << "    \"workers\": " << service.workers << ",\n";
+    os << "    \"shards\": " << service.shards << ",\n";
+    os << "    \"spool_bytes\": " << service.spoolBytes << ",\n";
+    os << "    \"wall_s_inprocess\": " << service.inprocessSeconds
+       << ",\n";
+    os << "    \"wall_s_sharded\": " << service.shardedSeconds
+       << ",\n";
+    os << "    \"wall_s_resume_scan\": "
+       << service.resumeScanSeconds << ",\n";
+    os << "    \"overhead_ratio\": " << service.overheadRatio()
+       << "\n";
+    os << "  }\n";
     os << "}\n";
     return 0;
 }

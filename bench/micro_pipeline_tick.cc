@@ -22,6 +22,7 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "sim/scenario.hh"
+#include "sim/service_probe.hh"
 #include "sim/stats_report.hh"
 
 namespace {
@@ -55,7 +56,8 @@ void
 writeJson(const std::string &path, uint64_t insts, uint64_t warmup,
           const std::vector<BenchPoint> &points,
           const std::vector<sim::SimResult> &results,
-          const BatchedSweepTiming &batched)
+          const BatchedSweepTiming &batched,
+          const sim::ServiceOverheadResult &service)
 {
     std::ofstream os(path);
     if (!os) {
@@ -104,18 +106,28 @@ writeJson(const std::string &path, uint64_t insts, uint64_t warmup,
     os << "    \"wall_s_batched\": " << batched.batchedSeconds
        << ",\n";
     os << "    \"speedup\": " << batched.speedup() << "\n";
+    os << "  },\n";
+    os << "  \"service\": {\n";
+    os << "    \"workers\": " << service.workers << ",\n";
+    os << "    \"shards\": " << service.shards << ",\n";
+    os << "    \"spool_bytes\": " << service.spoolBytes << ",\n";
+    os << "    \"wall_s_inprocess\": " << service.inprocessSeconds
+       << ",\n";
+    os << "    \"wall_s_sharded\": " << service.shardedSeconds
+       << ",\n";
+    os << "    \"wall_s_resume_scan\": "
+       << service.resumeScanSeconds << ",\n";
+    os << "    \"overhead_ratio\": " << service.overheadRatio()
+       << "\n";
     os << "  }\n";
     os << "}\n";
 }
 
-/**
- * Time one fig11b-shaped wave (B operating points on one trace) run
- * serially and as a lockstep batch, and insist the simulated results
- * agree — the bench doubles as a determinism smoke check.
- */
-BatchedSweepTiming
-timeBatchedSweep(const sim::Simulator &sim, uint64_t insts,
-                 uint64_t warmup, const std::string &tracePath)
+/** The fig11b-shaped wave (8 Vcc points on one trace) the batched
+ *  and service probes both time. */
+std::vector<sim::SimConfig>
+sweepConfigs(uint64_t insts, uint64_t warmup,
+             const std::string &tracePath)
 {
     std::vector<sim::SimConfig> cfgs;
     for (double vcc :
@@ -129,6 +141,20 @@ timeBatchedSweep(const sim::Simulator &sim, uint64_t insts,
         cfg.mode = mechanism::IrawMode::Auto;
         cfgs.push_back(cfg);
     }
+    return cfgs;
+}
+
+/**
+ * Time one fig11b-shaped wave (B operating points on one trace) run
+ * serially and as a lockstep batch, and insist the simulated results
+ * agree — the bench doubles as a determinism smoke check.
+ */
+BatchedSweepTiming
+timeBatchedSweep(const sim::Simulator &sim, uint64_t insts,
+                 uint64_t warmup, const std::string &tracePath)
+{
+    std::vector<sim::SimConfig> cfgs =
+        sweepConfigs(insts, warmup, tracePath);
 
     using Clock = std::chrono::steady_clock;
     // Warm pass populates the trace store so neither timed variant
@@ -246,7 +272,27 @@ runMicroPipelineTick(sim::ScenarioContext &ctx)
                "x; simulated results verified identical");
     bt.print(ctx.out());
 
-    writeJson(outPath, insts, warmup, points, results, batched);
+    // Supervisor wall overhead vs the in-process pool on the same
+    // wave (ROADMAP item 5: record what fork/spool/merge costs).
+    sim::ServiceOverheadResult service = sim::probeServiceOverhead(
+        sim, sweepConfigs(insts, warmup, ctx.settings().tracePath),
+        4, 2);
+    TextTable st("Sharded service overhead (same wave, 2 workers)");
+    st.setHeader({"variant", "wall ms"});
+    st.addRow({"in-process pool",
+               TextTable::num(service.inprocessSeconds * 1e3, 1)});
+    st.addRow({"sharded service",
+               TextTable::num(service.shardedSeconds * 1e3, 1)});
+    st.addRow({"resume scan",
+               TextTable::num(service.resumeScanSeconds * 1e3, 1)});
+    st.addNote("overhead " +
+               TextTable::num(service.overheadRatio(), 2) + "x, " +
+               std::to_string(service.spoolBytes) +
+               " spool bytes; sharded results verified identical");
+    st.print(ctx.out());
+
+    writeJson(outPath, insts, warmup, points, results, batched,
+              service);
     return 0;
 }
 

@@ -12,10 +12,12 @@
 #include <fstream>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "iraw/controller.hh"
+#include "sim/service_probe.hh"
 #include "sim/yield_analysis.hh"
 
 namespace {
@@ -113,6 +115,27 @@ runMicroVariation(sim::ScenarioContext &ctx)
                   TextTable::pct(pop.yieldAt.empty()
                                      ? 0.0
                                      : pop.yieldAt.front())});
+
+    // The same suite at one fixed point through the sharded
+    // supervisor: the service_overhead block of the artifact.
+    std::vector<sim::SimConfig> svcConfigs;
+    for (const sim::SuiteEntry &entry : popCfg.suite) {
+        sim::SimConfig cfg;
+        cfg.workload = entry.workload;
+        cfg.tracePath = entry.tracePath;
+        cfg.seed = entry.seed;
+        cfg.instructions = entry.instructions;
+        cfg.warmupInstructions = popCfg.warmupInstructions;
+        cfg.vcc = 500.0;
+        cfg.mode = mechanism::IrawMode::Auto;
+        svcConfigs.push_back(cfg);
+    }
+    sim::ServiceOverheadResult service =
+        sim::probeServiceOverhead(sim, svcConfigs, 4, 2);
+    table.addRow({"sharded service wall s",
+                  TextTable::num(service.shardedSeconds, 3)});
+    table.addRow({"service overhead x",
+                  TextTable::num(service.overheadRatio(), 2)});
     table.addNote("machine-readable copy: " + outPath);
     table.addNote("wall-clock rows vary by host; yield rows are "
                   "deterministic");
@@ -133,7 +156,21 @@ runMicroVariation(sim::ScenarioContext &ctx)
     os << "  \"yield_point_wall_s\": " << popSeconds << ",\n";
     os << "  \"yield_point_chips\": " << pop.totalChips << ",\n";
     os << "  \"yield_at_500mV\": "
-       << (pop.yieldAt.empty() ? 0.0 : pop.yieldAt.front()) << "\n";
+       << (pop.yieldAt.empty() ? 0.0 : pop.yieldAt.front())
+       << ",\n";
+    os << "  \"service_overhead\": {\n";
+    os << "    \"workers\": " << service.workers << ",\n";
+    os << "    \"shards\": " << service.shards << ",\n";
+    os << "    \"spool_bytes\": " << service.spoolBytes << ",\n";
+    os << "    \"wall_s_inprocess\": " << service.inprocessSeconds
+       << ",\n";
+    os << "    \"wall_s_sharded\": " << service.shardedSeconds
+       << ",\n";
+    os << "    \"wall_s_resume_scan\": "
+       << service.resumeScanSeconds << ",\n";
+    os << "    \"overhead_ratio\": " << service.overheadRatio()
+       << "\n";
+    os << "  }\n";
     os << "}\n";
     return 0;
 }

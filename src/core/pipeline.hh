@@ -26,7 +26,6 @@
 #include <optional>
 #include <vector>
 
-#include "common/profiler.hh"
 #include "common/rng.hh"
 #include "core/core_config.hh"
 #include "core/event_wheel.hh"
@@ -37,6 +36,7 @@
 #include "iraw/iq_gate.hh"
 #include "iraw/stable.hh"
 #include "memory/hierarchy.hh"
+#include "obs/stage_profiler.hh"
 #include "predictor/iraw_corruption.hh"
 #include "predictor/predictor_dispatch.hh"
 #include "predictor/rsb.hh"

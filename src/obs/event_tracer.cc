@@ -1,0 +1,291 @@
+#include "obs/event_tracer.hh"
+
+#include <fcntl.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace iraw {
+namespace obs {
+
+double
+monotonicSeconds()
+{
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+uint64_t
+monotonicMicros()
+{
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<uint64_t>(ts.tv_sec) * 1000000ull +
+           static_cast<uint64_t>(ts.tv_nsec) / 1000ull;
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(static_cast<char>(c));
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+namespace {
+
+/** Small sequential id per thread (Chrome "tid" field). */
+uint32_t
+threadId()
+{
+    static std::atomic<uint32_t> next{1};
+    thread_local uint32_t id = next.fetch_add(1);
+    return id;
+}
+
+/**
+ * Structural check for one merged JSONL line: a single JSON object
+ * with balanced braces/brackets outside strings, closed strings and
+ * no raw control characters.  Enough to reject a crashed writer's
+ * torn final line without a full JSON parser.
+ */
+bool
+validJsonObjectLine(const std::string &line)
+{
+    size_t begin = line.find_first_not_of(" \t");
+    if (begin == std::string::npos || line[begin] != '{')
+        return false;
+    int depth = 0;
+    bool inString = false;
+    bool escaped = false;
+    size_t end = 0;
+    for (size_t i = begin; i < line.size(); ++i) {
+        char c = line[i];
+        if (inString) {
+            if (escaped)
+                escaped = false;
+            else if (c == '\\')
+                escaped = true;
+            else if (c == '"')
+                inString = false;
+            else if (static_cast<unsigned char>(c) < 0x20)
+                return false;
+            continue;
+        }
+        if (c == '"')
+            inString = true;
+        else if (c == '{' || c == '[')
+            ++depth;
+        else if (c == '}' || c == ']') {
+            if (--depth < 0)
+                return false;
+            if (depth == 0) {
+                end = i;
+                break;
+            }
+        }
+    }
+    if (inString || depth != 0 || end == 0)
+        return false;
+    size_t tail = line.find_first_not_of(" \t\r", end + 1);
+    return tail == std::string::npos;
+}
+
+} // namespace
+
+EventTracer::Arg
+EventTracer::arg(const std::string &key, uint64_t value)
+{
+    return Arg{key, std::to_string(value)};
+}
+
+EventTracer::Arg
+EventTracer::arg(const std::string &key, double value)
+{
+    std::ostringstream os;
+    os << value;
+    return Arg{key, os.str()};
+}
+
+EventTracer::Arg
+EventTracer::arg(const std::string &key, const std::string &value)
+{
+    return Arg{key, jsonQuote(value)};
+}
+
+EventTracer::~EventTracer()
+{
+    MutexLock lock(_mutex);
+    if (_spoolFd >= 0)
+        ::close(_spoolFd);
+}
+
+void
+EventTracer::record(char ph, const std::string &name,
+                    const std::string &cat, uint64_t ts,
+                    uint64_t dur, bool hasDur,
+                    const std::vector<Arg> &args)
+{
+    std::string json;
+    json.reserve(128);
+    json += "{\"name\":";
+    json += jsonQuote(name);
+    json += ",\"cat\":";
+    json += jsonQuote(cat);
+    json += ",\"ph\":\"";
+    json.push_back(ph);
+    json += "\",\"ts\":";
+    json += std::to_string(ts);
+    if (hasDur) {
+        json += ",\"dur\":";
+        json += std::to_string(dur);
+    }
+    json += ",\"pid\":";
+    json += std::to_string(static_cast<uint64_t>(::getpid()));
+    json += ",\"tid\":";
+    json += std::to_string(threadId());
+    if (!args.empty()) {
+        json += ",\"args\":{";
+        for (size_t i = 0; i < args.size(); ++i) {
+            if (i)
+                json.push_back(',');
+            json += jsonQuote(args[i].key);
+            json.push_back(':');
+            json += args[i].json;
+        }
+        json.push_back('}');
+    }
+    json.push_back('}');
+
+    MutexLock lock(_mutex);
+    if (_spoolFd >= 0) {
+        json.push_back('\n');
+        // One write per event: a crash tears at most this line.
+        ssize_t rc =
+            ::write(_spoolFd, json.data(), json.size());
+        (void)rc;
+        return;
+    }
+    _events.push_back(std::move(json));
+}
+
+void
+EventTracer::complete(const std::string &name,
+                      const std::string &cat, uint64_t startUs,
+                      uint64_t durUs, const std::vector<Arg> &args)
+{
+    record('X', name, cat, startUs, durUs, true, args);
+}
+
+void
+EventTracer::instant(const std::string &name, const std::string &cat,
+                     const std::vector<Arg> &args)
+{
+    record('i', name, cat, nowUs(), 0, false, args);
+}
+
+void
+EventTracer::begin(const std::string &name, const std::string &cat,
+                   const std::vector<Arg> &args)
+{
+    record('B', name, cat, nowUs(), 0, false, args);
+}
+
+void
+EventTracer::end(const std::string &name, const std::string &cat)
+{
+    record('E', name, cat, nowUs(), 0, false, {});
+}
+
+bool
+EventTracer::openSpool(const std::string &path)
+{
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC |
+                                      O_APPEND | O_CLOEXEC,
+                    0644);
+    if (fd < 0)
+        return false;
+    MutexLock lock(_mutex);
+    if (_spoolFd >= 0)
+        ::close(_spoolFd);
+    _spoolFd = fd;
+    return true;
+}
+
+bool
+EventTracer::appendEventsFromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::vector<std::string> valid;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        if (validJsonObjectLine(line))
+            valid.push_back(line);
+    }
+    MutexLock lock(_mutex);
+    for (auto &v : valid)
+        _events.push_back(std::move(v));
+    return true;
+}
+
+void
+EventTracer::writeChromeTrace(std::ostream &os) const
+{
+    MutexLock lock(_mutex);
+    os << "{\"traceEvents\":[";
+    for (size_t i = 0; i < _events.size(); ++i) {
+        if (i)
+            os << ',';
+        os << '\n' << _events[i];
+    }
+    os << "\n]}\n";
+}
+
+size_t
+EventTracer::eventCount() const
+{
+    MutexLock lock(_mutex);
+    return _events.size();
+}
+
+} // namespace obs
+} // namespace iraw

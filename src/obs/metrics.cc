@@ -1,0 +1,185 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace iraw {
+namespace obs {
+
+Histogram::Histogram(int64_t min, int64_t max, int64_t bucketSize)
+    : _min(min), _bucketSize(bucketSize)
+{
+    fatalIf(max < min, "obs::Histogram: max < min");
+    fatalIf(bucketSize <= 0, "obs::Histogram: bucketSize <= 0");
+    size_t n = static_cast<size_t>((max - min) / bucketSize) + 1;
+    _buckets = std::vector<std::atomic<uint64_t>>(n);
+}
+
+void
+Histogram::sample(int64_t value)
+{
+    _count.fetch_add(1, std::memory_order_relaxed);
+    _sum.fetch_add(value, std::memory_order_relaxed);
+    if (value < _min) {
+        _underflow.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    size_t idx = static_cast<size_t>((value - _min) / _bucketSize);
+    if (idx >= _buckets.size()) {
+        _overflow.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    _buckets[idx].fetch_add(1, std::memory_order_relaxed);
+}
+
+double
+Histogram::mean() const
+{
+    uint64_t n = count();
+    return n ? static_cast<double>(sum()) / static_cast<double>(n)
+             : 0.0;
+}
+
+MetricsRegistry::Entry &
+MetricsRegistry::findOrCreate(const std::string &group,
+                              const std::string &name,
+                              const std::string &desc, Kind kind)
+{
+    auto key = std::make_pair(group, name);
+    auto it = _index.find(key);
+    if (it != _index.end()) {
+        Entry &e = *_entries[it->second];
+        fatalIf(e.kind != kind,
+                "metric %s.%s re-registered with a different kind",
+                group.c_str(), name.c_str());
+        return e;
+    }
+    auto entry = std::make_unique<Entry>();
+    entry->group = group;
+    entry->name = name;
+    entry->desc = desc;
+    entry->kind = kind;
+    _index.emplace(std::move(key), _entries.size());
+    _entries.push_back(std::move(entry));
+    return *_entries.back();
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &group,
+                         const std::string &name,
+                         const std::string &desc)
+{
+    MutexLock lock(_mutex);
+    Entry &e = findOrCreate(group, name, desc, Kind::Counter);
+    if (!e.counter)
+        e.counter = std::make_unique<Counter>();
+    return *e.counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &group,
+                       const std::string &name,
+                       const std::string &desc)
+{
+    MutexLock lock(_mutex);
+    Entry &e = findOrCreate(group, name, desc, Kind::Gauge);
+    if (!e.gauge)
+        e.gauge = std::make_unique<Gauge>();
+    return *e.gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &group,
+                           const std::string &name,
+                           const std::string &desc, int64_t min,
+                           int64_t max, int64_t bucketSize)
+{
+    MutexLock lock(_mutex);
+    Entry &e = findOrCreate(group, name, desc, Kind::Histogram);
+    if (!e.histogram)
+        e.histogram =
+            std::make_unique<Histogram>(min, max, bucketSize);
+    return *e.histogram;
+}
+
+std::vector<MetricsRegistry::SnapshotEntry>
+MetricsRegistry::snapshot(Order order) const
+{
+    std::vector<SnapshotEntry> out;
+    {
+        MutexLock lock(_mutex);
+        out.reserve(_entries.size());
+        std::vector<const Entry *> ordered;
+        ordered.reserve(_entries.size());
+        for (const auto &e : _entries)
+            ordered.push_back(e.get());
+        if (order == Order::ByName) {
+            std::sort(ordered.begin(), ordered.end(),
+                      [](const Entry *a, const Entry *b) {
+                          if (a->group != b->group)
+                              return a->group < b->group;
+                          return a->name < b->name;
+                      });
+        }
+        for (const Entry *e : ordered) {
+            SnapshotEntry s;
+            s.group = e->group;
+            s.name = e->name;
+            s.desc = e->desc;
+            switch (e->kind) {
+              case Kind::Counter:
+                s.isFloat = false;
+                s.u = e->counter->value();
+                out.push_back(std::move(s));
+                break;
+              case Kind::Gauge:
+                s.isFloat = true;
+                s.d = e->gauge->value();
+                out.push_back(std::move(s));
+                break;
+              case Kind::Histogram: {
+                // Two derived lines, mirroring the legacy
+                // stats::Histogram report shape.
+                SnapshotEntry samples = s;
+                samples.name = e->name + ".samples";
+                samples.desc.clear();
+                samples.isFloat = true;
+                samples.d =
+                    static_cast<double>(e->histogram->count());
+                out.push_back(std::move(samples));
+                SnapshotEntry mean = std::move(s);
+                mean.name = e->name + ".mean";
+                mean.desc.clear();
+                mean.isFloat = true;
+                mean.d = e->histogram->mean();
+                out.push_back(std::move(mean));
+                break;
+              }
+            }
+        }
+    }
+    return out;
+}
+
+void
+writeSnapshot(
+    std::ostream &os,
+    const std::vector<MetricsRegistry::SnapshotEntry> &entries)
+{
+    for (const auto &e : entries) {
+        os << e.group << '.' << std::left << std::setw(36) << e.name
+           << ' ' << std::right << std::setw(16);
+        if (e.isFloat)
+            os << e.d;
+        else
+            os << e.u;
+        if (!e.desc.empty())
+            os << "  # " << e.desc;
+        os << '\n';
+    }
+}
+
+} // namespace obs
+} // namespace iraw

@@ -1,0 +1,87 @@
+#include "obs/progress.hh"
+
+#include <cmath>
+
+#include "obs/event_tracer.hh"
+
+namespace iraw {
+namespace obs {
+
+ProgressMeter::ProgressMeter(std::ostream &os,
+                             double intervalSeconds)
+    : _os(os), _interval(intervalSeconds),
+      _startSeconds(monotonicSeconds())
+{
+}
+
+void
+ProgressMeter::addTotal(uint64_t items)
+{
+    MutexLock lock(_mutex);
+    _total += items;
+}
+
+void
+ProgressMeter::add(uint64_t items)
+{
+    MutexLock lock(_mutex);
+    _done += items;
+    maybePrint(false);
+}
+
+void
+ProgressMeter::retry()
+{
+    MutexLock lock(_mutex);
+    ++_retries;
+    maybePrint(false);
+}
+
+void
+ProgressMeter::tick(uint64_t active)
+{
+    MutexLock lock(_mutex);
+    _active = active;
+    maybePrint(false);
+}
+
+void
+ProgressMeter::finish()
+{
+    MutexLock lock(_mutex);
+    _active = 0;
+    maybePrint(true);
+}
+
+void
+ProgressMeter::maybePrint(bool force)
+{
+    double now = monotonicSeconds();
+    if (!force && _interval > 0.0 &&
+        now - _lastPrintSeconds < _interval)
+        return;
+    _lastPrintSeconds = now;
+
+    double elapsed = now - _startSeconds;
+    double pct = _total
+                     ? 100.0 * static_cast<double>(_done) /
+                           static_cast<double>(_total)
+                     : 0.0;
+    _os << "progress: " << _done << '/' << _total << " ("
+        << static_cast<uint64_t>(pct + 0.5) << "%)";
+    if (_retries)
+        _os << ", " << _retries << " retries";
+    if (_active)
+        _os << ", " << _active << " active";
+    if (_done && _done < _total && elapsed > 0.0) {
+        double rate =
+            static_cast<double>(_done) / elapsed; // items/s
+        double eta =
+            static_cast<double>(_total - _done) / rate;
+        _os << ", ETA " << static_cast<uint64_t>(eta + 0.5) << "s";
+    }
+    _os << '\n' << std::flush;
+}
+
+} // namespace obs
+} // namespace iraw

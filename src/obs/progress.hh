@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Live progress reporting for long sweeps and the sharded service
+ * (`progress=<seconds>`): done/total work items, retries, active
+ * workers and an ETA from the completed-item rate, printed to
+ * stderr at most once per interval.  Never writes to stdout
+ * (docs/ARCHITECTURE.md, determinism invariant 9).
+ */
+
+#ifndef IRAW_OBS_PROGRESS_HH
+#define IRAW_OBS_PROGRESS_HH
+
+#include <cstdint>
+#include <ostream>
+
+#include "common/thread_annotations.hh"
+
+namespace iraw {
+namespace obs {
+
+class ProgressMeter
+{
+  public:
+    /**
+     * Reports go to @p os (stderr in production; tests inject a
+     * stringstream).  @p intervalSeconds <= 0 prints on every
+     * update (test mode).
+     */
+    ProgressMeter(std::ostream &os, double intervalSeconds);
+
+    /** Grow the expected work-item total (per sweep call). */
+    void addTotal(uint64_t items) EXCLUDES(_mutex);
+
+    /** Mark @p items work items finished. */
+    void add(uint64_t items = 1) EXCLUDES(_mutex);
+
+    /** Count one shard/work-item retry. */
+    void retry() EXCLUDES(_mutex);
+
+    /** Heartbeat from the scheduler: @p active workers running. */
+    void tick(uint64_t active) EXCLUDES(_mutex);
+
+    /** Force a final report line. */
+    void finish() EXCLUDES(_mutex);
+
+  private:
+    void maybePrint(bool force) REQUIRES(_mutex);
+
+    std::ostream &_os;
+    double _interval;
+    double _startSeconds;
+    mutable Mutex _mutex;
+    uint64_t _total GUARDED_BY(_mutex) = 0;
+    uint64_t _done GUARDED_BY(_mutex) = 0;
+    uint64_t _retries GUARDED_BY(_mutex) = 0;
+    uint64_t _active GUARDED_BY(_mutex) = 0;
+    double _lastPrintSeconds GUARDED_BY(_mutex) = 0.0;
+};
+
+} // namespace obs
+} // namespace iraw
+
+#endif // IRAW_OBS_PROGRESS_HH

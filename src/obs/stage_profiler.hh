@@ -9,6 +9,10 @@
  * deterministic aggregate, so profiled and unprofiled runs produce
  * bitwise-identical simulation results.
  *
+ * Lives in src/obs/ because it reads the host clock: the
+ * `obs-only-wallclock` lint rule confines clock reads to this layer
+ * (docs/ARCHITECTURE.md, determinism invariant 6).
+ *
  * Threading contract: a StageProfiler is thread-confined, not
  * thread-safe.  Each SimEngine owns exactly one and attaches it to
  * its own Pipeline; engines never share a profiler, and a sweep
@@ -19,8 +23,8 @@
  * not attach one profiler to pipelines ticked by different threads.
  */
 
-#ifndef IRAW_COMMON_PROFILER_HH
-#define IRAW_COMMON_PROFILER_HH
+#ifndef IRAW_OBS_STAGE_PROFILER_HH
+#define IRAW_OBS_STAGE_PROFILER_HH
 
 #include <array>
 #include <chrono>
@@ -137,4 +141,4 @@ class ScopedStageTimer
 
 } // namespace iraw
 
-#endif // IRAW_COMMON_PROFILER_HH
+#endif // IRAW_OBS_STAGE_PROFILER_HH

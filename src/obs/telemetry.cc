@@ -1,0 +1,125 @@
+#include "obs/telemetry.hh"
+
+#include <sys/utsname.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace iraw {
+namespace obs {
+
+TelemetrySession::TelemetrySession(TelemetryConfig cfg,
+                                   std::ostream &progressOut)
+    : _cfg(std::move(cfg)),
+      _metrics(std::make_shared<MetricsRegistry>())
+{
+    if (!_cfg.chromeTracePath.empty())
+        _tracer = std::make_shared<EventTracer>();
+    if (_cfg.progressIntervalSeconds > 0.0)
+        _meter = std::make_shared<ProgressMeter>(
+            progressOut, _cfg.progressIntervalSeconds);
+}
+
+namespace {
+
+std::string
+renderValue(const MetricsRegistry::SnapshotEntry &e)
+{
+    if (!e.isFloat)
+        return std::to_string(e.u);
+    std::ostringstream os;
+    os << e.d;
+    std::string s = os.str();
+    // JSON has no inf/nan literals; clamp to null.
+    if (s.find("inf") != std::string::npos ||
+        s.find("nan") != std::string::npos)
+        return "null";
+    return s;
+}
+
+} // namespace
+
+bool
+TelemetrySession::writeManifest() const
+{
+    if (_cfg.manifestPath.empty())
+        return true;
+    std::ofstream out(_cfg.manifestPath,
+                      std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+
+    char host[256] = {0};
+    if (::gethostname(host, sizeof(host) - 1) != 0)
+        host[0] = '\0';
+    struct utsname un = {};
+    ::uname(&un);
+
+    out << "{\n";
+    out << "  \"telemetry_version\": 1,\n";
+    out << "  \"host\": {\n";
+    out << "    \"hostname\": " << jsonQuote(host) << ",\n";
+    out << "    \"system\": " << jsonQuote(un.sysname) << ",\n";
+    out << "    \"release\": " << jsonQuote(un.release) << ",\n";
+    out << "    \"machine\": " << jsonQuote(un.machine) << ",\n";
+    out << "    \"pid\": " << ::getpid() << "\n";
+    out << "  },\n";
+    out << "  \"build\": {\n";
+    out << "    \"compiler\": " << jsonQuote(__VERSION__) << ",\n";
+    out << "    \"cplusplus\": "
+        << static_cast<long>(__cplusplus) << ",\n";
+#ifdef NDEBUG
+    out << "    \"assertions\": false\n";
+#else
+    out << "    \"assertions\": true\n";
+#endif
+    out << "  },\n";
+    out << "  \"metrics\": {";
+
+    // Nested {group: {name: value}} in sorted order — canonical
+    // regardless of registration interleaving.
+    auto entries =
+        _metrics->snapshot(MetricsRegistry::Order::ByName);
+    std::string group;
+    bool firstGroup = true;
+    bool firstName = true;
+    for (const auto &e : entries) {
+        if (e.group != group) {
+            if (!firstGroup)
+                out << "\n    },";
+            out << "\n    " << jsonQuote(e.group) << ": {";
+            group = e.group;
+            firstGroup = false;
+            firstName = true;
+        }
+        if (!firstName)
+            out << ',';
+        firstName = false;
+        out << "\n      " << jsonQuote(e.name) << ": "
+            << renderValue(e);
+    }
+    if (!firstGroup)
+        out << "\n    }";
+    out << "\n  }\n";
+    out << "}\n";
+    out.flush();
+    return static_cast<bool>(out);
+}
+
+bool
+TelemetrySession::writeChromeTrace() const
+{
+    if (_cfg.chromeTracePath.empty() || !_tracer)
+        return true;
+    std::ofstream out(_cfg.chromeTracePath,
+                      std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    _tracer->writeChromeTrace(out);
+    out.flush();
+    return static_cast<bool>(out);
+}
+
+} // namespace obs
+} // namespace iraw

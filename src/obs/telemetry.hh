@@ -1,0 +1,102 @@
+/**
+ * @file
+ * One telemetry session per scenario invocation: owns the shared
+ * MetricsRegistry, the optional EventTracer (`chrometrace=`) and the
+ * optional ProgressMeter (`progress=`), and writes the
+ * machine-readable run manifest (`telemetry=`) — a single JSON
+ * document merging perf.*, trace_store.*, runner.*, adapt.* and
+ * service.* metrics with host/build info.
+ *
+ * The session is plumbed by pointer through RunnerConfig,
+ * ServiceSession and the TraceStore; every producer treats a null
+ * session (or a null tracer/meter inside it) as "telemetry off" and
+ * pays at most a pointer test.  Output goes exclusively to stderr
+ * and side files (docs/ARCHITECTURE.md, determinism invariant 9).
+ */
+
+#ifndef IRAW_OBS_TELEMETRY_HH
+#define IRAW_OBS_TELEMETRY_HH
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "obs/event_tracer.hh"
+#include "obs/metrics.hh"
+#include "obs/progress.hh"
+
+namespace iraw {
+namespace obs {
+
+struct TelemetryConfig
+{
+    /** `telemetry=`: run-manifest JSON path; empty = off. */
+    std::string manifestPath;
+    /** `chrometrace=`: Chrome trace JSON path; empty = off. */
+    std::string chromeTracePath;
+    /** `progress=`: stderr report interval (seconds); 0 = off. */
+    double progressIntervalSeconds = 0.0;
+
+    bool
+    enabled() const
+    {
+        return !manifestPath.empty() || !chromeTracePath.empty() ||
+               progressIntervalSeconds > 0.0;
+    }
+};
+
+class TelemetrySession
+{
+  public:
+    explicit TelemetrySession(TelemetryConfig cfg,
+                              std::ostream &progressOut = std::cerr);
+
+    const TelemetryConfig &
+    config() const
+    {
+        return _cfg;
+    }
+
+    MetricsRegistry &
+    metrics()
+    {
+        return *_metrics;
+    }
+
+    /** Null unless `chrometrace=` was given. */
+    const std::shared_ptr<EventTracer> &
+    tracer() const
+    {
+        return _tracer;
+    }
+
+    /** Null unless `progress=` was given. */
+    const std::shared_ptr<ProgressMeter> &
+    progress() const
+    {
+        return _meter;
+    }
+
+    /**
+     * Write the run manifest to config().manifestPath (no-op when
+     * unset).  Returns false on I/O failure.
+     */
+    bool writeManifest() const;
+
+    /**
+     * Write the Chrome trace to config().chromeTracePath (no-op
+     * when unset).  Returns false on I/O failure.
+     */
+    bool writeChromeTrace() const;
+
+  private:
+    TelemetryConfig _cfg;
+    std::shared_ptr<MetricsRegistry> _metrics;
+    std::shared_ptr<EventTracer> _tracer;
+    std::shared_ptr<ProgressMeter> _meter;
+};
+
+} // namespace obs
+} // namespace iraw
+
+#endif // IRAW_OBS_TELEMETRY_HH

@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "obs/telemetry.hh"
 #include "service/shard_manifest.hh"
 #include "service/spool.hh"
 
@@ -78,7 +79,7 @@ double
 nowSeconds()
 {
     struct timespec ts;
-    // lint-determinism: allow(wallclock) supervisor timeout/backoff timer; schedules host processes, never feeds simulated state
+    // lint-determinism: allow(obs-only-wallclock) supervisor timeout/backoff timer; schedules host processes, never feeds simulated state
     ::clock_gettime(CLOCK_MONOTONIC, &ts);
     return static_cast<double>(ts.tv_sec) +
            static_cast<double>(ts.tv_nsec) * 1e-9;
@@ -136,6 +137,21 @@ scanShardSpool(const std::string &path, const Shard &shard)
 }
 
 /**
+ * Per-(shard, attempt) worker event-spool path.  Workers append
+ * rendered trace events here (one JSONL line per event, crash-safe);
+ * the supervisor merges every attempt's file into the session tracer
+ * after the run, which is how worker-side spans — with the worker's
+ * own pid — end up in the single chrometrace= output.
+ */
+std::string
+eventSpoolPath(const std::string &spoolDir, const Shard &shard,
+               uint64_t attempt)
+{
+    return spoolDir + "/" + shard.stem + ".a" +
+           std::to_string(attempt) + ".events.jsonl";
+}
+
+/**
  * Worker body: run the shard's remaining items serially, spooling
  * each result as it lands.  Serial execution (not runBatch) is what
  * makes per-item checkpoints possible; batch-size invariance
@@ -145,11 +161,28 @@ scanShardSpool(const std::string &path, const Shard &shard)
 [[noreturn]] void
 workerMain(const sim::Simulator &sim, const ServiceConfig &cfg,
            const std::vector<sim::SimConfig> &configs,
-           const Shard &shard, uint64_t attempt, uint64_t skipItems)
+           const Shard &shard, uint64_t attempt, uint64_t skipItems,
+           const std::string &eventPath)
 {
     FaultInjector faults(cfg.faults, shard.ordinal, attempt);
     SpoolWriter writer;
     const std::string part = partPath(cfg.spoolDir, shard);
+
+    // Worker-side event tracing (chrometrace=): spool mode writes
+    // each event immediately, so even a crashed attempt leaves a
+    // mergeable timeline up to the moment it died.
+    std::shared_ptr<obs::EventTracer> tracer;
+    if (!eventPath.empty()) {
+        tracer = std::make_shared<obs::EventTracer>();
+        if (!tracer->openSpool(eventPath))
+            tracer.reset();
+    }
+    if (tracer)
+        tracer->instant(
+            "service.fork", "service",
+            {obs::EventTracer::arg("shard", shard.stem),
+             obs::EventTracer::arg("attempt", attempt),
+             obs::EventTracer::arg("skip", skipItems)});
 
     if (!writer.open(part, /*append=*/skipItems > 0))
         ::_exit(kExitSpoolError);
@@ -162,20 +195,48 @@ workerMain(const sim::Simulator &sim, const ServiceConfig &cfg,
     for (size_t j = skipItems; j < shard.indices.size(); ++j) {
         const size_t index = shard.indices[j];
         sim::SimResult result;
+        const uint64_t itemStartUs = tracer ? tracer->nowUs() : 0;
         try {
-            result = sim.run(configs[index]);
+            if (tracer) {
+                sim::SimConfig traced = configs[index];
+                traced.tracer = tracer;
+                result = sim.run(traced);
+            } else {
+                result = sim.run(configs[index]);
+            }
         } catch (const std::exception &e) {
             warn("service worker: shard %s item %zu: %s",
                  shard.stem.c_str(), j, e.what());
             ::_exit(kExitSimError);
         }
+        if (tracer)
+            tracer->complete(
+                "service.item", "service", itemStartUs,
+                tracer->nowUs() - itemStartUs,
+                {obs::EventTracer::arg("shard", shard.stem),
+                 obs::EventTracer::arg(
+                     "index", static_cast<uint64_t>(index)),
+                 obs::EventTracer::arg("workload",
+                                       configs[index].workload)});
         if (!writer.append(encodeResult(index, result)))
             ::_exit(kExitSpoolError);
+        if (tracer)
+            tracer->instant(
+                "service.checkpoint", "service",
+                {obs::EventTracer::arg("shard", shard.stem),
+                 obs::EventTracer::arg(
+                     "records",
+                     static_cast<uint64_t>(j - skipItems + 1))});
         faults.onRecordAppended(writer, j - skipItems + 1);
     }
 
     if (!writer.finalize(donePath(cfg.spoolDir, shard)))
         ::_exit(kExitSpoolError);
+    if (tracer)
+        tracer->instant(
+            "service.finalize", "service",
+            {obs::EventTracer::arg("shard", shard.stem),
+             obs::EventTracer::arg("attempt", attempt)});
     ::_exit(kExitOk);
 }
 
@@ -195,6 +256,7 @@ struct RunningJob
     double deadline = 0.0;
     double killAt = 0.0; //!< SIGKILL time once SIGTERM was sent
     bool termSent = false;
+    uint64_t startUs = 0; //!< tracer timestamp at fork
 };
 
 } // namespace
@@ -210,6 +272,14 @@ runSharded(const sim::Simulator &sim, ServiceSession &session,
 
     const uint64_t call = session.nextCallOrdinal();
     ShardManifest manifest = buildManifest(configs, batch, call);
+
+    obs::TelemetrySession *telemetry = session.telemetry().get();
+    obs::EventTracer *tracer =
+        telemetry ? telemetry->tracer().get() : nullptr;
+    obs::ProgressMeter *meter =
+        telemetry ? telemetry->progress().get() : nullptr;
+    if (meter)
+        meter->addTotal(manifest.shards.size());
 
     ServiceStats stats;
     stats.calls = 1;
@@ -231,6 +301,8 @@ runSharded(const sim::Simulator &sim, ServiceSession &session,
                 done[s] = true;
                 ++stats.shardsReused;
                 stats.recordsResumed += dscan.items;
+                if (meter)
+                    meter->add();
                 continue;
             }
             if (dscan.exists) {
@@ -291,11 +363,17 @@ runSharded(const sim::Simulator &sim, ServiceSession &session,
             credited[job.shardIdx] = skip;
         }
 
+        const std::string eventPath =
+            tracer ? eventSpoolPath(cfg.spoolDir, shard,
+                                    job.attempt)
+                   : std::string();
+
         pid_t pid = ::fork();
         fatalIf(pid < 0, "service: fork failed: %s",
                 std::strerror(errno));
         if (pid == 0)
-            workerMain(sim, cfg, configs, shard, job.attempt, skip);
+            workerMain(sim, cfg, configs, shard, job.attempt, skip,
+                       eventPath);
 
         ++stats.launches;
         if (job.attempt > 0)
@@ -304,6 +382,7 @@ runSharded(const sim::Simulator &sim, ServiceSession &session,
         run.shardIdx = job.shardIdx;
         run.attempt = job.attempt;
         run.deadline = nowSeconds() + cfg.timeoutSeconds;
+        run.startUs = tracer ? tracer->nowUs() : 0;
         running.emplace(pid, run);
     };
 
@@ -319,6 +398,14 @@ runSharded(const sim::Simulator &sim, ServiceSession &session,
             delayMs = std::min(delayMs, 10000.0);
             pending.push_back({shardIdx, failedAttempt + 1,
                                nowSeconds() + delayMs / 1000.0});
+            if (tracer)
+                tracer->instant(
+                    "service.retry", "service",
+                    {obs::EventTracer::arg("shard", shard.stem),
+                     obs::EventTracer::arg("attempt",
+                                           failedAttempt + 1)});
+            if (meter)
+                meter->retry();
             return;
         }
         ++stats.shardsFailed;
@@ -362,9 +449,23 @@ runSharded(const sim::Simulator &sim, ServiceSession &session,
             bool ok = WIFEXITED(status) &&
                       WEXITSTATUS(status) == kExitOk &&
                       fs::exists(donePath(cfg.spoolDir, shard));
+            if (tracer)
+                tracer->complete(
+                    "service.shard", "service", job.startUs,
+                    tracer->nowUs() - job.startUs,
+                    {obs::EventTracer::arg("shard", shard.stem),
+                     obs::EventTracer::arg("attempt", job.attempt),
+                     obs::EventTracer::arg(
+                         "outcome",
+                         std::string(ok ? "ok"
+                                     : WIFSIGNALED(status)
+                                         ? "crash"
+                                         : "exit_failure"))});
             if (ok) {
                 done[job.shardIdx] = true;
                 ++stats.shardsCompleted;
+                if (meter)
+                    meter->add();
                 continue;
             }
             if (WIFSIGNALED(status)) {
@@ -386,16 +487,31 @@ runSharded(const sim::Simulator &sim, ServiceSession &session,
             if (!job.termSent && now >= job.deadline) {
                 ++stats.timeouts;
                 ++stats.sigterms;
+                if (tracer)
+                    tracer->instant(
+                        "service.timeout", "service",
+                        {obs::EventTracer::arg(
+                            "shard",
+                            manifest.shards[job.shardIdx].stem)});
                 ::kill(pid, SIGTERM);
                 job.termSent = true;
                 job.killAt = now + cfg.killGraceSeconds;
             } else if (job.termSent && job.killAt > 0.0 &&
                        now >= job.killAt) {
                 ++stats.sigkills;
+                if (tracer)
+                    tracer->instant(
+                        "service.sigkill", "service",
+                        {obs::EventTracer::arg(
+                            "shard",
+                            manifest.shards[job.shardIdx].stem)});
                 ::kill(pid, SIGKILL);
                 job.killAt = 0.0; // sent once; waitpid reaps it
             }
         }
+
+        if (meter)
+            meter->tick(running.size());
 
         if (!launched && !reaped && !running.empty())
             ::usleep(2000);
@@ -406,6 +522,7 @@ runSharded(const sim::Simulator &sim, ServiceSession &session,
     // Merge in fixed manifest order from the completed spools — the
     // single reduction path shared by fresh, resumed and reused
     // shards, so execution history cannot leak into the output.
+    const uint64_t mergeStartUs = tracer ? tracer->nowUs() : 0;
     std::vector<sim::SimResult> results(configs.size());
     for (size_t s = 0; s < manifest.shards.size(); ++s) {
         if (!done[s])
@@ -443,6 +560,32 @@ runSharded(const sim::Simulator &sim, ServiceSession &session,
                  shard.stem.c_str());
             for (size_t idx : shard.indices)
                 results[idx] = sim::SimResult();
+        }
+    }
+
+    if (tracer)
+        tracer->complete(
+            "service.merge", "service", mergeStartUs,
+            tracer->nowUs() - mergeStartUs,
+            {obs::EventTracer::arg("shards",
+                                   uint64_t(manifest.shards.size())),
+             obs::EventTracer::arg("records", stats.records)});
+
+    // Stitch the workers' event spools into the session tracer.  A
+    // crashed attempt's file is still mergeable (workers emit only
+    // self-contained X/i events, one whole line per write), so the
+    // merged timeline shows the aborted attempt next to the retry.
+    if (tracer) {
+        for (const Shard &shard : manifest.shards) {
+            for (uint64_t a = 0; a <= cfg.retries; ++a) {
+                const std::string path =
+                    eventSpoolPath(cfg.spoolDir, shard, a);
+                std::error_code ec;
+                if (!fs::exists(path, ec))
+                    continue;
+                tracer->appendEventsFromFile(path);
+                fs::remove(path, ec);
+            }
         }
     }
 

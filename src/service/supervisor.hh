@@ -44,6 +44,11 @@
 #include "sim/simulation.hh"
 
 namespace iraw {
+
+namespace obs {
+class TelemetrySession;
+}
+
 namespace service {
 
 /** Knobs of the sharded driver (scenario options in parens). */
@@ -130,8 +135,28 @@ class ServiceSession
     void foldStats(const ServiceStats &callStats);
     ServiceStats stats() const;
 
+    /**
+     * Attach the scenario's telemetry session: the supervisor
+     * records shard lifecycle spans and retry/timeout instants on
+     * its tracer, workers spool their own event files (merged back
+     * after the run), and shard progress feeds its meter.  Must be
+     * set before the first runSharded call; null = telemetry off.
+     */
+    void
+    setTelemetry(std::shared_ptr<obs::TelemetrySession> telemetry)
+    {
+        _telemetry = std::move(telemetry);
+    }
+
+    const std::shared_ptr<obs::TelemetrySession> &
+    telemetry() const
+    {
+        return _telemetry;
+    }
+
   private:
     ServiceConfig _cfg;
+    std::shared_ptr<obs::TelemetrySession> _telemetry;
     mutable std::mutex _mutex;
     uint64_t _nextCall = 0;
     ServiceStats _stats;

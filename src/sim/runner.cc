@@ -1,6 +1,7 @@
 #include "sim/runner.hh"
 
 #include <algorithm>
+#include <array>
 #include <future>
 #include <map>
 #include <sstream>
@@ -8,6 +9,7 @@
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "obs/telemetry.hh"
 #include "service/supervisor.hh"
 
 namespace iraw {
@@ -84,9 +86,24 @@ SweepRunner::runConfigs(const std::vector<SimConfig> &configs) const
     // multi-process supervisor.  It decomposes the work with the
     // same traceGroupedChunks call, so the shards ARE the batches
     // and batch-size invariance carries the bitwise-identity claim.
-    if (_cfg.service)
-        return service::runSharded(_sim, *_cfg.service, configs,
-                                   effectiveBatch());
+    std::vector<SimResult> results =
+        _cfg.service ? service::runSharded(_sim, *_cfg.service,
+                                           configs,
+                                           effectiveBatch())
+                     : runLocal(configs);
+    foldTelemetry(configs, results);
+    return results;
+}
+
+std::vector<SimResult>
+SweepRunner::runLocal(const std::vector<SimConfig> &configs) const
+{
+    obs::EventTracer *tracer =
+        _cfg.telemetry ? _cfg.telemetry->tracer().get() : nullptr;
+    obs::ProgressMeter *meter =
+        _cfg.telemetry ? _cfg.telemetry->progress().get() : nullptr;
+    if (meter)
+        meter->addTotal(configs.size());
 
     std::vector<SimResult> results(configs.size());
     const size_t batch = effectiveBatch();
@@ -105,17 +122,35 @@ SweepRunner::runConfigs(const std::vector<SimConfig> &configs) const
     // workers run, and the futures' get() below is the
     // happens-before edge that publishes all slots to this thread.
     auto runChunk = [&](const std::vector<size_t> &chunk) {
-        if (chunk.size() == 1) {
+        const uint64_t startUs = tracer ? tracer->nowUs() : 0;
+        if (chunk.size() == 1 && !tracer) {
             results[chunk[0]] = _sim.run(configs[chunk[0]]);
-            return;
+        } else {
+            std::vector<SimConfig> lanes;
+            lanes.reserve(chunk.size());
+            for (size_t i : chunk) {
+                lanes.push_back(configs[i]);
+                if (tracer)
+                    lanes.back().tracer = _cfg.telemetry->tracer();
+            }
+            if (lanes.size() == 1) {
+                results[chunk[0]] = _sim.run(lanes[0]);
+            } else {
+                std::vector<SimResult> out = _sim.runBatch(lanes);
+                for (size_t j = 0; j < chunk.size(); ++j)
+                    results[chunk[j]] = std::move(out[j]);
+            }
         }
-        std::vector<SimConfig> lanes;
-        lanes.reserve(chunk.size());
-        for (size_t i : chunk)
-            lanes.push_back(configs[i]);
-        std::vector<SimResult> out = _sim.runBatch(lanes);
-        for (size_t j = 0; j < chunk.size(); ++j)
-            results[chunk[j]] = std::move(out[j]);
+        if (tracer)
+            tracer->complete(
+                "sweep.chunk", "sweep", startUs,
+                tracer->nowUs() - startUs,
+                {obs::EventTracer::arg(
+                     "lanes", static_cast<uint64_t>(chunk.size())),
+                 obs::EventTracer::arg(
+                     "group", traceGroupKey(configs[chunk[0]]))});
+        if (meter)
+            meter->add(chunk.size());
     };
 
     // More workers than work items would only cost thread churn.
@@ -139,6 +174,77 @@ SweepRunner::runConfigs(const std::vector<SimConfig> &configs) const
     for (std::future<void> &f : futures)
         f.get();
     return results;
+}
+
+void
+SweepRunner::foldTelemetry(const std::vector<SimConfig> &configs,
+                           const std::vector<SimResult> &results)
+    const
+{
+    if (!_cfg.telemetry)
+        return;
+    obs::MetricsRegistry &reg = _cfg.telemetry->metrics();
+    reg.counter("runner", "calls", "runConfigs waves").add();
+    reg.counter("runner", "configs", "work items executed")
+        .add(configs.size());
+    reg.counter("runner", "chunks", "lockstep batches scheduled")
+        .add(traceGroupedChunks(configs, effectiveBatch()).size());
+
+    // Host wall time and adapt transition accounting, folded from
+    // the per-run results (service-mode results carry no host
+    // profile, so perf.* stays at the supervisor's side there).
+    uint64_t wallNs = 0;
+    uint64_t hostInsts = 0;
+    std::array<uint64_t, StageProfiler::kStages> stageCalls{};
+    std::array<uint64_t, StageProfiler::kStages> stageNs{};
+    uint64_t adaptRuns = 0, switches = 0, epochs = 0;
+    uint64_t settleCycles = 0, drainCycles = 0;
+    for (const SimResult &r : results) {
+        wallNs += static_cast<uint64_t>(r.host.wallSeconds * 1e9);
+        hostInsts += r.host.instructions;
+        for (size_t s = 0; s < StageProfiler::kStages; ++s) {
+            auto stage = static_cast<StageProfiler::Stage>(s);
+            stageCalls[s] += r.host.stages.stage(stage).calls;
+            stageNs[s] += r.host.stages.stage(stage).ns;
+        }
+        if (r.adapt.enabled) {
+            ++adaptRuns;
+            switches += r.adapt.switches;
+            epochs += r.adapt.epochs;
+            settleCycles += r.adapt.settleCycles;
+            drainCycles += r.adapt.drainCycles;
+        }
+    }
+    reg.counter("perf", "sim_wall_ns",
+                "host wall nanoseconds inside Pipeline::run")
+        .add(wallNs);
+    reg.counter("perf", "instructions",
+                "instructions committed (incl. warmup)")
+        .add(hostInsts);
+    for (size_t s = 0; s < StageProfiler::kStages; ++s) {
+        auto stage = static_cast<StageProfiler::Stage>(s);
+        std::string base =
+            std::string("stage_") + StageProfiler::stageName(stage);
+        reg.counter("perf", base + "_calls", "stage invocations")
+            .add(stageCalls[s]);
+        reg.counter("perf", base + "_ns",
+                    "wall nanoseconds in stage")
+            .add(stageNs[s]);
+    }
+    if (adaptRuns) {
+        reg.counter("adapt", "runs", "adaptive simulations")
+            .add(adaptRuns);
+        reg.counter("adapt", "switches", "Vcc transitions")
+            .add(switches);
+        reg.counter("adapt", "epochs", "controller evaluations")
+            .add(epochs);
+        reg.counter("adapt", "settle_cycles",
+                    "cycles idled for transitions")
+            .add(settleCycles);
+        reg.counter("adapt", "drain_cycles",
+                    "cycles draining before transitions")
+            .add(drainCycles);
+    }
 }
 
 std::vector<MachineAtVcc>
@@ -183,6 +289,19 @@ SweepRunner::runMachines(const SweepConfig &cfg,
             pi.slot = uniquePoints.size();
             uniquePoints.push_back(p);
         }
+    }
+
+    if (_cfg.telemetry) {
+        obs::MetricsRegistry &reg = _cfg.telemetry->metrics();
+        reg.counter("runner", "points",
+                    "(Vcc, mode) points requested")
+            .add(points.size());
+        reg.counter("runner", "unique_points",
+                    "behaviour classes simulated")
+            .add(uniquePoints.size());
+        reg.counter("runner", "aliased_points",
+                    "points served by dedup")
+            .add(points.size() - uniquePoints.size());
     }
 
     std::vector<SimConfig> configs;

@@ -44,6 +44,10 @@
 
 namespace iraw {
 
+namespace obs {
+class TelemetrySession;
+}
+
 namespace service {
 class ServiceSession;
 }
@@ -81,6 +85,16 @@ struct RunnerConfig
      * breakdowns are unavailable in service mode.
      */
     std::shared_ptr<service::ServiceSession> service;
+
+    /**
+     * Telemetry session (scenario options telemetry= / chrometrace=
+     * / progress=): the runner records sweep chunk spans on its
+     * tracer, reports work-item completion on its progress meter and
+     * folds runner.*, perf.* and adapt.* counters into its metrics
+     * registry.  Null = telemetry off; simulated results are bitwise
+     * identical either way (determinism invariant 9).
+     */
+    std::shared_ptr<obs::TelemetrySession> telemetry;
 };
 
 /**
@@ -172,6 +186,15 @@ class SweepRunner
                               const std::vector<SimResult> &results);
 
   private:
+    /** The in-process (thread pool) execution path of runConfigs. */
+    std::vector<SimResult>
+    runLocal(const std::vector<SimConfig> &configs) const;
+
+    /** Fold per-wave runner/perf/adapt counters into the telemetry
+     *  registry (no-op without a session). */
+    void foldTelemetry(const std::vector<SimConfig> &configs,
+                       const std::vector<SimResult> &results) const;
+
     const Simulator &_sim;
     RunnerConfig _cfg;
 };

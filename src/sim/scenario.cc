@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "obs/telemetry.hh"
 #include "sim/simulation.hh"
 #include "sim/stats_report.hh"
 
@@ -15,8 +16,9 @@ namespace sim {
 
 ScenarioContext::ScenarioContext(
     const OptionMap &opts, std::ostream &out,
-    std::shared_ptr<trace::TraceStore> store)
-    : _opts(opts), _out(out)
+    std::shared_ptr<trace::TraceStore> store,
+    std::shared_ptr<obs::TelemetrySession> telemetry)
+    : _opts(opts), _out(out), _telemetry(std::move(telemetry))
 {
     // Parse the shared overrides eagerly so every scenario binary
     // accepts them (and so they never show up as "unused").
@@ -121,6 +123,15 @@ ScenarioContext::ScenarioContext(
                 warn("%s= ignored because workers=0 (in-process "
                      "run)", key);
     }
+
+    // Attach the telemetry session to the producers this context
+    // builds.  Everything downstream treats null as "off".
+    if (_telemetry) {
+        if (_store && _telemetry->tracer())
+            _store->setTracer(_telemetry->tracer());
+        if (_service)
+            _service->setTelemetry(_telemetry);
+    }
 }
 
 trace::TraceBufferPtr
@@ -182,6 +193,7 @@ ScenarioContext::runnerConfig() const
     cfg.threads = _settings.threads;
     cfg.batch = _settings.batch;
     cfg.service = _service;
+    cfg.telemetry = _telemetry;
     return cfg;
 }
 
@@ -341,7 +353,7 @@ documentedOptions(const std::vector<const Scenario *> &scenarios)
         "trace",      "tracestore", "tracecache", "storebytes",
         "storestats", "profile",    "workers",   "timeout",
         "retries",    "backoff",    "spool",     "resume",
-        "faultinject"};
+        "faultinject", "telemetry", "chrometrace", "progress"};
     for (const Scenario *s : scenarios)
         collectOptionKeys(s->description, keys);
     std::sort(keys.begin(), keys.end());
@@ -395,6 +407,8 @@ scenarioMain(int argc, const char *const *argv)
                      "[workers=N] [timeout=S] [retries=N] "
                      "[backoff=MS] [spool=dir] [resume=dir] "
                      "[faultinject=spec] "
+                     "[telemetry=out.json] [chrometrace=out.json] "
+                     "[progress=S] "
                      "[chips=N] [sigma=S] [chipseed=N] "
                      "[policy=static|oracle|reactive] [epoch=N] "
                      "[switchcycles=N] [switchenergy=E] "
@@ -403,24 +417,46 @@ scenarioMain(int argc, const char *const *argv)
         return 1;
     }
 
+    // One telemetry session for the whole invocation (the manifest
+    // and trace merge every scenario when scenario=all).  All of its
+    // output goes to stderr and side files; stdout stays
+    // byte-identical to a telemetry-off run (invariant 9).
+    obs::TelemetryConfig telemetryCfg;
+    telemetryCfg.manifestPath = opts.getString("telemetry", "");
+    telemetryCfg.chromeTracePath = opts.getString("chrometrace", "");
+    telemetryCfg.progressIntervalSeconds =
+        opts.getDouble("progress", 0.0);
+    std::shared_ptr<obs::TelemetrySession> telemetry;
+    if (telemetryCfg.enabled())
+        telemetry =
+            std::make_shared<obs::TelemetrySession>(telemetryCfg);
+
     // One trace store for the whole process: scenario=all shares
     // materialized traces across scenarios instead of starting each
     // one cold.
     std::shared_ptr<trace::TraceStore> sharedStore;
     trace::TraceStore::Stats prevStats;
+    service::ServiceStats serviceTotal;
+    bool sawService = false;
     for (const Scenario *s : toRun) {
         if (toRun.size() > 1)
             std::cout << "==== " << s->name << " ====\n";
         int rc = 0;
         try {
-            ScenarioContext ctx(opts, std::cout, sharedStore);
+            ScenarioContext ctx(opts, std::cout, sharedStore,
+                                telemetry);
             sharedStore = ctx.traceStore();
             // Multi-scenario runs bound Monte Carlo population
             // sizes so scenario=all stays CI-sized; standalone
             // runs are uncapped.
             if (toRun.size() > 1)
                 ctx.setPopulationCap(4);
-            rc = s->fn(ctx);
+            {
+                obs::EventTracer::Span span(
+                    telemetry ? telemetry->tracer().get() : nullptr,
+                    s->name, "scenario");
+                rc = s->fn(ctx);
+            }
             if (opts.getBool("storestats", false) &&
                 ctx.traceStore()) {
                 // Report this scenario's own traffic: the store is
@@ -443,6 +479,8 @@ scenarioMain(int argc, const char *const *argv)
                 // (invariant 8).
                 service::ServiceStats stats =
                     ctx.serviceSession()->stats();
+                serviceTotal.fold(stats);
+                sawService = true;
                 writeServiceReport(std::cerr, stats);
                 const std::string &dir =
                     ctx.serviceSession()->config().spoolDir;
@@ -467,6 +505,86 @@ scenarioMain(int argc, const char *const *argv)
         }
         if (rc != 0)
             return rc;
+    }
+
+    if (telemetry) {
+        // Fold the session-level producers into the registry (the
+        // runner folds its own runner./perf./adapt. counters per
+        // wave): trace-store levels are absolute, service counters
+        // are the totals across scenarios.
+        obs::MetricsRegistry &m = telemetry->metrics();
+        if (sharedStore) {
+            trace::TraceStore::Stats ts = sharedStore->stats();
+            m.counter("trace_store", "hits").set(ts.hits);
+            m.counter("trace_store", "misses").set(ts.misses);
+            m.counter("trace_store", "disk_hits").set(ts.diskHits);
+            m.counter("trace_store", "disk_bad_files")
+                .set(ts.diskBadFiles);
+            m.counter("trace_store", "stale_tmp_files")
+                .set(ts.staleTmpFiles);
+            m.counter("trace_store", "evictions").set(ts.evictions);
+            m.counter("trace_store", "buffers").set(ts.buffers);
+            m.counter("trace_store", "bytes_in_use")
+                .set(ts.bytesInUse);
+            m.counter("trace_store", "byte_cap").set(ts.byteCap);
+        }
+        if (sawService) {
+            m.counter("service", "calls").set(serviceTotal.calls);
+            m.counter("service", "shards")
+                .set(serviceTotal.shardsTotal);
+            m.counter("service", "shards_completed")
+                .set(serviceTotal.shardsCompleted);
+            m.counter("service", "shards_reused")
+                .set(serviceTotal.shardsReused);
+            m.counter("service", "failed_shards")
+                .set(serviceTotal.shardsFailed);
+            m.counter("service", "records")
+                .set(serviceTotal.records);
+            m.counter("service", "records_resumed")
+                .set(serviceTotal.recordsResumed);
+            m.counter("service", "launches")
+                .set(serviceTotal.launches);
+            m.counter("service", "retries")
+                .set(serviceTotal.retries);
+            m.counter("service", "crashes")
+                .set(serviceTotal.crashes);
+            m.counter("service", "exit_failures")
+                .set(serviceTotal.exitFailures);
+            m.counter("service", "timeouts")
+                .set(serviceTotal.timeouts);
+            m.counter("service", "sigterms")
+                .set(serviceTotal.sigterms);
+            m.counter("service", "sigkills")
+                .set(serviceTotal.sigkills);
+            m.counter("service", "torn_tails")
+                .set(serviceTotal.tornTails);
+            m.counter("service", "bad_records")
+                .set(serviceTotal.badRecords);
+            m.counter("service", "spool_errors")
+                .set(serviceTotal.spoolErrors);
+        }
+        if (telemetry->progress())
+            telemetry->progress()->finish();
+        if (!telemetryCfg.chromeTracePath.empty()) {
+            if (telemetry->writeChromeTrace())
+                std::cerr << "telemetry: chrome trace ("
+                          << telemetry->tracer()->eventCount()
+                          << " events) written to '"
+                          << telemetryCfg.chromeTracePath << "'\n";
+            else
+                std::cerr << "telemetry: failed to write chrome "
+                             "trace '"
+                          << telemetryCfg.chromeTracePath << "'\n";
+        }
+        if (!telemetryCfg.manifestPath.empty()) {
+            if (telemetry->writeManifest())
+                std::cerr << "telemetry: run manifest written to '"
+                          << telemetryCfg.manifestPath << "'\n";
+            else
+                std::cerr << "telemetry: failed to write run "
+                             "manifest '"
+                          << telemetryCfg.manifestPath << "'\n";
+        }
     }
 
     std::vector<std::string> unused = opts.unusedKeys();

@@ -6,7 +6,8 @@
  * (threads=, batch=, insts=, seeds=, quick=, warmup=, trace=,
  * tracestore=, tracecache=, storebytes=, storestats=, profile=, the
  * sharded-service options workers=, timeout=, retries=, backoff=,
- * spool=, resume=, faultinject=, and for the Monte Carlo population
+ * spool=, resume=, faultinject=, the telemetry options telemetry=,
+ * chrometrace=, progress=, and for the Monte Carlo population
  * scenarios chips=, sigma=, syssigma=, chipseed=) and the same
  * parallel sweep runner instead of carrying near-duplicate main()s.
  *
@@ -68,10 +69,17 @@ class ScenarioContext
      * @param store a trace store to share across contexts (e.g. one
      *        per process for scenario=all); null builds a fresh one
      *        from the parsed options when the store is enabled.
+     * @param telemetry the process-wide telemetry session (the
+     *        telemetry= / chrometrace= / progress= options, created
+     *        once by scenarioMain); null = telemetry off.  The
+     *        context attaches it to the runner, the trace store and
+     *        the service session it builds.
      */
     ScenarioContext(const OptionMap &opts, std::ostream &out,
                     std::shared_ptr<trace::TraceStore> store =
-                        nullptr);
+                        nullptr,
+                    std::shared_ptr<obs::TelemetrySession>
+                        telemetry = nullptr);
 
     const OptionMap &opts() const { return _opts; }
     std::ostream &out() { return _out; }
@@ -127,6 +135,13 @@ class ScenarioContext
      *  and should be removed after a fully successful run. */
     bool spoolIsTemp() const { return _spoolIsTemp; }
 
+    /** The telemetry session, or null when telemetry is off. */
+    const std::shared_ptr<obs::TelemetrySession> &
+    telemetrySession() const
+    {
+        return _telemetry;
+    }
+
     /** A SweepConfig seeded with the context's suite and warmup. */
     SweepConfig sweepConfig() const;
 
@@ -158,6 +173,7 @@ class ScenarioContext
     ScenarioSettings _settings;
     std::shared_ptr<trace::TraceStore> _store;
     std::shared_ptr<service::ServiceSession> _service;
+    std::shared_ptr<obs::TelemetrySession> _telemetry;
     bool _spoolIsTemp = false;
     std::unique_ptr<Simulator> _sim;
     uint32_t _populationCap = 0;

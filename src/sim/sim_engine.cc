@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "obs/event_tracer.hh"
 #include "variation/chip_sample.hh"
 
 namespace iraw {
@@ -61,6 +62,10 @@ SimEngine::SimEngine(const Simulator &sim, const SimConfig &cfg)
 
     _totalBudget = _cfg.warmupInstructions + _cfg.instructions;
     _nextEpoch = _vctl ? _cfg.adapt->epochCycles : 0;
+
+    _tracer = _cfg.tracer.get();
+    if (_tracer)
+        _epochWallUs = _tracer->nowUs();
 
     if (_vctl) {
         _res.adapt.enabled = true;
@@ -167,15 +172,55 @@ SimEngine::stepPhase(uint64_t target, memory::Cycle stop)
             _pipe.stats().committedInsts - _epochStartInsts;
         telemetry.irawStallCycles =
             irawStallsNow() - _epochStartIraw;
+        if (_tracer) {
+            // Contiguous host-time slices, one per epoch window.
+            uint64_t nowWallUs = _tracer->nowUs();
+            _tracer->complete(
+                "adapt.epoch", "adapt", _epochWallUs,
+                nowWallUs - _epochWallUs,
+                {obs::EventTracer::arg("cycles", telemetry.cycles),
+                 obs::EventTracer::arg("instructions",
+                                       telemetry.instructions),
+                 obs::EventTracer::arg(
+                     "vcc_mV", static_cast<double>(_opVcc))});
+            _epochWallUs = nowWallUs;
+        }
         adapt::Decision decision = _vctl->evaluate(telemetry);
         if (decision.switchVcc &&
             _pipe.stats().committedInsts < _totalBudget) {
+            const uint64_t drainStartUs =
+                _tracer ? _tracer->nowUs() : 0;
+            const uint64_t drainedBefore = _res.adapt.drainCycles;
             _res.adapt.drainCycles +=
                 _pipe.drainQuiesce(_totalBudget);
+            if (_tracer)
+                _tracer->complete(
+                    "adapt.drain", "adapt", drainStartUs,
+                    _tracer->nowUs() - drainStartUs,
+                    {obs::EventTracer::arg(
+                        "cycles", _res.adapt.drainCycles -
+                                      drainedBefore)});
             if (_pipe.quiescedForSwitch() &&
                 _pipe.stats().committedInsts < _totalBudget) {
                 closeSegment();
+                const uint64_t settleStartUs =
+                    _tracer ? _tracer->nowUs() : 0;
                 _pipe.advanceIdleCycles(acfg.switchCycles);
+                if (_tracer) {
+                    _tracer->complete(
+                        "adapt.settle", "adapt", settleStartUs,
+                        _tracer->nowUs() - settleStartUs,
+                        {obs::EventTracer::arg("cycles",
+                                               acfg.switchCycles)});
+                    _tracer->instant(
+                        "adapt.switch", "adapt",
+                        {obs::EventTracer::arg(
+                             "from_mV",
+                             static_cast<double>(_opVcc)),
+                         obs::EventTracer::arg(
+                             "to_mV", static_cast<double>(
+                                          decision.target))});
+                }
                 _segSettle = acfg.switchCycles;
                 applyOperatingPoint(decision.target);
                 _opVcc = decision.target;
@@ -222,7 +267,7 @@ SimEngine::advance(memory::Cycle quantumCycles)
 {
     if (_phase == Phase::Done || quantumCycles == 0)
         return;
-    // lint-determinism: allow(wallclock) perf.sim_wall_seconds host metric; read only into SimResult.host, never into simulated state (invariant 6)
+    // lint-determinism: allow(obs-only-wallclock) perf.sim_wall_seconds host metric; read only into SimResult.host, never into simulated state (invariant 6)
     auto wallStart = std::chrono::steady_clock::now();
     const memory::Cycle now = _pipe.currentCycle();
     const memory::Cycle maxCycle =
@@ -238,7 +283,7 @@ SimEngine::advance(memory::Cycle quantumCycles)
             break; // quantum exhausted mid-phase
         endPhase();
     }
-    // lint-determinism: allow(wallclock) closes the host wall-time bracket opened above (invariant 6)
+    // lint-determinism: allow(obs-only-wallclock) closes the host wall-time bracket opened above (invariant 6)
     auto wallEnd = std::chrono::steady_clock::now();
     _wallSeconds +=
         std::chrono::duration<double>(wallEnd - wallStart).count();

@@ -30,10 +30,10 @@
 #include <memory>
 
 #include "adapt/vcc_controller.hh"
-#include "common/profiler.hh"
 #include "core/pipeline.hh"
 #include "iraw/controller.hh"
 #include "memory/hierarchy.hh"
+#include "obs/stage_profiler.hh"
 #include "sim/simulation.hh"
 #include "trace/trace_source.hh"
 
@@ -115,6 +115,10 @@ class SimEngine
 
     StageProfiler _stageProfiler;
     double _wallSeconds = 0.0;
+
+    /** Borrowed from SimConfig::tracer; null = tracing off. */
+    obs::EventTracer *_tracer = nullptr;
+    uint64_t _epochWallUs = 0;
 
     Phase _phase = Phase::Warmup;
     bool _finalized = false;

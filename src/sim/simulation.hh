@@ -14,12 +14,12 @@
 #include <vector>
 
 #include "adapt/vcc_controller.hh"
-#include "common/profiler.hh"
 #include "circuit/cycle_time.hh"
 #include "core/core_config.hh"
 #include "core/pipeline.hh"
 #include "iraw/controller.hh"
 #include "memory/hierarchy.hh"
+#include "obs/stage_profiler.hh"
 #include "trace/generator.hh"
 #include "trace/trace_store.hh"
 
@@ -27,6 +27,10 @@ namespace iraw {
 
 namespace variation {
 class ChipSample;
+}
+
+namespace obs {
+class EventTracer;
 }
 
 namespace sim {
@@ -90,6 +94,15 @@ struct SimConfig
      * Policy::Static is bitwise identical to it.
      */
     std::shared_ptr<const adapt::AdaptConfig> adapt;
+
+    /**
+     * Host-side event tracing (the `chrometrace=` option): when
+     * attached, the engine records adapt epoch/drain/settle windows
+     * on it.  Purely observational — never fingerprinted, never
+     * transported through service spools, and bitwise invisible to
+     * every simulated aggregate (determinism invariant 9).
+     */
+    std::shared_ptr<obs::EventTracer> tracer;
 };
 
 /** Per-run variation facts (stats reporting). */

@@ -1,6 +1,7 @@
 #include "sim/stats_report.hh"
 
 #include "common/stats.hh"
+#include "obs/metrics.hh"
 #include "service/supervisor.hh"
 #include "variation/population.hh"
 
@@ -222,32 +223,35 @@ writeStatsReport(std::ostream &os, const SimResult &result)
     // Host-side profiling (profile=1 only): wall-clock numbers are
     // nondeterministic, so they stay out of default reports to keep
     // output diffs (threads=1 vs N, store on/off) byte-identical.
+    // Rendered from a MetricsRegistry snapshot (the one flat-report
+    // printer shared with the telemetry layer); registration order
+    // reproduces the legacy group emission byte for byte.
     if (result.config.profile) {
         const HostProfile &host = result.host;
-        stats::Group perf("perf");
-        perf.addFormula(
-            "sim_wall_seconds",
-            [&host]() { return host.wallSeconds; },
-            "host wall time inside the cycle loop");
-        perf.addFormula(
-            "minsts_per_sec",
-            [&host]() { return host.minstsPerSecond(); },
-            "committed Minsts per wall second (incl. warmup)");
+        obs::MetricsRegistry perf;
         for (size_t i = 0; i < StageProfiler::kStages; ++i) {
             auto stage = static_cast<StageProfiler::Stage>(i);
             const auto &s = host.stages.stage(stage);
-            perf.addScalar(std::string("stage_") +
-                               StageProfiler::stageName(stage) +
-                               "_calls",
-                           "stage invocations")
+            perf.counter("perf",
+                         std::string("stage_") +
+                             StageProfiler::stageName(stage) +
+                             "_calls",
+                         "stage invocations")
                 .set(s.calls);
-            perf.addScalar(std::string("stage_") +
-                               StageProfiler::stageName(stage) +
-                               "_ns",
-                           "wall nanoseconds in stage")
+            perf.counter("perf",
+                         std::string("stage_") +
+                             StageProfiler::stageName(stage) +
+                             "_ns",
+                         "wall nanoseconds in stage")
                 .set(s.ns);
         }
-        perf.dump(os);
+        perf.gauge("perf", "sim_wall_seconds",
+                   "host wall time inside the cycle loop")
+            .set(host.wallSeconds);
+        perf.gauge("perf", "minsts_per_sec",
+                   "committed Minsts per wall second (incl. warmup)")
+            .set(host.minstsPerSecond());
+        obs::writeSnapshot(os, perf.snapshot());
     }
 }
 
@@ -255,28 +259,34 @@ void
 writeTraceStoreReport(std::ostream &os,
                       const trace::TraceStore::Stats &stats)
 {
-    stats::Group store("trace_store");
-    store.addScalar("hits", "acquisitions served from memory")
+    obs::MetricsRegistry store;
+    store.counter("trace_store", "hits",
+                  "acquisitions served from memory")
         .set(stats.hits);
-    store.addScalar("misses", "acquisitions that materialized")
+    store.counter("trace_store", "misses",
+                  "acquisitions that materialized")
         .set(stats.misses);
-    store.addScalar("disk_hits", "misses served from the disk cache")
+    store.counter("trace_store", "disk_hits",
+                  "misses served from the disk cache")
         .set(stats.diskHits);
-    store.addScalar("disk_bad_files",
-                    "corrupt cache files deleted on read")
+    store.counter("trace_store", "disk_bad_files",
+                  "corrupt cache files deleted on read")
         .set(stats.diskBadFiles);
-    store.addScalar("stale_tmp_files",
-                    "orphaned write-temporaries swept at startup")
+    store.counter("trace_store", "stale_tmp_files",
+                  "orphaned write-temporaries swept at startup")
         .set(stats.staleTmpFiles);
-    store.addScalar("evictions", "buffers dropped by the LRU cap")
+    store.counter("trace_store", "evictions",
+                  "buffers dropped by the LRU cap")
         .set(stats.evictions);
-    store.addScalar("buffers", "resident trace buffers")
+    store.counter("trace_store", "buffers", "resident trace buffers")
         .set(stats.buffers);
-    store.addScalar("bytes_in_use", "resident payload bytes")
+    store.counter("trace_store", "bytes_in_use",
+                  "resident payload bytes")
         .set(stats.bytesInUse);
-    store.addScalar("byte_cap", "configured in-memory bound")
+    store.counter("trace_store", "byte_cap",
+                  "configured in-memory bound")
         .set(stats.byteCap);
-    store.dump(os);
+    obs::writeSnapshot(os, store.snapshot());
 }
 
 void
@@ -325,44 +335,51 @@ void
 writeServiceReport(std::ostream &os,
                    const service::ServiceStats &s)
 {
-    stats::Group svc("service");
-    svc.addScalar("calls", "sharded runConfigs calls").set(s.calls);
-    svc.addScalar("shards", "shards across all manifests")
+    obs::MetricsRegistry svc;
+    svc.counter("service", "calls", "sharded runConfigs calls")
+        .set(s.calls);
+    svc.counter("service", "shards", "shards across all manifests")
         .set(s.shardsTotal);
-    svc.addScalar("shards_completed", "shards finished by workers")
+    svc.counter("service", "shards_completed",
+                "shards finished by workers")
         .set(s.shardsCompleted);
-    svc.addScalar("shards_reused",
-                  "complete spools reused on resume")
+    svc.counter("service", "shards_reused",
+                "complete spools reused on resume")
         .set(s.shardsReused);
-    svc.addScalar("failed_shards",
-                  "shards that exhausted their retries")
+    svc.counter("service", "failed_shards",
+                "shards that exhausted their retries")
         .set(s.shardsFailed);
-    svc.addScalar("records", "result records merged")
+    svc.counter("service", "records", "result records merged")
         .set(s.records);
-    svc.addScalar("records_resumed",
-                  "records recovered from existing spools")
+    svc.counter("service", "records_resumed",
+                "records recovered from existing spools")
         .set(s.recordsResumed);
-    svc.addScalar("launches", "worker processes forked")
+    svc.counter("service", "launches", "worker processes forked")
         .set(s.launches);
-    svc.addScalar("retries", "relaunches after a failure")
+    svc.counter("service", "retries", "relaunches after a failure")
         .set(s.retries);
-    svc.addScalar("crashes", "workers that died on a signal")
+    svc.counter("service", "crashes",
+                "workers that died on a signal")
         .set(s.crashes);
-    svc.addScalar("exit_failures", "workers with a nonzero exit")
+    svc.counter("service", "exit_failures",
+                "workers with a nonzero exit")
         .set(s.exitFailures);
-    svc.addScalar("timeouts", "shards past their deadline")
+    svc.counter("service", "timeouts", "shards past their deadline")
         .set(s.timeouts);
-    svc.addScalar("sigterms", "timeout SIGTERMs sent")
+    svc.counter("service", "sigterms", "timeout SIGTERMs sent")
         .set(s.sigterms);
-    svc.addScalar("sigkills", "escalation SIGKILLs sent")
+    svc.counter("service", "sigkills", "escalation SIGKILLs sent")
         .set(s.sigkills);
-    svc.addScalar("torn_tails", "partial spool frames truncated")
+    svc.counter("service", "torn_tails",
+                "partial spool frames truncated")
         .set(s.tornTails);
-    svc.addScalar("bad_records", "rejected spool records or files")
+    svc.counter("service", "bad_records",
+                "rejected spool records or files")
         .set(s.badRecords);
-    svc.addScalar("spool_errors", "worker spool-write failures")
+    svc.counter("service", "spool_errors",
+                "worker spool-write failures")
         .set(s.spoolErrors);
-    svc.dump(os);
+    obs::writeSnapshot(os, svc.snapshot());
     for (const std::string &stem : s.failedShards)
         os << "service.failed_shard " << stem
            << " # points zeroed; rerun with resume=\n";

@@ -33,6 +33,8 @@ void writeStatsReport(std::ostream &os, const SimResult &result);
 /**
  * Dump the generate-once trace store's counters (hits, misses, disk
  * hits, evictions, resident bytes) in the same flat format.
+ * Rendered through the obs::MetricsRegistry snapshot printer, so the
+ * report and the telemetry manifest share one source of truth.
  */
 void writeTraceStoreReport(std::ostream &os,
                            const trace::TraceStore::Stats &stats);

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "obs/event_tracer.hh"
 #include "trace/generator.hh"
 #include "trace/trace_io.hh"
 #include "trace/trace_record.hh"
@@ -290,7 +291,17 @@ TraceStore::acquire(const Key &key,
         // Materialize outside the lock: workers needing other keys
         // proceed; workers needing this key block on the future.
         try {
+            obs::EventTracer *tracer = _tracer.get();
+            const uint64_t startUs = tracer ? tracer->nowUs() : 0;
             TraceBufferPtr buffer = materialize();
+            if (tracer)
+                tracer->complete(
+                    "trace.materialize", "trace", startUs,
+                    tracer->nowUs() - startUs,
+                    {obs::EventTracer::arg("key", key.source),
+                     obs::EventTracer::arg("length", key.length),
+                     obs::EventTracer::arg("bytes",
+                                           buffer->bytes())});
             finalize(key, buffer);
             promise.set_value(std::move(buffer));
         } catch (...) {

@@ -39,6 +39,11 @@
 #include "trace/workload.hh"
 
 namespace iraw {
+
+namespace obs {
+class EventTracer;
+}
+
 namespace trace {
 
 /** An immutable trace: packed records in one flat buffer. */
@@ -187,6 +192,18 @@ class TraceStore
 
     const Config &config() const { return _cfg; }
 
+    /**
+     * Record a `trace.materialize` span on @p tracer for every
+     * owner-path materialization (the `chrometrace=` option).  Must
+     * be set before concurrent acquisition starts; the store never
+     * writes through it on the hit path.
+     */
+    void
+    setTracer(std::shared_ptr<obs::EventTracer> tracer)
+    {
+        _tracer = std::move(tracer);
+    }
+
   private:
     struct Key
     {
@@ -231,6 +248,8 @@ class TraceStore
     std::string diskPathFor(const Key &key) const;
 
     Config _cfg;
+    /** Set once before workers run (see setTracer); read-only after. */
+    std::shared_ptr<obs::EventTracer> _tracer;
     mutable Mutex _mutex;
     /**
      * Key -> in-flight-or-ready buffer.  An entry enters _lru only

@@ -12,11 +12,14 @@ later.
 
 Rules (each maps to a numbered invariant in docs/ARCHITECTURE.md):
 
-  wallclock            Invariant 6 (observer invariance).  Wall-clock
-                       reads (time(), clock(), std::chrono clocks,
-                       gettimeofday, ...) are banned in src/ outside
-                       common/profiler.hh: host time must never feed
-                       simulated state.
+  obs-only-wallclock   Invariants 6+9 (observer/telemetry
+                       invariance).  Wall-clock reads (time(),
+                       clock(), std::chrono clocks, gettimeofday,
+                       clock_gettime, ...) are banned in src/ outside
+                       the observability layer src/obs/: host time
+                       must never feed simulated state, so every
+                       clock read lives behind the telemetry API (or
+                       carries a reviewed waiver).
   raw-rng              Invariant 7 (sampling purity).  rand()/srand(),
                        std::random_device, drand48 and friends are
                        banned everywhere in src/: all randomness flows
@@ -127,7 +130,7 @@ ALLOW_PATTERN = re.compile(
 )
 
 RULE_IDS = [
-    "wallclock",
+    "obs-only-wallclock",
     "raw-rng",
     "unordered-iter",
     "ptr-key-order",
@@ -261,7 +264,9 @@ def lint_file(path, relpath, text):
                 Violation(relpath, idx + 1, rule, message))
 
     rel = relpath.replace(os.sep, "/")
-    profiler_exempt = rel.endswith("common/profiler.hh")
+    # The observability layer is the one place allowed to read host
+    # clocks; everything else goes through its API or a waiver.
+    obs_exempt = "/obs/" in ("/" + rel)
 
     unordered_vars = set()
     float_vars = set()
@@ -275,14 +280,14 @@ def lint_file(path, relpath, text):
         if not code.strip():
             continue
 
-        if not profiler_exempt:
+        if not obs_exempt:
             for pat in WALLCLOCK_PATTERNS:
                 if pat.search(code):
-                    flag(i, "wallclock",
+                    flag(i, "obs-only-wallclock",
                          "wall-clock read in simulation code "
-                         "(invariant 6: host time must never feed "
-                         "simulated state); only common/profiler.hh "
-                         "may read clocks")
+                         "(invariants 6+9: host time must never "
+                         "feed simulated state); only src/obs/ may "
+                         "read clocks")
                     break
 
         for pat in RAW_RNG_PATTERNS:
@@ -355,7 +360,7 @@ def lint_tree(root):
 # ----------------------------------------------------------- self-test
 
 SEEDED = {
-    "wallclock": (
+    "obs-only-wallclock": (
         "src/core/v_wallclock.cc",
         "#include <ctime>\n"
         "double hostNow() { return (double)time(nullptr); }\n",
@@ -411,16 +416,28 @@ CLEAN_FILE = (
 WAIVED_FILE = (
     "src/sim/v_waived.cc",
     "#include <ctime>\n"
-    "// lint-determinism: allow(wallclock) host-side progress log "
-    "only, never read by simulation\n"
+    "// lint-determinism: allow(obs-only-wallclock) host-side "
+    "progress log only, never read by simulation\n"
     "double wall() { return (double)time(nullptr); }\n",
 )
 
 UNEXPLAINED_FILE = (
     "src/sim/v_unexplained.cc",
     "#include <ctime>\n"
-    "// lint-determinism: allow(wallclock)\n"
+    "// lint-determinism: allow(obs-only-wallclock)\n"
     "double wall() { return (double)time(nullptr); }\n",
+)
+
+# The observability layer itself is exempt from the wallclock rule.
+OBS_FILE = (
+    "src/obs/v_obsclock.cc",
+    "#include <chrono>\n"
+    "double obsNow() {\n"
+    "    return std::chrono::duration<double>(\n"
+    "               std::chrono::steady_clock::now()\n"
+    "                   .time_since_epoch())\n"
+    "        .count();\n"
+    "}\n",
 )
 
 
@@ -429,7 +446,7 @@ def self_test():
     with tempfile.TemporaryDirectory(prefix="lintdet-") as tmp:
         for rel, content in (
             list(SEEDED.values())
-            + [CLEAN_FILE, WAIVED_FILE, UNEXPLAINED_FILE]
+            + [CLEAN_FILE, WAIVED_FILE, UNEXPLAINED_FILE, OBS_FILE]
         ):
             path = os.path.join(tmp, rel)
             os.makedirs(os.path.dirname(path), exist_ok=True)
@@ -467,6 +484,10 @@ def self_test():
                    for v in unexplained):
             failures.append(
                 "allow() without a reason was not rejected")
+        if by_file.get(OBS_FILE[0]):
+            failures.append(
+                "src/obs/ file was flagged despite the exemption: %s"
+                % "; ".join(str(v) for v in by_file[OBS_FILE[0]]))
 
     if failures:
         for f in failures:
