@@ -55,6 +55,7 @@ runAdaptPopulation(iraw::sim::ScenarioContext &ctx)
     variation::ChipGeometry geometry =
         variation::ChipGeometry::from(popCfg.core, popCfg.mem);
     std::vector<std::shared_ptr<const variation::ChipSample>> chips;
+    std::vector<circuit::MilliVolts> chipFloors;
     for (const variation::ChipSummary &summary : pop.chips) {
         if (!summary.yields)
             continue;
@@ -63,6 +64,7 @@ runAdaptPopulation(iraw::sim::ScenarioContext &ctx)
                                           popCfg.populationSeed,
                                           summary.chipIndex,
                                           geometry)));
+        chipFloors.push_back(summary.vccmin);
     }
 
     struct Mode
@@ -81,15 +83,23 @@ runAdaptPopulation(iraw::sim::ScenarioContext &ctx)
     // that fixed order afterwards.
     std::vector<SimConfig> configs;
     for (const Mode &mode : modes) {
-        auto acfg = std::make_shared<adapt::AdaptConfig>(
-            parseAdaptConfig(ctx, mode.policy));
-        acfg->refTimePerInst = refTime;
+        adapt::AdaptConfig modeCfg =
+            parseAdaptConfig(ctx, mode.policy);
+        modeCfg.refTimePerInst = refTime;
         if (mode.floor > 0.0)
-            acfg->floorVcc = mode.floor;
-        for (const auto &chip : chips) {
+            modeCfg.floorVcc = mode.floor;
+        for (size_t c = 0; c < chips.size(); ++c) {
+            // Hoist the chip-floor resolution: the population scan
+            // already derived each chip's Vccmin with the very same
+            // prefix rule, so every per-chip controller can skip its
+            // own operability scan (bitwise-identical floors).
+            adapt::AdaptConfig chipCfg = modeCfg;
+            chipCfg.resolvedFloorVcc = chipFloors[c];
+            auto acfg =
+                std::make_shared<adapt::AdaptConfig>(chipCfg);
             std::vector<SimConfig> perChip = adaptConfigsOverSuite(
                 ctx.settings(), provision,
-                mechanism::IrawMode::ForcedOn, acfg, chip);
+                mechanism::IrawMode::ForcedOn, acfg, chips[c]);
             configs.insert(configs.end(), perChip.begin(),
                            perChip.end());
         }

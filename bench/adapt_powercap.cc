@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Power-capped adaptation shoot-out: resolve a watt budget (cap= /
+ * power= absolute, else capfrac= of the measured uncapped static
+ * power), then score every runtime policy against the offline
+ * oracle — the best fixed (Vcc, IRAW mode, issue throttle) point of
+ * the explore policies' joint search space — on energy under the
+ * cap and cap-violation rate, over the same trace suite.
+ *
+ * Like every adapt scenario, the reported aggregates are bitwise
+ * identical across threads= values.
+ */
+
+#include <ostream>
+#include <string>
+
+#include "common/table.hh"
+#include "sim/powercap_analysis.hh"
+
+namespace {
+
+const char *
+irawModeName(iraw::mechanism::IrawMode mode)
+{
+    switch (mode) {
+      case iraw::mechanism::IrawMode::ForcedOff:
+        return "off";
+      case iraw::mechanism::IrawMode::ForcedOn:
+        return "on";
+      default:
+        return "auto";
+    }
+}
+
+int
+runAdaptPowercap(iraw::sim::ScenarioContext &ctx)
+{
+    using namespace iraw;
+    using namespace iraw::sim;
+
+    PowercapStudy study = runPowercapStudy(ctx);
+
+    TextTable table(
+        "Power-capped adaptation at " +
+        TextTable::num(study.provisionVcc, 0) + " mV, cap " +
+        TextTable::num(study.capPowerAu * 1000.0, 3) +
+        " (a.u. x1000)");
+    table.setHeader({"policy", "switches", "Vcc(tw mV)", "IPC",
+                     "perf", "energy(au)", "power(au)", "viol%",
+                     "steady", "vs oracle"});
+
+    const double oracleEnergy = study.oracle.agg.energy.total();
+    auto addRow = [&](const std::string &name,
+                      const AdaptAggregate &agg) {
+        std::string relative = "-";
+        if (oracleEnergy > 0.0)
+            relative = TextTable::pct(
+                           agg.energy.total() / oracleEnergy - 1.0,
+                           1) +
+                       " energy";
+        table.addRow({
+            name,
+            std::to_string(agg.switches),
+            TextTable::num(agg.timeWeightedVcc, 1),
+            TextTable::num(agg.ipc(), 3),
+            TextTable::num(agg.performance(), 4),
+            TextTable::num(agg.energy.total(), 1),
+            TextTable::num(agg.power() * 1000.0, 3),
+            TextTable::pct(agg.capViolationRate(), 1),
+            std::to_string(agg.capSteadyViolationEpochs),
+            relative,
+        });
+    };
+
+    for (const PowercapRow &row : study.rows)
+        addRow(adapt::policyName(row.policy), row.agg);
+    addRow("oracle(offline)", study.oracle.agg);
+
+    table.addNote(
+        "oracle holds the best of " +
+        std::to_string(study.oracle.candidates) +
+        " fixed candidates: " +
+        TextTable::num(study.oracle.config.vcc, 0) + " mV, iraw " +
+        irawModeName(study.oracle.config.mode) + ", throttle " +
+        std::to_string(study.oracle.config.issueThrottle) +
+        (study.oracle.feasible ? "" : " (nothing feasible)"));
+    table.addNote("uncapped static power " +
+                  TextTable::num(study.uncappedStaticPowerAu *
+                                     1000.0,
+                                 3) +
+                  " (a.u. x1000); viol% counts epochs over the "
+                  "cap, steady those after exploration settles");
+    table.print(ctx.out());
+    return 0;
+}
+
+} // namespace
+
+IRAW_SCENARIO("adapt_powercap",
+              "Power-capped joint exploration: runtime policies vs "
+              "the offline oracle over the (Vcc x mode x throttle) "
+              "space (vcc=, cap=/power=, capfrac=, policy=, "
+              "modes=, throttles=, hysteresis=, phaseipc=, "
+              "phasestall=, epoch=, switchcycles=)",
+              runAdaptPowercap);

@@ -118,6 +118,35 @@ runMicroAdapt(sim::ScenarioContext &ctx)
                   TextTable::num(service.shardedSeconds, 3)});
     table.addRow({"service overhead x",
                   TextTable::num(service.overheadRatio(), 2)});
+    // Floor-resolution hoist: the per-run operability prefix scan
+    // the population sweeps skip via AdaptConfig::resolvedFloorVcc.
+    // Measure one scan vs the pre-resolved lookup.
+    const uint32_t scanIters = quick ? 5000 : 20000;
+    adapt::AdaptConfig scanCfg;
+    const core::CoreConfig coreCfg;
+    double floorAcc = 0.0;
+    t0 = std::chrono::steady_clock::now();
+    for (uint32_t i = 0; i < scanIters; ++i)
+        floorAcc += adapt::resolveFloorVcc(
+            sim.cycleTimeModel(), scanCfg,
+            mechanism::IrawMode::Auto, 550.0, coreCfg, nullptr);
+    const double scanSeconds = secondsSince(t0);
+    scanCfg.resolvedFloorVcc = floorAcc / scanIters;
+    double hoistAcc = 0.0;
+    t0 = std::chrono::steady_clock::now();
+    for (uint32_t i = 0; i < scanIters; ++i)
+        hoistAcc += adapt::resolveFloorVcc(
+            sim.cycleTimeModel(), scanCfg,
+            mechanism::IrawMode::Auto, 550.0, coreCfg, nullptr);
+    const double hoistSeconds = secondsSince(t0);
+    fatalIf(hoistAcc != floorAcc,
+            "hoisted floor diverged from the scanned floor");
+    table.addRow({"floor scan us",
+                  TextTable::num(scanSeconds / scanIters * 1e6,
+                                 3)});
+    table.addRow({"floor hoisted us",
+                  TextTable::num(hoistSeconds / scanIters * 1e6,
+                                 3)});
     table.addNote("machine-readable copy: " + outPath);
     table.addNote("epoch/switch/Vcc rows are deterministic; "
                   "wall-clock rows vary by host");
@@ -140,6 +169,12 @@ runMicroAdapt(sim::ScenarioContext &ctx)
     os << "  \"fixed_wall_s\": " << fixedSeconds << ",\n";
     os << "  \"controller_overhead_pct\": " << overheadPct << ",\n";
     os << "  \"epochs_per_sec\": " << epochsPerSec << ",\n";
+    os << "  \"floor_scan\": {\n";
+    os << "    \"iterations\": " << scanIters << ",\n";
+    os << "    \"floor_mv\": " << scanCfg.resolvedFloorVcc << ",\n";
+    os << "    \"scan_wall_s\": " << scanSeconds << ",\n";
+    os << "    \"hoisted_wall_s\": " << hoistSeconds << "\n";
+    os << "  },\n";
     os << "  \"service_overhead\": {\n";
     os << "    \"workers\": " << service.workers << ",\n";
     os << "    \"shards\": " << service.shards << ",\n";

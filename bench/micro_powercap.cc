@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Power-cap microbench: run the powercap study (uncapped static
+ * baseline, every runtime policy under the resolved cap, and the
+ * offline oracle enumeration) and score each policy on
+ * energy-under-cap versus the oracle and on cap-violation rate —
+ * with a machine-readable BENCH_powercap.json for the CI perf
+ * trajectory (uploaded next to BENCH_adapt.json).  Scoring rows are
+ * deterministic; the wall-clock row varies by host.
+ */
+
+#include <chrono>
+#include <fstream>
+#include <ostream>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "sim/powercap_analysis.hh"
+
+namespace {
+
+using namespace iraw;
+
+const char *
+irawModeName(mechanism::IrawMode mode)
+{
+    switch (mode) {
+      case mechanism::IrawMode::ForcedOff:
+        return "off";
+      case mechanism::IrawMode::ForcedOn:
+        return "on";
+      default:
+        return "auto";
+    }
+}
+
+int
+runMicroPowercap(sim::ScenarioContext &ctx)
+{
+    const std::string outPath =
+        ctx.opts().getString("benchout", "BENCH_powercap.json");
+
+    auto t0 = std::chrono::steady_clock::now();
+    sim::PowercapStudy study = sim::runPowercapStudy(ctx);
+    const double wallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    const double oracleEnergy = study.oracle.agg.energy.total();
+
+    TextTable table("Powercap microbench (cap " +
+                    TextTable::num(study.capPowerAu * 1000.0, 3) +
+                    " a.u. x1000, " +
+                    std::to_string(study.oracle.candidates) +
+                    " oracle candidates)");
+    table.setHeader({"policy", "energy(au)", "vs oracle", "viol%",
+                     "steady", "switches"});
+    for (const sim::PowercapRow &row : study.rows) {
+        const sim::AdaptAggregate &agg = row.agg;
+        table.addRow({
+            adapt::policyName(row.policy),
+            TextTable::num(agg.energy.total(), 1),
+            oracleEnergy > 0.0
+                ? TextTable::pct(
+                      agg.energy.total() / oracleEnergy - 1.0, 1)
+                : "-",
+            TextTable::pct(agg.capViolationRate(), 1),
+            std::to_string(agg.capSteadyViolationEpochs),
+            std::to_string(agg.switches),
+        });
+    }
+    table.addRow({"oracle(offline)",
+                  TextTable::num(oracleEnergy, 1), "-",
+                  TextTable::pct(study.oracle.agg
+                                     .capViolationRate(),
+                                 1),
+                  std::to_string(
+                      study.oracle.agg.capSteadyViolationEpochs),
+                  std::to_string(study.oracle.agg.switches)});
+    table.addNote("oracle: " +
+                  TextTable::num(study.oracle.config.vcc, 0) +
+                  " mV, iraw " +
+                  irawModeName(study.oracle.config.mode) +
+                  ", throttle " +
+                  std::to_string(study.oracle.config.issueThrottle));
+    table.addNote("study wall s " +
+                  TextTable::num(wallSeconds, 3) +
+                  " (host-dependent); machine-readable copy: " +
+                  outPath);
+    table.print(ctx.out());
+
+    std::ofstream os(outPath);
+    if (!os) {
+        warn("micro_powercap: cannot write '%s'", outPath.c_str());
+        return 0;
+    }
+    os << "{\n";
+    os << "  \"bench\": \"powercap\",\n";
+    os << "  \"cap_power_au\": " << study.capPowerAu << ",\n";
+    os << "  \"uncapped_static_power_au\": "
+       << study.uncappedStaticPowerAu << ",\n";
+    os << "  \"wall_s\": " << wallSeconds << ",\n";
+    os << "  \"oracle\": {\n";
+    os << "    \"vcc_mv\": " << study.oracle.config.vcc << ",\n";
+    os << "    \"iraw_mode\": \""
+       << irawModeName(study.oracle.config.mode) << "\",\n";
+    os << "    \"issue_throttle\": "
+       << study.oracle.config.issueThrottle << ",\n";
+    os << "    \"candidates\": " << study.oracle.candidates
+       << ",\n";
+    os << "    \"feasible\": "
+       << (study.oracle.feasible ? "true" : "false") << ",\n";
+    os << "    \"energy_au\": " << oracleEnergy << "\n";
+    os << "  },\n";
+    os << "  \"policies\": [\n";
+    for (size_t i = 0; i < study.rows.size(); ++i) {
+        const sim::PowercapRow &row = study.rows[i];
+        const sim::AdaptAggregate &agg = row.agg;
+        os << "    {\n";
+        os << "      \"policy\": \"" << adapt::policyName(row.policy)
+           << "\",\n";
+        os << "      \"energy_au\": " << agg.energy.total()
+           << ",\n";
+        os << "      \"energy_vs_oracle\": "
+           << (oracleEnergy > 0.0
+                   ? agg.energy.total() / oracleEnergy
+                   : 0.0)
+           << ",\n";
+        os << "      \"cap_violation_rate\": "
+           << agg.capViolationRate() << ",\n";
+        os << "      \"steady_violation_epochs\": "
+           << agg.capSteadyViolationEpochs << ",\n";
+        os << "      \"explore_epochs\": " << agg.exploreEpochs
+           << ",\n";
+        os << "      \"phase_restarts\": " << agg.phaseRestarts
+           << ",\n";
+        os << "      \"switches\": " << agg.switches << "\n";
+        os << "    }" << (i + 1 < study.rows.size() ? "," : "")
+           << "\n";
+    }
+    os << "  ]\n";
+    os << "}\n";
+    return 0;
+}
+
+} // namespace
+
+IRAW_SCENARIO("micro_powercap",
+              "Powercap study scoring: per-policy energy vs the "
+              "offline oracle and cap-violation rates; emits "
+              "BENCH_powercap.json",
+              runMicroPowercap);

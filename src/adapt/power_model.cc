@@ -1,0 +1,103 @@
+#include "adapt/power_model.hh"
+
+#include <algorithm>
+
+#include "circuit/voltage.hh"
+
+namespace iraw {
+namespace adapt {
+
+PowerModel::PowerModel(const circuit::CycleTimeModel &model,
+                       double refTimePerInst, double irawDynOverhead)
+    : _model(model), _energy(refTimePerInst),
+      _irawDynOverhead(irawDynOverhead)
+{
+}
+
+PowerModel::Point
+PowerModel::point(circuit::MilliVolts vcc,
+                  mechanism::IrawMode mode) const
+{
+    mechanism::IrawSettings s =
+        mechanism::IrawController(_model, mode).reconfigure(vcc);
+    Point p;
+    p.cycleTimeAu = s.cycleTime;
+    p.irawOn = s.enabled;
+    return p;
+}
+
+circuit::EnergyBreakdown
+PowerModel::windowEnergy(circuit::MilliVolts vcc,
+                         mechanism::IrawMode mode, uint64_t cycles,
+                         uint64_t instructions) const
+{
+    Point p = point(vcc, mode);
+    const double timeAu = cycles * p.cycleTimeAu;
+    return _energy.taskEnergy(vcc, instructions, timeAu,
+                              p.irawOn ? _irawDynOverhead : 0.0);
+}
+
+double
+PowerModel::windowPowerAu(circuit::MilliVolts vcc,
+                          mechanism::IrawMode mode, uint64_t cycles,
+                          uint64_t instructions) const
+{
+    if (cycles == 0)
+        return 0.0;
+    Point p = point(vcc, mode);
+    const double timeAu = cycles * p.cycleTimeAu;
+    const circuit::EnergyBreakdown e = _energy.taskEnergy(
+        vcc, instructions, timeAu,
+        p.irawOn ? _irawDynOverhead : 0.0);
+    return timeAu > 0.0 ? e.total() / timeAu : 0.0;
+}
+
+double
+PowerModel::windowPerformance(circuit::MilliVolts vcc,
+                              mechanism::IrawMode mode,
+                              uint64_t cycles,
+                              uint64_t instructions) const
+{
+    if (cycles == 0)
+        return 0.0;
+    const double timeAu = cycles * point(vcc, mode).cycleTimeAu;
+    return timeAu > 0.0 ? instructions / timeAu : 0.0;
+}
+
+double
+PowerModel::worstCasePowerAu(const circuit::CycleTimeModel &model,
+                             double refTimePerInst,
+                             double irawDynOverhead,
+                             uint32_t issueWidth)
+{
+    // An epoch of C cycles at cycle time T commits at most
+    // issueWidth * C instructions, so its mean power is at most
+    // dynPerInst * (1 + overhead) * issueWidth / T plus the leakage
+    // power at that voltage.  Take the maximum over every grid
+    // point and every mode (the modes differ only in T and whether
+    // the overhead applies).
+    circuit::EnergyModel energy(refTimePerInst);
+    double worst = 0.0;
+    for (circuit::MilliVolts vcc : circuit::standardSweep()) {
+        for (mechanism::IrawMode mode :
+             {mechanism::IrawMode::Auto,
+              mechanism::IrawMode::ForcedOff,
+              mechanism::IrawMode::ForcedOn}) {
+            mechanism::IrawSettings s =
+                mechanism::IrawController(model, mode)
+                    .reconfigure(vcc);
+            if (s.cycleTime <= 0.0)
+                continue;
+            const double dyn =
+                energy.dynamicEnergyPerInst(vcc) *
+                (1.0 + (s.enabled ? irawDynOverhead : 0.0)) *
+                issueWidth / s.cycleTime;
+            worst = std::max(worst,
+                             dyn + energy.leakagePower(vcc));
+        }
+    }
+    return worst;
+}
+
+} // namespace adapt
+} // namespace iraw

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Per-epoch power accounting for the adaptive controller: converts
+ * the epoch telemetry counters (cycles, instructions) observed at an
+ * operating point into energy, mean power and performance, using the
+ * exact circuit models the run-level energy report uses — so the
+ * power a cap is enforced against and the energy a policy is scored
+ * on come from one calibration.
+ *
+ * Everything here is a pure function of simulated counters and the
+ * (Vcc, IRAW-mode) operating point; no host state is read, so
+ * cap-driven decisions preserve the repo's bitwise determinism
+ * invariants.
+ */
+
+#ifndef IRAW_ADAPT_POWER_MODEL_HH
+#define IRAW_ADAPT_POWER_MODEL_HH
+
+#include <cstdint>
+
+#include "circuit/cycle_time.hh"
+#include "circuit/energy.hh"
+#include "iraw/controller.hh"
+
+namespace iraw {
+namespace adapt {
+
+/** Telemetry-window power/energy conversions at operating points. */
+class PowerModel
+{
+  public:
+    /**
+     * @param model the circuit model (cycle-time solutions)
+     * @param refTimePerInst energy calibration (AdaptConfig's)
+     * @param irawDynOverhead IRAW dynamic-energy overhead fraction
+     */
+    PowerModel(const circuit::CycleTimeModel &model,
+               double refTimePerInst, double irawDynOverhead);
+
+    /** The facts of one (Vcc, mode) point the conversions need. */
+    struct Point
+    {
+        double cycleTimeAu = 0.0;
+        bool irawOn = false;
+    };
+
+    /** Solve (Vcc, mode) exactly as the engine's reconfigure does. */
+    Point point(circuit::MilliVolts vcc,
+                mechanism::IrawMode mode) const;
+
+    /** Energy of a telemetry window run at (Vcc, mode). */
+    circuit::EnergyBreakdown
+    windowEnergy(circuit::MilliVolts vcc, mechanism::IrawMode mode,
+                 uint64_t cycles, uint64_t instructions) const;
+
+    /** Mean power (a.u. energy per a.u. time) of the window. */
+    double windowPowerAu(circuit::MilliVolts vcc,
+                         mechanism::IrawMode mode, uint64_t cycles,
+                         uint64_t instructions) const;
+
+    /** Instructions per a.u. of time — the explore objective. */
+    double windowPerformance(circuit::MilliVolts vcc,
+                             mechanism::IrawMode mode,
+                             uint64_t cycles,
+                             uint64_t instructions) const;
+
+    /**
+     * Analytic upper bound on the mean power any epoch of this
+     * machine can report, over the whole voltage grid and every
+     * IRAW mode: a core committing @p issueWidth instructions every
+     * cycle plus leakage.  A cap above this bound can never record
+     * a violation epoch (the property-test anchor).
+     */
+    static double
+    worstCasePowerAu(const circuit::CycleTimeModel &model,
+                     double refTimePerInst, double irawDynOverhead,
+                     uint32_t issueWidth);
+
+    const circuit::EnergyModel &energyModel() const
+    {
+        return _energy;
+    }
+
+  private:
+    const circuit::CycleTimeModel &_model;
+    circuit::EnergyModel _energy;
+    double _irawDynOverhead;
+};
+
+} // namespace adapt
+} // namespace iraw
+
+#endif // IRAW_ADAPT_POWER_MODEL_HH

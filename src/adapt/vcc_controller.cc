@@ -1,6 +1,7 @@
 #include "adapt/vcc_controller.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 #include "core/core_config.hh"
@@ -19,6 +20,10 @@ policyName(Policy policy)
         return "oracle";
       case Policy::Reactive:
         return "reactive";
+      case Policy::Explore:
+        return "explore";
+      case Policy::ExploreGlobal:
+        return "explore_global";
     }
     return "unknown";
 }
@@ -32,8 +37,20 @@ policyByName(const std::string &name)
         return Policy::Oracle;
     if (name == "reactive")
         return Policy::Reactive;
+    if (name == "explore")
+        return Policy::Explore;
+    if (name == "explore_global")
+        return Policy::ExploreGlobal;
     throw FatalError("unknown adapt policy '" + name +
-                     "' (static|oracle|reactive)");
+                     "' (static|oracle|reactive|explore|"
+                     "explore_global)");
+}
+
+bool
+policyExplores(Policy policy)
+{
+    return policy == Policy::Explore ||
+           policy == Policy::ExploreGlobal;
 }
 
 void
@@ -55,6 +72,33 @@ AdaptConfig::validate() const
             "AdaptConfig: refTimePerInst must be > 0");
     fatalIf(irawDynOverhead < 0.0,
             "AdaptConfig: irawDynOverhead must be >= 0");
+    // NaN fails the >= comparison, so `!(x >= 0)` catches it too.
+    fatalIf(!(capPowerAu >= 0.0) || std::isinf(capPowerAu),
+            "AdaptConfig: cap must be a finite power >= 0 a.u. "
+            "(got %g)",
+            capPowerAu);
+    fatalIf(modeVariants < 1 || modeVariants > 2,
+            "AdaptConfig: modes must be 1 or 2 (got %u)",
+            modeVariants);
+    fatalIf(throttleVariants < 1 || throttleVariants > 2,
+            "AdaptConfig: throttles must be 1 or 2 (got %u)",
+            throttleVariants);
+    fatalIf(hysteresisEpochs == 0,
+            "AdaptConfig: hysteresis must be >= 1 epoch");
+    fatalIf(!(phaseIpcThreshold > 0.0),
+            "AdaptConfig: phaseipc must be > 0 (got %g)",
+            phaseIpcThreshold);
+    fatalIf(!(phaseStallThreshold > 0.0),
+            "AdaptConfig: phasestall must be > 0 (got %g)",
+            phaseStallThreshold);
+    fatalIf(!(capSelectFraction > 0.0) || capSelectFraction > 1.0,
+            "AdaptConfig: cap selection fraction %g outside (0, 1]",
+            capSelectFraction);
+    fatalIf(resolvedFloorVcc != 0.0 &&
+                !circuit::inModelRange(resolvedFloorVcc),
+            "AdaptConfig: resolved floor %.0f mV outside model "
+            "range",
+            resolvedFloorVcc);
 }
 
 namespace {
@@ -78,7 +122,94 @@ nominalOperable(const circuit::CycleTimeModel &model,
     return core.scoreboardBits >= core.bypassLevels + n + 2;
 }
 
+/** The complementary stabilization mode the explore policies pair
+ *  with the run's own: the other side of the fast-clock-with-stalls
+ *  vs stretched-clock-no-stalls trade at the same voltage. */
+mechanism::IrawMode
+alternateMode(mechanism::IrawMode mode)
+{
+    return mode == mechanism::IrawMode::ForcedOff
+               ? mechanism::IrawMode::ForcedOn
+               : mechanism::IrawMode::ForcedOff;
+}
+
 } // namespace
+
+circuit::MilliVolts
+resolveFloorVcc(const circuit::CycleTimeModel &model,
+                const AdaptConfig &cfg, mechanism::IrawMode mode,
+                circuit::MilliVolts startVcc,
+                const core::CoreConfig &core,
+                const variation::ChipSample *chip)
+{
+    // The floor: walk the grid top-down while the machine (this
+    // chip, or the nominal one) still operates — the same prefix
+    // rule that defines a chip's Vccmin in variation::ChipPopulation
+    // — then raise it to any configured floor.  A pre-resolved
+    // floor (population sweeps) skips the scan entirely.
+    circuit::MilliVolts prefixFloor = cfg.resolvedFloorVcc;
+    if (prefixFloor == 0.0) {
+        for (circuit::MilliVolts v : circuit::standardSweep()) {
+            bool ok = chip
+                          ? chip->operableAt(model, core, v).operable
+                          : nominalOperable(model, mode, core, v);
+            if (!ok)
+                break;
+            prefixFloor = v;
+        }
+    }
+    fatalIf(prefixFloor == 0.0,
+            "VccController: machine operates nowhere on the grid");
+    circuit::MilliVolts floor = std::max(prefixFloor, cfg.floorVcc);
+    // A provisioned start below the floor cannot adapt anywhere:
+    // the floor clamps to the start so Static keeps its contract
+    // (and the plain simulator still rejects inoperable points).
+    return std::min(floor, startVcc);
+}
+
+std::vector<ExploreConfig>
+exploreSpace(const circuit::CycleTimeModel &model,
+             const AdaptConfig &cfg, mechanism::IrawMode mode,
+             circuit::MilliVolts startVcc,
+             const core::CoreConfig &core,
+             const variation::ChipSample *chip)
+{
+    const circuit::MilliVolts floor = resolveFloorVcc(
+        model, cfg, mode, startVcc, core, chip);
+    // A chip's stabilization maps are derived for the run's own
+    // mode family, so mode flips are restricted to the nominal
+    // machine.
+    const uint32_t modes = chip ? 1 : cfg.modeVariants;
+
+    std::vector<ExploreConfig> space;
+    uint32_t level = 0;
+    for (circuit::MilliVolts v : circuit::standardSweep()) {
+        if (v > startVcc + 0.5 || v < floor - 0.5)
+            continue;
+        for (uint32_t t = 0; t < cfg.throttleVariants; ++t) {
+            for (uint32_t m = 0; m < modes; ++m) {
+                ExploreConfig cand;
+                cand.vcc = v;
+                cand.mode =
+                    m == 0 ? mode : alternateMode(mode);
+                cand.issueThrottle = t == 0 ? 0 : 1;
+                cand.level = level;
+                bool ok =
+                    chip ? chip->operableAt(model, core, v).operable
+                         : nominalOperable(model, cand.mode, core,
+                                           v);
+                if (ok)
+                    space.push_back(cand);
+            }
+        }
+        ++level;
+    }
+    fatalIf(space.empty(),
+            "VccController: explore space is empty (start %.0f mV, "
+            "floor %.0f mV)",
+            startVcc, floor);
+    return space;
+}
 
 VccController::VccController(const circuit::CycleTimeModel &model,
                              const AdaptConfig &cfg,
@@ -86,36 +217,37 @@ VccController::VccController(const circuit::CycleTimeModel &model,
                              circuit::MilliVolts startVcc,
                              const core::CoreConfig &core,
                              const variation::ChipSample *chip)
-    : _cfg(cfg), _grid(circuit::standardSweep()), _start(startVcc)
+    : _cfg(cfg),
+      _power(model, cfg.refTimePerInst, cfg.irawDynOverhead),
+      _grid(circuit::standardSweep()), _mode(mode), _start(startVcc)
 {
     _cfg.validate();
     fatalIf(!circuit::inModelRange(startVcc),
             "VccController: start Vcc %.0f mV outside model range",
             startVcc);
 
-    // The floor: walk the grid top-down while the machine (this
-    // chip, or the nominal one) still operates — the same prefix
-    // rule that defines a chip's Vccmin in variation::ChipPopulation
-    // — then raise it to any configured floor.
-    circuit::MilliVolts prefixFloor = 0.0;
-    for (circuit::MilliVolts v : _grid) {
-        bool ok = chip ? chip->operableAt(model, core, v).operable
-                       : nominalOperable(model, mode, core, v);
-        if (!ok)
-            break;
-        prefixFloor = v;
-    }
-    fatalIf(prefixFloor == 0.0,
-            "VccController: machine operates nowhere on the grid");
-    _floor = std::max(prefixFloor, _cfg.floorVcc);
-    // A provisioned start below the floor cannot adapt anywhere:
-    // the floor clamps to the start so Static keeps its contract
-    // (and the plain simulator still rejects inoperable points).
-    _floor = std::min(_floor, startVcc);
-
+    _floor = resolveFloorVcc(model, _cfg, mode, startVcc, core,
+                             chip);
     _initial =
         _cfg.policy == Policy::Oracle ? _floor : startVcc;
     _current = _initial;
+    _cap.capPowerAu = _cfg.capPowerAu;
+
+    _applied.vcc = _initial;
+    _applied.mode = mode;
+    _applied.issueThrottle = 0;
+
+    if (policyExplores(_cfg.policy)) {
+        _space = exploreSpace(model, _cfg, mode, startVcc, core,
+                              chip);
+        _measured.assign(_space.size(), Measurement{});
+        _search = Search::Exploring;
+        _cursor = 0;
+        // Candidate 0 is the provisioned start configuration the
+        // run already boots into; the first epoch measures it.
+        _applied = _space.front();
+        _current = _applied.vcc;
+    }
 }
 
 circuit::MilliVolts
@@ -140,13 +272,10 @@ VccController::nextUp(circuit::MilliVolts vcc) const
 }
 
 Decision
-VccController::evaluate(const EpochTelemetry &telemetry)
+VccController::evaluateReactive(const EpochTelemetry &telemetry)
 {
-    ++_epochs;
     Decision decision;
-    if (_cfg.policy != Policy::Reactive)
-        return decision; // Static/Oracle never move at run time.
-
+    decision.mode = _mode;
     double fraction = telemetry.irawStallFraction();
     if (fraction > _cfg.stepUpThreshold) {
         circuit::MilliVolts up = nextUp(_current);
@@ -154,6 +283,7 @@ VccController::evaluate(const EpochTelemetry &telemetry)
             decision.switchVcc = true;
             decision.target = up;
             _current = up;
+            _applied.vcc = up;
             _settled = true;
         }
     } else if (fraction < _cfg.stepDownThreshold && !_settled) {
@@ -162,8 +292,234 @@ VccController::evaluate(const EpochTelemetry &telemetry)
             decision.switchVcc = true;
             decision.target = down;
             _current = down;
+            _applied.vcc = down;
         }
     }
+    return decision;
+}
+
+Decision
+VccController::switchTo(const ExploreConfig &target)
+{
+    Decision decision;
+    decision.mode = target.mode;
+    decision.issueThrottle = target.issueThrottle;
+    decision.target = target.vcc;
+    const bool moved =
+        target.vcc != _applied.vcc ||
+        target.mode != _applied.mode ||
+        target.issueThrottle != _applied.issueThrottle;
+    decision.switchVcc = moved;
+    _applied = target;
+    _current = target.vcc;
+    return decision;
+}
+
+bool
+VccController::betterThan(const Measurement &a,
+                          const Measurement &b) const
+{
+    if (a.performance != b.performance)
+        return a.performance > b.performance;
+    return a.powerAu < b.powerAu;
+}
+
+size_t
+VccController::nextCandidate()
+{
+    if (_cfg.policy == Policy::ExploreGlobal)
+        return _cursor + 1 < _space.size() ? _cursor + 1
+                                           : SIZE_MAX;
+
+    // Greedy level walk: finish the current level's variants, then
+    // descend only while descending keeps paying — the level just
+    // finished produced the global best (or nothing feasible has
+    // been found yet, and lower levels can only use less power).
+    const uint32_t level = _space[_cursor].level;
+    if (_cursor + 1 < _space.size() &&
+        _space[_cursor + 1].level == level)
+        return _cursor + 1;
+    const bool levelWon =
+        _best != SIZE_MAX && _space[_best].level == level;
+    const bool nothingFeasibleYet = _best == SIZE_MAX;
+    if (!levelWon && !nothingFeasibleYet)
+        return SIZE_MAX;
+    return _cursor + 1 < _space.size() ? _cursor + 1 : SIZE_MAX;
+}
+
+size_t
+VccController::chooseBest() const
+{
+    if (_best != SIZE_MAX)
+        return _best;
+    // Nothing feasible: fall back to the lowest-power measured
+    // candidate — the least-infeasible point (the exemplar's
+    // minimum-configuration fallback).
+    size_t fallback = 0;
+    for (size_t i = 1; i < _space.size(); ++i) {
+        if (!_measured[i].measured)
+            continue;
+        if (!_measured[fallback].measured ||
+            _measured[i].powerAu < _measured[fallback].powerAu)
+            fallback = i;
+    }
+    return fallback;
+}
+
+size_t
+VccController::bestMeasured() const
+{
+    size_t best = SIZE_MAX;
+    for (size_t i = 0; i < _space.size(); ++i) {
+        const Measurement &m = _measured[i];
+        if (!m.measured || !m.feasible)
+            continue;
+        if (best == SIZE_MAX || betterThan(m, _measured[best]))
+            best = i;
+    }
+    return best;
+}
+
+Decision
+VccController::park(size_t chosen)
+{
+    _search = Search::Exploiting;
+    _cursor = chosen;
+    _refIpc = _measured[chosen].ipc;
+    _refStall = _measured[chosen].stallFraction;
+    _outOfBand = 0;
+    return switchTo(_space[chosen]);
+}
+
+void
+VccController::restartSearch()
+{
+    ++_cap.phaseRestarts;
+    _measured.assign(_space.size(), Measurement{});
+    _best = SIZE_MAX;
+    _cursor = 0;
+    _outOfBand = 0;
+    _search = Search::Exploring;
+}
+
+Decision
+VccController::evaluateExplore(const EpochTelemetry &telemetry,
+                               double powerAu)
+{
+    if (_search == Search::Exploring) {
+        ++_cap.exploreEpochs;
+        Measurement &m = _measured[_cursor];
+        m.measured = true;
+        m.powerAu = powerAu;
+        m.performance = _power.windowPerformance(
+            _applied.vcc, _applied.mode, telemetry.cycles,
+            telemetry.instructions);
+        m.ipc = telemetry.ipc();
+        m.stallFraction = telemetry.irawStallFraction();
+        m.feasible =
+            _cfg.capPowerAu == 0.0 ||
+            powerAu <=
+                _cfg.capPowerAu * _cfg.capSelectFraction;
+        if (m.feasible &&
+            (_best == SIZE_MAX || betterThan(m, _measured[_best])))
+            _best = _cursor;
+        const size_t next = nextCandidate();
+        if (next != SIZE_MAX) {
+            _cursor = next;
+            return switchTo(_space[next]);
+        }
+        // Search over: park on the best feasible candidate and arm
+        // the phase detector with its measured signature.
+        return park(chooseBest());
+    }
+
+    // Exploiting.  A cap violation means the one-epoch measurement
+    // under-read the parked candidate: demote it for this phase and
+    // re-park on the next-best feasible point right away (a full
+    // restart only when nothing measured remains feasible).
+    if (_cfg.capPowerAu > 0.0 && powerAu > _cfg.capPowerAu) {
+        ++_cap.capSteadyViolationEpochs;
+        _measured[_cursor].feasible = false;
+        const size_t best = bestMeasured();
+        _best = best;
+        if (best != SIZE_MAX)
+            return park(best);
+        restartSearch();
+        return switchTo(_space.front());
+    }
+
+    // Watch for a phase change — a sustained IPC or stall-fraction
+    // shift against the reference signature — and restart the
+    // search after the hysteresis window.  In-band epochs let the
+    // reference drift slowly with the workload, so only abrupt
+    // shifts (faster than the tracking) trigger a re-search.
+    bool off = false;
+    if (_refIpc > 0.0 &&
+        std::abs(telemetry.ipc() - _refIpc) / _refIpc >
+            _cfg.phaseIpcThreshold)
+        off = true;
+    if (std::abs(telemetry.irawStallFraction() - _refStall) >
+        _cfg.phaseStallThreshold)
+        off = true;
+    _outOfBand = off ? _outOfBand + 1 : 0;
+    if (_outOfBand >= _cfg.hysteresisEpochs) {
+        restartSearch();
+        return switchTo(_space.front());
+    }
+    if (!off) {
+        _refIpc += 0.1 * (telemetry.ipc() - _refIpc);
+        _refStall +=
+            0.1 * (telemetry.irawStallFraction() - _refStall);
+    }
+    Decision decision;
+    decision.mode = _applied.mode;
+    decision.issueThrottle = _applied.issueThrottle;
+    return decision;
+}
+
+Decision
+VccController::evaluate(const EpochTelemetry &telemetry)
+{
+    ++_epochs;
+
+    // Cap accounting, identical for every policy: the epoch's mean
+    // power at the operating point it actually ran, scored against
+    // the budget.  Pure function of simulated telemetry.
+    double powerAu = 0.0;
+    if (_cfg.capPowerAu > 0.0 || policyExplores(_cfg.policy)) {
+        powerAu = _power.windowPowerAu(
+            _applied.vcc, _applied.mode, telemetry.cycles,
+            telemetry.instructions);
+        if (_cfg.capPowerAu > 0.0 &&
+            powerAu > _cfg.capPowerAu) {
+            ++_cap.capViolationEpochs;
+            if (!policyExplores(_cfg.policy))
+                ++_cap.capSteadyViolationEpochs;
+        } else {
+            _cap.capCleanEnergyAu +=
+                _power
+                    .windowEnergy(_applied.vcc, _applied.mode,
+                                  telemetry.cycles,
+                                  telemetry.instructions)
+                    .total();
+        }
+    }
+
+    switch (_cfg.policy) {
+      case Policy::Static:
+      case Policy::Oracle: {
+        Decision decision;
+        decision.mode = _mode;
+        return decision; // never move at run time
+      }
+      case Policy::Reactive:
+        return evaluateReactive(telemetry);
+      case Policy::Explore:
+      case Policy::ExploreGlobal:
+        return evaluateExplore(telemetry, powerAu);
+    }
+    Decision decision;
+    decision.mode = _mode;
     return decision;
 }
 

@@ -73,7 +73,16 @@ Pipeline::Pipeline(const CoreConfig &cfg,
             "Pipeline: IL0 line size %llu is not a power of two",
             static_cast<unsigned long long>(il0Line));
     _il0LineShift = floorLog2(il0Line);
+    _issueThrottle = _cfg.issueWidth;
     _pendingWrites.assign(isa::kNumLogicalRegs, 0);
+}
+
+void
+Pipeline::setIssueThrottle(uint32_t width)
+{
+    _issueThrottle = width == 0
+                         ? _cfg.issueWidth
+                         : std::min(width, _cfg.issueWidth);
 }
 
 void
@@ -320,7 +329,7 @@ Pipeline::issueStage()
         return;
     }
 
-    for (uint32_t slot = 0; slot < _cfg.issueWidth; ++slot) {
+    for (uint32_t slot = 0; slot < _issueThrottle; ++slot) {
         if (_iq.empty())
             break;
         if (_instBudget != 0 &&

@@ -200,6 +200,19 @@ class Pipeline
     uint32_t stabilizationCycles() const { return _n; }
     bool irawActive() const { return _n > 0; }
 
+    /**
+     * Runtime issue-width throttle (the adapt explore policies'
+     * core-config axis): issue at most @p width micro-ops per
+     * cycle; 0 restores the provisioned width.  Only the slot loop
+     * narrows — the IQ occupancy gate and every provisioned
+     * structure keep their configured widths, so a throttled
+     * machine is strictly more conservative than the full one.
+     * Like applySettings(), call it only between cycles (the engine
+     * applies it through the drain + settle switch path).
+     */
+    void setIssueThrottle(uint32_t width);
+    uint32_t issueThrottle() const { return _issueThrottle; }
+
     /** Reset all machine state (keeps configuration). */
     void reset();
 
@@ -273,6 +286,7 @@ class Pipeline
 
     memory::Cycle _cycle = 0;
     uint32_t _n = 0; //!< active stabilization cycles
+    uint32_t _issueThrottle = 0; //!< effective issue width
     uint64_t _instBudget = 0; //!< run() stops exactly at this count
 
     // Event wakeups and WAW tracking.  The wheel replaces the old

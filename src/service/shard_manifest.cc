@@ -102,6 +102,7 @@ configFingerprint(const sim::SimConfig &cfg)
     h.u64(cfg.warmupInstructions);
     h.d(cfg.vcc);
     h.u64(static_cast<uint64_t>(cfg.mode));
+    h.u32(cfg.issueThrottle);
     h.b(cfg.profile);
 
     // Chip identity: the sample is a pure function of (seed, index,
@@ -128,6 +129,13 @@ configFingerprint(const sim::SimConfig &cfg)
         h.d(a.stepUpThreshold);
         h.d(a.refTimePerInst);
         h.d(a.irawDynOverhead);
+        h.d(a.capPowerAu);
+        h.u32(a.modeVariants);
+        h.u32(a.throttleVariants);
+        h.u32(a.hysteresisEpochs);
+        h.d(a.phaseIpcThreshold);
+        h.d(a.phaseStallThreshold);
+        h.d(a.resolvedFloorVcc);
     }
     return h.state;
 }

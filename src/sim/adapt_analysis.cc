@@ -1,6 +1,7 @@
 #include "sim/adapt_analysis.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 
@@ -26,6 +27,43 @@ parseAdaptConfig(ScenarioContext &ctx, adapt::Policy policy)
         ctx.opts().getDouble("down", cfg.stepDownThreshold);
     cfg.stepUpThreshold =
         ctx.opts().getDouble("up", cfg.stepUpThreshold);
+
+    // The power budget: cap= with power= as an alias (the exemplar
+    // heuristics speak watts; our unit is a.u. power).  Giving both
+    // is ambiguous, so it is an error rather than a precedence rule.
+    const bool hasCap = ctx.opts().has("cap");
+    const bool hasPower = ctx.opts().has("power");
+    fatalIf(hasCap && hasPower,
+            "cap= and power= are aliases; give only one");
+    if (hasCap)
+        cfg.capPowerAu = ctx.opts().getDouble("cap", 0.0);
+    else if (hasPower)
+        cfg.capPowerAu = ctx.opts().getDouble("power", 0.0);
+    fatalIf(!(cfg.capPowerAu >= 0.0) || std::isinf(cfg.capPowerAu),
+            "%s=%g must be a finite power >= 0 (a.u.)",
+            hasCap ? "cap" : "power", cfg.capPowerAu);
+
+    uint64_t modes = ctx.opts().getUint("modes", cfg.modeVariants);
+    fatalIf(modes < 1 || modes > 2, "modes=%llu must be 1 or 2",
+            static_cast<unsigned long long>(modes));
+    cfg.modeVariants = static_cast<uint32_t>(modes);
+    uint64_t throttles =
+        ctx.opts().getUint("throttles", cfg.throttleVariants);
+    fatalIf(throttles < 1 || throttles > 2,
+            "throttles=%llu must be 1 or 2",
+            static_cast<unsigned long long>(throttles));
+    cfg.throttleVariants = static_cast<uint32_t>(throttles);
+    uint64_t hysteresis =
+        ctx.opts().getUint("hysteresis", cfg.hysteresisEpochs);
+    fatalIf(hysteresis == 0 || hysteresis >= (1ull << 32),
+            "hysteresis=%llu must be a positive epoch count",
+            static_cast<unsigned long long>(hysteresis));
+    cfg.hysteresisEpochs = static_cast<uint32_t>(hysteresis);
+    cfg.phaseIpcThreshold =
+        ctx.opts().getDouble("phaseipc", cfg.phaseIpcThreshold);
+    cfg.phaseStallThreshold =
+        ctx.opts().getDouble("phasestall",
+                             cfg.phaseStallThreshold);
     cfg.validate();
     return cfg;
 }
@@ -84,6 +122,12 @@ aggregateAdapt(const std::vector<SimResult> &results)
         agg.epochs += r.adapt.epochs;
         agg.settleCycles += r.adapt.settleCycles;
         agg.drainCycles += r.adapt.drainCycles;
+        agg.capViolationEpochs += r.adapt.cap.capViolationEpochs;
+        agg.capSteadyViolationEpochs +=
+            r.adapt.cap.capSteadyViolationEpochs;
+        agg.capCleanEnergyAu += r.adapt.cap.capCleanEnergyAu;
+        agg.exploreEpochs += r.adapt.cap.exploreEpochs;
+        agg.phaseRestarts += r.adapt.cap.phaseRestarts;
         vccWeighted += r.adapt.timeWeightedVcc * r.adapt.execTimeAu;
         agg.minVcc = agg.runs == 1
                          ? r.adapt.minVcc

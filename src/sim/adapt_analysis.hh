@@ -64,6 +64,13 @@ struct AdaptAggregate
     uint64_t epochs = 0;
     uint64_t settleCycles = 0;
     uint64_t drainCycles = 0;
+    /** Power-cap accounting, summed over the runs (all zero when
+     *  no cap was configured). */
+    uint64_t capViolationEpochs = 0;
+    uint64_t capSteadyViolationEpochs = 0;
+    double capCleanEnergyAu = 0.0;
+    uint64_t exploreEpochs = 0;
+    uint64_t phaseRestarts = 0;
     /** Exec-time-weighted mean operating voltage over all runs. */
     double timeWeightedVcc = 0.0;
     circuit::MilliVolts minVcc = 0.0;
@@ -98,6 +105,15 @@ struct AdaptAggregate
         return totalExecTimeAu > 0.0
                    ? energy.total() / totalExecTimeAu
                    : 0.0;
+    }
+
+    /** Share of epochs whose mean power exceeded the cap. */
+    double
+    capViolationRate() const
+    {
+        return epochs ? static_cast<double>(capViolationEpochs) /
+                            epochs
+                      : 0.0;
     }
 };
 

@@ -53,6 +53,9 @@ SimEngine::SimEngine(const Simulator &sim, const SimConfig &cfg)
         _res.variation.maxMultiplier = chip.maxMultiplier(_cfg.vcc);
     }
 
+    if (_cfg.issueThrottle != 0)
+        _pipe.setIssueThrottle(_cfg.issueThrottle);
+
     applyOperatingPoint(_opVcc);
     if (_cfg.chip)
         _res.variation.nominalN = _res.settings.stabilizationCycles;
@@ -222,6 +225,15 @@ SimEngine::stepPhase(uint64_t target, memory::Cycle stop)
                                           decision.target))});
                 }
                 _segSettle = acfg.switchCycles;
+                // Explore decisions carry the whole operating
+                // configuration: the IRAW mode re-derives the
+                // cycle time / N trade and the issue throttle
+                // narrows the slot loop (0 falls back to the
+                // run-level configuration).
+                _controller.setMode(decision.mode);
+                _pipe.setIssueThrottle(decision.issueThrottle != 0
+                                           ? decision.issueThrottle
+                                           : _cfg.issueThrottle);
                 applyOperatingPoint(decision.target);
                 _opVcc = decision.target;
                 ++_res.adapt.switches;
@@ -313,6 +325,7 @@ SimEngine::finalize()
         res.adapt.epochs = _vctl->epochs();
         res.adapt.totalCycles = total.cycles;
         res.adapt.totalInstructions = total.committedInsts;
+        res.adapt.cap = _vctl->capStats();
 
         // Exact accounting: exec time and energy fold over the
         // constant-voltage segments in order; a switch charges its

@@ -69,6 +69,16 @@ struct SimConfig
     mechanism::IrawMode mode = mechanism::IrawMode::Auto;
 
     /**
+     * Effective issue width of the run (0 = the provisioned
+     * core.issueWidth).  The adapt explore policies' offline oracle
+     * holds a throttled core configuration for a whole run with it;
+     * the runtime policies reach the same state through
+     * adapt::Decision::issueThrottle.  Values above the provisioned
+     * width clamp to it.
+     */
+    uint32_t issueThrottle = 0;
+
+    /**
      * Collect per-stage wall-time counters for this run (the
      * scenario option profile=1).  Observational only: simulated
      * aggregates are bitwise identical with profiling on or off.

@@ -158,7 +158,8 @@ writeStatsReport(std::ostream &os, const SimResult &result)
         const adapt::AdaptInfo &a = result.adapt;
         stats::Group group("adapt");
         group.addScalar("policy",
-                        "0=static 1=oracle 2=reactive")
+                        "0=static 1=oracle 2=reactive 3=explore "
+                        "4=explore_global")
             .set(static_cast<uint64_t>(a.policy));
         group.addScalar("epoch_cycles",
                         "cycles between controller evaluations")
@@ -217,6 +218,35 @@ writeStatsReport(std::ostream &os, const SimResult &result)
             "energy_total_au",
             [&a]() { return a.energy.total(); },
             "whole-run energy at the adapted operating points");
+        // Power-cap accounting: only on capped or exploring runs,
+        // so every pre-existing adapt report stays byte-identical.
+        if (a.cap.capPowerAu > 0.0 ||
+            adapt::policyExplores(a.policy)) {
+            group.addFormula(
+                "cap_power_au",
+                [&a]() { return a.cap.capPowerAu; },
+                "configured power budget (0 = uncapped)");
+            group.addScalar(
+                     "cap_violation_epochs",
+                     "epochs whose mean power exceeded the cap")
+                .set(a.cap.capViolationEpochs);
+            group.addScalar(
+                     "cap_steady_violation_epochs",
+                     "cap violations outside exploration")
+                .set(a.cap.capSteadyViolationEpochs);
+            group.addFormula(
+                "cap_clean_energy_au",
+                [&a]() { return a.cap.capCleanEnergyAu; },
+                "energy of the epochs that respected the cap");
+            group.addScalar(
+                     "cap_explore_epochs",
+                     "epochs spent measuring search candidates")
+                .set(a.cap.exploreEpochs);
+            group.addScalar(
+                     "cap_phase_restarts",
+                     "explorations restarted by phase changes")
+                .set(a.cap.phaseRestarts);
+        }
         group.dump(os);
     }
 
